@@ -1,0 +1,103 @@
+"""Ablation — greedy vs. the exact optimal probing policy (§5.3).
+
+The paper rejects the optimal policy as impractical (O(n!)) and uses
+greedy; here, on toy instances where the optimal expectimax is feasible,
+we quantify the gap: the greedy order's expected probe count vs. the
+optimum. Expected shape: greedy is within a small fraction of optimal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.policies import (
+    GreedyUsefulnessPolicy,
+    expected_probes_to_threshold,
+)
+from repro.core.relevancy import RelevancyDistribution
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.experiments.reporting import format_table
+from repro.stats.distribution import DiscreteDistribution
+
+
+def _random_instance(rng):
+    n = int(rng.integers(3, 5))
+    rds = []
+    for _ in range(n):
+        size = int(rng.integers(2, 4))
+        values = rng.choice(10, size=size, replace=False)
+        probs = rng.random(size) + 0.1
+        rds.append(
+            DiscreteDistribution.from_pairs(
+                (float(v), float(p)) for v, p in zip(values, probs)
+            )
+        )
+    return rds
+
+
+def _greedy_expected_probes(rds, k, threshold, max_states=400_000):
+    """Expected probes of the greedy order via exact outcome recursion."""
+    policy = GreedyUsefulnessPolicy()
+    budget = [max_states]
+
+    def recurse(current):
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise RuntimeError("state budget exceeded")
+        computer = TopKComputer(current, k)
+        _best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        if score >= threshold:
+            return 0.0
+        candidates = [
+            i for i in range(len(current)) if not current[i].is_impulse
+        ]
+        if not candidates:
+            return 0.0
+        choice = policy.choose(
+            computer, candidates, CorrectnessMetric.ABSOLUTE, threshold
+        )
+        total = 1.0
+        for value, prob in current[choice].atoms():
+            child = list(current)
+            child[choice] = RelevancyDistribution.impulse(value)
+            total += prob * recurse(child)
+        return total
+
+    return recurse(list(rds))
+
+
+def _run(num_instances=12, threshold=0.95, seed=29):
+    rng = np.random.default_rng(seed)
+    rows = []
+    greedy_total = 0.0
+    optimal_total = 0.0
+    for index in range(num_instances):
+        rds = _random_instance(rng)
+        optimal = expected_probes_to_threshold(
+            rds, 1, threshold, max_states=400_000
+        )
+        greedy = _greedy_expected_probes(rds, 1, threshold)
+        greedy_total += greedy
+        optimal_total += optimal
+        rows.append((index, len(rds), f"{greedy:.3f}", f"{optimal:.3f}"))
+    return rows, greedy_total, optimal_total
+
+
+def test_ablation_greedy_vs_optimal(benchmark):
+    rows, greedy_total, optimal_total = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+    print()
+    print("=" * 72)
+    print("Ablation — greedy vs. optimal expected probes (toy instances)")
+    print("=" * 72)
+    print(
+        format_table(
+            ("instance", "databases", "greedy E[probes]", "optimal E[probes]"),
+            rows,
+        )
+    )
+    overhead = greedy_total / max(optimal_total, 1e-9)
+    print(f"\naggregate greedy/optimal probe ratio: {overhead:.3f}")
+    assert greedy_total >= optimal_total - 1e-9, "optimal must be a lower bound"
+    assert overhead <= 1.5, "greedy should stay within 50 % of optimal"

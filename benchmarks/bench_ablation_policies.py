@@ -1,0 +1,45 @@
+"""Ablation — probe-policy comparison (§5.4's design choice).
+
+Greedy usefulness vs. random vs. max-uncertainty probing at a fixed
+certainty threshold. Expected shape: greedy reaches the threshold with
+the fewest probes (the paper's justification for the greedy policy).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import compare_probing_policies
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_probing_policies(benchmark, paper_context, paper_pipeline):
+    results = benchmark.pedantic(
+        compare_probing_policies,
+        args=(paper_context, paper_pipeline),
+        kwargs={"k": 1, "threshold": 0.8, "num_queries": 60},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Ablation — probe policies (k = 1, t = 0.8)")
+    print("=" * 72)
+    rows = [
+        (
+            r.policy,
+            f"{r.avg_probes:.2f}",
+            f"{r.avg_correctness:.3f}",
+            r.num_queries,
+        )
+        for r in results
+    ]
+    print(
+        format_table(
+            ("policy", "avg probes", "realized Cor_a", "queries"), rows
+        )
+    )
+    by_policy = {r.policy: r for r in results}
+    greedy = by_policy["greedy-usefulness"]
+    random = by_policy["random"]
+    assert greedy.avg_probes <= random.avg_probes + 0.25, (
+        "greedy must not need meaningfully more probes than random"
+    )

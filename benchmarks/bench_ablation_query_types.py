@@ -1,0 +1,39 @@
+"""Ablation — query-type tree variants (§4.1's design choice).
+
+RD-based selection quality under the default multi-band tree, the
+paper's single-threshold tree, and no estimate split at all. Expected
+shape: estimate-aware trees beat the no-split variant (the premise of
+§4.1), with the finer default tree at least matching the paper's.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import query_type_ablation
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_query_type_tree(benchmark, paper_context):
+    results = benchmark.pedantic(
+        query_type_ablation,
+        args=(paper_context,),
+        kwargs={"k_values": (1,)},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Ablation — query-type decision tree (RD-based, k = 1)")
+    print("=" * 72)
+    rows = [
+        (r.variant, r.k, f"{r.avg_absolute:.3f}", f"{r.avg_partial:.3f}")
+        for r in results
+    ]
+    print(
+        format_table(("variant", "k", "Avg(Cor_a)", "Avg(Cor_p)"), rows)
+    )
+    by_variant = {r.variant: r for r in results}
+    default = by_variant["multi-band (default)"]
+    nosplit = by_variant["no estimate split"]
+    assert default.avg_absolute >= nosplit.avg_absolute - 0.02, (
+        "estimate-aware typing should not lose to the no-split ablation"
+    )

@@ -1,0 +1,42 @@
+"""Ablation — end-to-end effect of the ED sampling cap (§4.2).
+
+The paper picks 50 samples per query type; this ablation retrains the
+error model with caps {5, 10, 20, 50} and measures the downstream
+selection quality. Expected shape: quality saturates quickly — small
+caps already work (the Fig. 8 finding), with mild gains up to 50.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablations import training_size_ablation
+from repro.experiments.reporting import format_table
+
+
+def test_ablation_training_size(benchmark, paper_context):
+    results = benchmark.pedantic(
+        training_size_ablation,
+        args=(paper_context,),
+        kwargs={"sample_caps": (5, 10, 20, 50), "k": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Ablation — ED training-sample cap (RD-based, k = 1)")
+    print("=" * 72)
+    rows = [
+        (
+            r.samples_per_type,
+            f"{r.avg_absolute:.3f}",
+            f"{r.avg_partial:.3f}",
+        )
+        for r in results
+    ]
+    print(
+        format_table(
+            ("samples per type", "Avg(Cor_a)", "Avg(Cor_p)"), rows
+        )
+    )
+    first = results[0].avg_absolute
+    last = results[-1].avg_absolute
+    assert last >= first - 0.05, "more training must not hurt materially"

@@ -1,0 +1,88 @@
+"""Related-work comparison — classic selectors vs. the paper's method.
+
+Ranks the classic estimation-based selectors of the paper's related-work
+section — bGlOSS/term-independence (Eq. 1), CORI, gGlOSS Sum(0) and the
+sample-based ReDDE — against RD-based selection on the same testbed and
+query set. Expected shape: the probabilistic correction beats every
+summary-only ranker on absolute correctness at k = 1.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.harness import evaluate_selector_fn
+from repro.experiments.reporting import format_table
+from repro.core.topk import CorrectnessMetric
+from repro.metasearch.baselines import EstimationBasedSelector
+from repro.metasearch.redde import ReddeSelector
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import CoriEstimator, GlossEstimator
+
+
+def _run(paper_context, paper_pipeline, k):
+    builder = ExactSummaryBuilder(weights=True)
+    weighted = {
+        db.name: builder.build(db) for db in paper_context.mediator
+    }
+    cori = EstimationBasedSelector(
+        paper_context.mediator,
+        weighted,
+        CoriEstimator(list(weighted.values())),
+    )
+    gloss = EstimationBasedSelector(
+        paper_context.mediator, weighted, GlossEstimator()
+    )
+    seed_terms = [
+        topic.words[0] for topic in paper_context.registry.in_domain("health")
+    ]
+    redde = ReddeSelector(
+        paper_context.mediator,
+        analyzer=paper_context.analyzer,
+        seed_terms=seed_terms,
+        sample_size=60,
+        max_probes=180,
+        seed=9,
+    )
+    selectors = (
+        ("term-independence (bGlOSS, paper baseline)",
+         paper_pipeline.baseline.select),
+        ("CORI", cori.select),
+        ("gGlOSS Sum(0)", gloss.select),
+        ("ReDDE (sample-based)", redde.select),
+        (
+            "RD-based (this paper)",
+            lambda q, kk: paper_pipeline.rd_selector.select(
+                q, kk, CorrectnessMetric.ABSOLUTE
+            ).names,
+        ),
+    )
+    return [
+        evaluate_selector_fn(paper_context, name, select, k)
+        for name, select in selectors
+    ]
+
+
+def test_baseline_comparison(benchmark, paper_context, paper_pipeline):
+    results = benchmark.pedantic(
+        _run, args=(paper_context, paper_pipeline, 1), rounds=1, iterations=1
+    )
+    print()
+    print("=" * 72)
+    print("Related-work comparison — selection correctness at k = 1")
+    print("=" * 72)
+    print(
+        format_table(
+            ("selector", "Avg(Cor_a)", "Avg(Cor_p)"),
+            [
+                (r.method, f"{r.avg_absolute:.3f}", f"{r.avg_partial:.3f}")
+                for r in results
+            ],
+        )
+    )
+    by_method = {r.method: r for r in results}
+    rd = by_method["RD-based (this paper)"]
+    for name, result in by_method.items():
+        if name == "RD-based (this paper)":
+            continue
+        assert rd.avg_absolute >= result.avg_absolute - 0.02, (
+            f"RD-based should not lose to {name}"
+        )

@@ -1,0 +1,57 @@
+"""Extension — calibration of the certainty estimates.
+
+Not a paper figure, but the property the paper's certainty knob relies
+on: the claimed E[Cor] must track realized correctness. Reports a
+reliability curve, the expected calibration error and the
+claimed-vs-realized correlation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.calibration import calibration_curve
+from repro.experiments.reporting import format_table
+
+
+def test_calibration_of_certainty_claims(
+    benchmark, paper_context, paper_pipeline
+):
+    result = benchmark.pedantic(
+        calibration_curve,
+        args=(paper_context, paper_pipeline),
+        kwargs={"k": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Extension — reliability of claimed certainty (RD-based, k = 1)")
+    print("=" * 72)
+    rows = [
+        (
+            f"[{b.lower:.1f}, {b.upper:.1f})",
+            f"{b.mean_claimed:.3f}",
+            f"{b.mean_realized:.3f}",
+            b.count,
+        )
+        for b in result.buckets
+    ]
+    print(
+        format_table(
+            ("claimed band", "mean claimed", "mean realized", "queries"),
+            rows,
+        )
+    )
+    print(
+        f"\nexpected calibration error: "
+        f"{result.expected_calibration_error:.3f}"
+    )
+    print(f"claimed/realized correlation: {result.correlation:.3f}")
+    assert result.correlation > 0.05, (
+        "certainty claims must correlate with outcomes"
+    )
+    assert result.expected_calibration_error < 0.25
+    # Reliability: higher claims must realize more often than lower ones
+    # (compare the extreme populated bands).
+    assert (
+        result.buckets[-1].mean_realized >= result.buckets[0].mean_realized
+    )

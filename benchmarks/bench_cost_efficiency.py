@@ -1,0 +1,42 @@
+"""§1 motivation — remote-query cost per user query, per strategy.
+
+Reproduces the paper's scalability argument quantitatively: forwarding
+everywhere costs n remote queries per user query; selection cuts that to
+k (baseline) or probes + k (APro) while APro recovers most of the
+quality lost to estimation error.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.efficiency import cost_efficiency
+from repro.experiments.reporting import format_table
+
+
+def test_cost_efficiency(benchmark, paper_context, paper_pipeline):
+    rows = benchmark.pedantic(
+        cost_efficiency,
+        args=(paper_context, paper_pipeline),
+        kwargs={"k": 3, "certainty": 0.8, "num_queries": 80},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("§1 motivation — remote queries vs. answer quality (k = 3)")
+    print("=" * 72)
+    print(
+        format_table(
+            ("strategy", "avg remote queries", "avg Cor_p"),
+            [
+                (
+                    r.strategy,
+                    f"{r.avg_remote_queries:.2f}",
+                    f"{r.avg_partial_correctness:.3f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    everywhere, baseline, apro = rows
+    assert apro.avg_remote_queries < everywhere.avg_remote_queries
+    assert apro.avg_partial_correctness > baseline.avg_partial_correctness

@@ -1,0 +1,44 @@
+"""Extension — robustness to database drift.
+
+The offline phase (summaries + error model) goes stale as databases
+churn; probes always observe current truth. Expected shape: stale
+summary-only selection degrades noticeably, and APro recovers most of
+the loss because every probe is fresh evidence.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.drift import drift_robustness
+from repro.experiments.reporting import format_table
+
+
+def test_extension_drift_robustness(benchmark, paper_context, paper_pipeline):
+    rows = benchmark.pedantic(
+        drift_robustness,
+        args=(paper_context, paper_pipeline),
+        kwargs={"k": 1, "certainty": 0.8, "num_queries": 80},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Extension — selection on drifted databases with stale training")
+    print("=" * 72)
+    print(
+        format_table(
+            ("configuration", "Avg(Cor_a)", "Avg(Cor_p)", "avg probes"),
+            [
+                (
+                    r.configuration,
+                    f"{r.avg_absolute:.3f}",
+                    f"{r.avg_partial:.3f}",
+                    f"{r.avg_probes:.2f}",
+                )
+                for r in rows
+            ],
+        )
+    )
+    stale_baseline, stale_rd, stale_apro = rows
+    # Probing must recover quality on drifted content.
+    assert stale_apro.avg_absolute > stale_rd.avg_absolute
+    assert stale_apro.avg_absolute > stale_baseline.avg_absolute

@@ -1,0 +1,74 @@
+"""Fig. 16 — average correctness vs. number of probes.
+
+Three panels as in the paper: (a) k = 1, (b) k = 3 absolute,
+(c) k = 3 partial. Expected shape: APro's curve starts at the RD-based
+level, rises steeply within the first few probes (the paper crosses 0.8
+at k = 1 after ~2 probes) while the baseline stays flat.
+"""
+
+from __future__ import annotations
+
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.probing_curves import probing_curves
+from repro.experiments.reporting import format_probing_curve
+
+MAX_PROBES = 6
+
+
+def test_fig16a_k1(benchmark, paper_context, paper_pipeline):
+    result = benchmark.pedantic(
+        probing_curves,
+        args=(paper_context, paper_pipeline),
+        kwargs={"k": 1, "max_probes": MAX_PROBES, "num_queries": 100},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Fig. 16(a) — correctness vs. probes, k = 1")
+    print("=" * 72)
+    print(format_probing_curve(result))
+    assert result.apro_curve[-1] > result.apro_curve[0]
+    assert result.apro_curve[-1] > result.baseline_absolute
+
+
+def test_fig16b_k3_absolute(benchmark, paper_context, paper_pipeline):
+    result = benchmark.pedantic(
+        probing_curves,
+        args=(paper_context, paper_pipeline),
+        kwargs={
+            "k": 3,
+            "max_probes": MAX_PROBES,
+            "metric": CorrectnessMetric.ABSOLUTE,
+            "num_queries": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Fig. 16(b) — correctness vs. probes, k = 3 (absolute)")
+    print("=" * 72)
+    print(format_probing_curve(result))
+    assert result.apro_curve[-1] > result.apro_curve[0]
+
+
+def test_fig16c_k3_partial(benchmark, paper_context, paper_pipeline):
+    result = benchmark.pedantic(
+        probing_curves,
+        args=(paper_context, paper_pipeline),
+        kwargs={
+            "k": 3,
+            "max_probes": MAX_PROBES,
+            "metric": CorrectnessMetric.PARTIAL,
+            "num_queries": 60,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Fig. 16(c) — correctness vs. probes, k = 3 (partial)")
+    print("=" * 72)
+    print(format_probing_curve(result))
+    assert result.apro_partial_curve[-1] >= result.apro_partial_curve[0] - 1e-9

@@ -1,0 +1,39 @@
+"""Fig. 17 — probes needed per user-required certainty level t.
+
+APro runs to completion for t in {0.70 … 0.95}; the average probe count
+must grow monotonically (modulo noise) with t, and the realized
+correctness of the returned sets should track the requested level.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_threshold_probes
+from repro.experiments.threshold_probes import (
+    DEFAULT_THRESHOLDS,
+    probes_per_threshold,
+)
+
+
+def test_fig17_probes_per_threshold(benchmark, paper_context, paper_pipeline):
+    result = benchmark.pedantic(
+        probes_per_threshold,
+        args=(paper_context, paper_pipeline),
+        kwargs={
+            "k": 1,
+            "thresholds": DEFAULT_THRESHOLDS,
+            "num_queries": 80,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Fig. 17 — probing cost per required certainty t, k = 1")
+    print("=" * 72)
+    print(format_threshold_probes(result))
+    # Shape: cost grows with the certainty demand.
+    assert result.avg_probes[-1] > result.avg_probes[0]
+    assert all(
+        later >= earlier - 1e-9
+        for earlier, later in zip(result.avg_probes, result.avg_probes[1:])
+    )

@@ -1,0 +1,66 @@
+"""Fig. 7 / Fig. 8 — chi-square goodness of ED sampling sizes.
+
+On the 20-database newsgroup testbed, sample EDs of size
+S in {10, 20, 50, 100, 200} are compared against the ideal ED built
+from the full query pool. Expected shape (paper §4.2): goodness is well
+above the 0.05 acceptance line even for 10–20 samples and rises gently
+with S.
+"""
+
+from __future__ import annotations
+
+from repro.core.query_types import QueryTypeClassifier
+from repro.corpus.newsgroups import build_newsgroup_testbed
+from repro.corpus.topics import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.experiments.reporting import format_sampling_goodness
+from repro.experiments.sampling_size import sampling_size_goodness
+from repro.hiddenweb.mediator import Mediator
+from repro.querylog.generator import QueryTraceGenerator, TraceConfig
+
+SAMPLING_SIZES = (10, 20, 50, 100, 200)
+
+
+def _run():
+    corpora = build_newsgroup_testbed(scale=0.4, seed=51)
+    mediator = Mediator.from_documents(corpora)
+    registry = default_topic_registry(seed=51)
+    background = ZipfVocabulary(4000, seed=52)
+    trace = QueryTraceGenerator(
+        registry,
+        background,
+        config=TraceConfig(
+            domain_weights={"health": 1.0, "science": 1.0, "news": 1.0}
+        ),
+        seed=53,
+    )
+    pool = trace.generate(2500)
+    classifier = QueryTypeClassifier(
+        estimate_thresholds=QueryTypeClassifier.PAPER_THRESHOLDS
+    )
+    return sampling_size_goodness(
+        mediator,
+        pool,
+        sampling_sizes=SAMPLING_SIZES,
+        repetitions=10,
+        num_terms=2,
+        band=0,
+        classifier=classifier,
+    )
+
+
+def test_fig7_fig8_sampling_goodness(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print("=" * 72)
+    print("Fig. 7 / Fig. 8 — goodness of ED sampling sizes (p-values)")
+    print("(2-term queries, paper query-type tree; acceptance line 0.05)")
+    print("=" * 72)
+    print(format_sampling_goodness(result))
+    # The paper's reproducible finding: even 10–20 sample queries yield
+    # EDs statistically indistinguishable from the ideal — every size
+    # averages far above the 0.05 acceptance line. (The paper reports
+    # goodness creeping up with S; with a validity-guarded test the
+    # mean p-value instead drifts toward its calibrated level as power
+    # grows — see EXPERIMENTS.md.)
+    assert all(avg > 0.3 for avg in result.average)

@@ -1,0 +1,64 @@
+"""Fig. 9 — distinct error distributions for the four query types.
+
+On one database, the paper's decision tree (2/3-term x r̂ below/above
+θ = 10) yields four error distributions with visibly different shapes:
+low-estimate types concentrate near −100 % (the database usually has
+nothing), high-estimate types lean positive (correlated terms make the
+independence estimate an underestimate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.query_types import QueryTypeClassifier
+from repro.core.training import EDTrainer
+from repro.experiments.reporting import format_error_distribution
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import TermIndependenceEstimator
+
+
+def _run(paper_context):
+    classifier = QueryTypeClassifier(
+        estimate_thresholds=QueryTypeClassifier.PAPER_THRESHOLDS
+    )
+    estimator = TermIndependenceEstimator()
+    builder = ExactSummaryBuilder()
+    summaries = {
+        db.name: builder.build(db) for db in paper_context.mediator
+    }
+    trainer = EDTrainer(
+        paper_context.mediator,
+        summaries,
+        estimator,
+        classifier=classifier,
+        samples_per_type=100,
+    )
+    model = trainer.train(paper_context.train_queries)
+    return classifier, model
+
+
+def test_fig9_query_type_eds(benchmark, paper_context):
+    classifier, model = benchmark.pedantic(
+        _run, args=(paper_context,), rounds=1, iterations=1
+    )
+    database = "PubMedCentral"
+    print()
+    print("=" * 72)
+    print(f"Fig. 9 — per-query-type error distributions on {database}")
+    print("=" * 72)
+    means = {}
+    for query_type in classifier.all_types():
+        ed = model.exact(database, query_type)
+        print(f"\n{classifier.label(query_type)}:")
+        if ed is None or ed.sample_count == 0:
+            print("  (no training samples)")
+            continue
+        print(format_error_distribution(ed))
+        means[query_type] = ed.mean_error()
+    # Shape: low-estimate and high-estimate types have clearly different
+    # mean errors for at least one term count.
+    lows = [m for qt, m in means.items() if qt.estimate_band == 0]
+    highs = [m for qt, m in means.items() if qt.estimate_band == 1]
+    assert lows and highs, "need trained EDs on both sides of the split"
+    assert abs(np.mean(lows) - np.mean(highs)) > 0.1

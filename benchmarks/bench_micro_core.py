@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the core operations (true timing loops).
+
+These are the per-query costs a deployment cares about: conjunctive
+match counting inside a database, RD construction, expected-correctness
+computation, full RD-based selection, and one APro run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric, TopKComputer
+
+
+@pytest.fixture(scope="module")
+def sample_query(paper_context):
+    return paper_context.test_queries[0]
+
+
+def test_engine_match_count(benchmark, paper_context, sample_query):
+    database = paper_context.mediator["PubMedCentral"]
+    benchmark(database.index.match_count, sample_query)
+
+
+def test_build_rds(benchmark, paper_pipeline, sample_query):
+    benchmark(paper_pipeline.rd_selector.build_rds, sample_query)
+
+
+def test_topk_best_set_k1(benchmark, paper_pipeline, sample_query):
+    rds = paper_pipeline.rd_selector.build_rds(sample_query)
+    computer = TopKComputer(rds, 1)
+    benchmark(computer.best_set, CorrectnessMetric.ABSOLUTE)
+
+
+def test_topk_best_set_k3(benchmark, paper_pipeline, sample_query):
+    rds = paper_pipeline.rd_selector.build_rds(sample_query)
+    computer = TopKComputer(rds, 3)
+    benchmark(computer.best_set, CorrectnessMetric.ABSOLUTE)
+
+
+def test_topk_marginals(benchmark, paper_pipeline, sample_query):
+    rds = paper_pipeline.rd_selector.build_rds(sample_query)
+    computer = TopKComputer(rds, 3)
+    benchmark(computer.marginals)
+
+
+def test_rd_selection_k1(benchmark, paper_pipeline, sample_query):
+    benchmark(
+        paper_pipeline.rd_selector.select,
+        sample_query,
+        1,
+        CorrectnessMetric.ABSOLUTE,
+    )
+
+
+def test_apro_run_k1_t80(benchmark, paper_context, paper_pipeline):
+    apro = APro(paper_pipeline.rd_selector)
+    query = paper_context.test_queries[1]
+
+    def run():
+        return apro.run(query, k=1, threshold=0.8)
+
+    benchmark(run)

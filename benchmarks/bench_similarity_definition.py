@@ -1,0 +1,40 @@
+"""Extension — Fig. 15 under the document-similarity definition (§2.1).
+
+The paper evaluates the document-frequency definition and states the
+techniques transfer to document-similarity relevancy; this bench runs
+the same baseline-vs-RD comparison under that definition.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import format_table
+from repro.experiments.similarity import similarity_selection_quality
+
+
+def test_similarity_definition_quality(benchmark, paper_context):
+    results = benchmark.pedantic(
+        similarity_selection_quality,
+        args=(paper_context,),
+        kwargs={"k_values": (1, 3), "num_queries": 100},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("=" * 72)
+    print("Extension — selection quality, document-similarity definition")
+    print("=" * 72)
+    print(
+        format_table(
+            ("method", "k", "Avg(Cor_a)", "Avg(Cor_p)"),
+            [
+                (r.method, r.k, f"{r.avg_absolute:.3f}", f"{r.avg_partial:.3f}")
+                for r in results
+            ],
+        )
+    )
+    by_key = {(r.method, r.k): r for r in results}
+    baseline = by_key[("max-similarity estimator (baseline)", 1)]
+    rd_based = by_key[("RD-based, no probing", 1)]
+    # Shape: the probabilistic correction must not lose to the raw
+    # estimator under the second definition either.
+    assert rd_based.avg_partial >= baseline.avg_partial - 0.05

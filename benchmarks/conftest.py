@@ -1,0 +1,36 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+One experiment context (testbed + query sets + golden standard) and one
+trained pipeline are built per session and reused by every figure's
+benchmark. Scale is laptop-sized; raise ``REPRO_BENCH_SCALE`` /
+``REPRO_BENCH_QUERIES`` environment variables for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.harness import train_pipeline
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+BENCH_TRAIN = int(os.environ.get("REPRO_BENCH_TRAIN", "1000"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
+
+
+@pytest.fixture(scope="session")
+def paper_context():
+    """The §6.1 setup at benchmark scale."""
+    return build_paper_context(
+        PaperSetupConfig(
+            scale=BENCH_SCALE, n_train=BENCH_TRAIN, n_test=BENCH_QUERIES
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_pipeline(paper_context):
+    """Summaries + error model + selectors trained on Q_train."""
+    return train_pipeline(paper_context)

@@ -1,0 +1,93 @@
+"""Bring your own databases: metasearch over user-supplied documents.
+
+Everything else in the examples uses the synthetic testbeds, but the
+library mediates *any* document collections. This example builds three
+small hand-written databases, trains on a handful of queries, and shows
+selection with certainty — the minimal template for adopting the library
+on real data.
+
+Run:  python examples/custom_databases.py
+"""
+
+from __future__ import annotations
+
+from repro import Document, Mediator, Metasearcher, MetasearcherConfig
+from repro.hiddenweb.database import HiddenWebDatabase
+from repro.text.analyzer import Analyzer
+
+ONCOLOGY_NOTES = [
+    "breast cancer chemotherapy protocol and tumor response",
+    "melanoma biopsy results with radiation follow up",
+    "lymphoma staging and metastasis screening guidelines",
+    "chemotherapy side effects in breast cancer patients",
+    "tumor markers for early cancer detection",
+    "radiation oncology dosage planning for carcinoma",
+]
+
+CARDIOLOGY_NOTES = [
+    "cardiac arrhythmia treatment with beta blockers",
+    "cholesterol management and coronary artery health",
+    "stent placement after myocardial infarction",
+    "hypertension monitoring in vascular patients",
+    "heart failure symptoms and artery disease",
+    "coronary angioplasty recovery guidelines",
+]
+
+GENERAL_NOTES = [
+    "annual physical examination checklist",
+    "flu vaccine availability this winter",
+    "breast cancer awareness community event",
+    "heart healthy diet and exercise tips",
+    "hospital visiting hours and parking",
+    "new cancer research wing opening soon",
+]
+
+TRAINING_QUERIES = [
+    "breast cancer",
+    "cancer chemotherapy",
+    "tumor radiation",
+    "cardiac artery",
+    "heart cholesterol",
+    "coronary stent",
+    "cancer screening",
+    "artery disease",
+    "vaccine flu",
+    "cancer research",
+]
+
+
+def make_database(name: str, texts: list[str], analyzer: Analyzer):
+    documents = [Document(i, text) for i, text in enumerate(texts)]
+    return HiddenWebDatabase(name, documents, analyzer, page_size=3)
+
+
+def main() -> None:
+    analyzer = Analyzer()
+    mediator = Mediator(
+        [
+            make_database("oncology-notes", ONCOLOGY_NOTES, analyzer),
+            make_database("cardiology-notes", CARDIOLOGY_NOTES, analyzer),
+            make_database("general-notes", GENERAL_NOTES, analyzer),
+        ]
+    )
+    searcher = Metasearcher(
+        mediator,
+        MetasearcherConfig(samples_per_type=10),
+        analyzer=analyzer,
+    )
+    searcher.train([analyzer.query(text) for text in TRAINING_QUERIES])
+
+    for text in ("breast cancer treatment", "artery cholesterol"):
+        answer = searcher.search(text, k=1, certainty=0.9, limit=2)
+        print(f"Query {text!r}")
+        print(
+            f"  -> {answer.selected[0]} "
+            f"(certainty {answer.certainty:.2f}, {answer.probes_used} probes)"
+        )
+        for hit in answer.hits:
+            print(f"     doc {hit.doc_id}: score {hit.score:.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Why estimation alone fails: non-uniform errors across databases.
+
+Recreates the paper's Fig. 3 / Fig. 9 story on live data: the
+term-independence estimator's relative error is measured on every
+database for a trace of training queries, its per-database distribution
+printed as histograms, and a concrete query shown where the error
+non-uniformity flips the ranking — the exact failure the probabilistic
+relevancy model corrects.
+
+Run:  python examples/error_distributions.py
+"""
+
+from __future__ import annotations
+
+from repro.core.query_types import QueryTypeClassifier
+from repro.experiments.harness import train_pipeline
+from repro.experiments.reporting import format_error_distribution
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+
+
+def main() -> None:
+    print("Preparing the testbed and training error distributions...")
+    context = build_paper_context(
+        PaperSetupConfig(scale=0.1, n_train=600, n_test=40)
+    )
+    classifier = QueryTypeClassifier(
+        estimate_thresholds=QueryTypeClassifier.PAPER_THRESHOLDS
+    )
+    pipeline = train_pipeline(context, classifier=classifier)
+    model = pipeline.error_model
+
+    focus = ("OncoLine", "PubMedCentral", "ScienceMag")
+    print(
+        "\nError distributions for 2-term, high-estimate queries "
+        "(paper Fig. 9 style).\nerr = (actual - estimated) / estimated; "
+        "+1.0 means the estimator undershot by half.\n"
+    )
+    for name in focus:
+        for query_type in classifier.all_types():
+            if query_type.num_terms != 2 or query_type.estimate_band != 1:
+                continue
+            ed = model.exact(name, query_type)
+            print(f"--- {name} ({classifier.label(query_type)}) ---")
+            if ed is None or ed.sample_count == 0:
+                print("  (no high-estimate training queries hit this db)\n")
+                continue
+            print(format_error_distribution(ed))
+            print(f"  mean error: {ed.mean_error():+.2f}\n")
+
+    print(
+        "Focused databases (OncoLine) err mildly; broad archives\n"
+        "(PubMedCentral, ScienceMag) are underestimated much harder —\n"
+        "non-uniform errors, which is exactly why ranking by the raw\n"
+        "estimate picks wrong databases (paper Fig. 3(b)).\n"
+    )
+
+    golden = context.golden
+    baseline = pipeline.baseline
+    selector = pipeline.rd_selector
+    flips = 0
+    for query in context.test_queries:
+        base_pick = baseline.select(query, 1)
+        rd_pick = selector.select(query, 1).names
+        if base_pick == rd_pick:
+            continue
+        base_score, _ = golden.score(query, base_pick, 1)
+        rd_score, _ = golden.score(query, rd_pick, 1)
+        if rd_score > base_score and flips < 3:
+            flips += 1
+            relevancies = golden.relevancies(query)
+            print(f"Query {str(query)!r}:")
+            for label, pick in (("estimator picks", base_pick),
+                                ("RD model picks ", rd_pick)):
+                name = pick[0]
+                position = context.mediator.position(name)
+                estimate = selector.estimate(name, query)
+                print(
+                    f"  {label} {name:<16} "
+                    f"r̂={estimate:8.2f}  actual r={relevancies[position]:6.0f}"
+                )
+            print()
+    if flips == 0:
+        print("(no ranking flips among the sampled test queries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""The paper's motivating scenario: a health-care metasearch portal.
+
+Mediates the full 20-database health/science/news testbed and serves a
+handful of realistic medical queries end-to-end — selection with
+adaptive probing, forwarding, and result fusion — reporting per-query
+cost so the efficiency story (a few probes instead of querying all 20
+databases) is visible.
+
+Run:  python examples/health_metasearch.py
+"""
+
+from __future__ import annotations
+
+from repro import Mediator, Metasearcher, MetasearcherConfig, build_health_testbed
+from repro.corpus import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.core.correctness import GoldenStandard
+from repro.querylog import QueryTraceGenerator
+from repro.text.analyzer import Analyzer
+
+USER_QUERIES = (
+    "breast cancer chemotherapy",
+    "heart artery cholesterol",
+    "child vaccine measles",
+    "depression therapy insomnia",
+    "gene mutation genome",
+)
+
+
+def main() -> None:
+    analyzer = Analyzer()
+    print("Indexing 20 Hidden-Web health/science/news databases...")
+    mediator = Mediator.from_documents(
+        build_health_testbed(scale=0.15), analyzer=analyzer
+    )
+    print(f"  total documents mediated: {sum(db.size for db in mediator)}\n")
+
+    trace = QueryTraceGenerator(
+        default_topic_registry(seed=2004),
+        ZipfVocabulary(4000, seed=2005),
+        analyzer=analyzer,
+        seed=17,
+    )
+    searcher = Metasearcher(
+        mediator, MetasearcherConfig(samples_per_type=50), analyzer=analyzer
+    )
+    print("Training on 600 trace queries (offline phase)...")
+    searcher.train(trace.generate(600))
+    training_probes = mediator.total_probes()
+    print(f"  offline probes: {training_probes}\n")
+
+    golden = GoldenStandard(mediator)
+    mediator.reset_accounting()
+    for text in USER_QUERIES:
+        query = analyzer.query(text)
+        before = mediator.total_probes()
+        answer = searcher.search(query, k=3, certainty=0.8, limit=3)
+        spent = mediator.total_probes() - before
+        truth = sorted(golden.topk(query, 3))
+        cor_a, cor_p = golden.score(query, answer.selected, 3)
+        print(f"Query: {text!r}")
+        print(
+            f"  selected: {', '.join(sorted(answer.selected))} "
+            f"(certainty {answer.certainty:.2f}, "
+            f"{answer.probes_used} selection probes, {spent} total queries "
+            "incl. forwarding)"
+        )
+        print(f"  actual top-3: {', '.join(truth)}  "
+              f"[Cor_a={cor_a:.0f}, Cor_p={cor_p:.2f}]")
+        if answer.hits:
+            best = answer.hits[0]
+            print(
+                f"  best fused hit: {best.database} doc {best.doc_id} "
+                f"(score {best.score:.2f})"
+            )
+        print()
+    print(
+        "Instead of forwarding every query to all 20 databases, the\n"
+        "metasearcher spends a handful of probes per query and still\n"
+        "selects (near-)correct top-3 sets at the requested certainty."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: mediate Hidden-Web databases and metasearch with certainty.
+
+Builds a small synthetic health-web testbed, trains the probabilistic
+metasearcher on a simulated query trace, and answers a query with a
+user-chosen certainty level.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Mediator, Metasearcher, MetasearcherConfig, build_health_testbed
+from repro.corpus import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.querylog import QueryTraceGenerator
+from repro.text.analyzer import Analyzer
+
+
+def main() -> None:
+    print("Building the 20-database health-web testbed (small scale)...")
+    analyzer = Analyzer()
+    mediator = Mediator.from_documents(
+        build_health_testbed(scale=0.1), analyzer=analyzer
+    )
+    for db in list(mediator)[:5]:
+        print(f"  {db.name:<16} {db.size:>5} documents")
+    print(f"  ... and {len(mediator) - 5} more databases\n")
+
+    print("Generating a training query trace and learning error models...")
+    trace = QueryTraceGenerator(
+        default_topic_registry(seed=2004),
+        ZipfVocabulary(4000, seed=2005),
+        analyzer=analyzer,
+        seed=7,
+    )
+    train_queries = trace.generate(400)
+    searcher = Metasearcher(
+        mediator, MetasearcherConfig(samples_per_type=50), analyzer=analyzer
+    )
+    searcher.train(train_queries)
+    print(f"  trained: {searcher.error_model!r}")
+    print(f"  training probes used: {mediator.total_probes()}\n")
+
+    mediator.reset_accounting()
+    query_text = "breast cancer chemotherapy"
+    print(f"Metasearching: {query_text!r} (k=3, certainty 0.8)")
+    answer = searcher.search(query_text, k=3, certainty=0.8, limit=5)
+    print(f"  selected databases : {', '.join(answer.selected)}")
+    print(f"  answer certainty   : {answer.certainty:.3f}")
+    print(f"  probes spent       : {answer.probes_used}")
+    print("  fused results:")
+    for hit in answer.hits:
+        print(f"    {hit.database:<16} doc {hit.doc_id:>5}  score {hit.score:.3f}")
+
+
+if __name__ == "__main__":
+    main()

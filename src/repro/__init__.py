@@ -1,0 +1,109 @@
+"""repro — Probabilistic metasearching with adaptive probing.
+
+A complete reproduction of *"A Probabilistic Approach to Metasearching
+with Adaptive Probing"* (Liu, Luo, Cho, Chu — ICDE 2004): Hidden-Web
+database simulation, content summaries and relevancy estimators, the
+probabilistic relevancy model (error/relevancy distributions), exact
+expected-correctness computation, and the APro adaptive-probing loop.
+
+Quickstart::
+
+    from repro import Metasearcher, Mediator, build_health_testbed
+    from repro.corpus import default_topic_registry
+    from repro.corpus.zipf import ZipfVocabulary
+    from repro.querylog import QueryTraceGenerator
+
+    mediator = Mediator.from_documents(build_health_testbed(scale=0.2))
+    trace = QueryTraceGenerator(
+        default_topic_registry(seed=2004), ZipfVocabulary(4000, seed=2005)
+    )
+    train, test = trace.train_test_split(200, 50)
+
+    searcher = Metasearcher(mediator)
+    searcher.train(train)
+    answer = searcher.search(test[0], k=3, certainty=0.8)
+    print(answer.selected, answer.certainty, answer.probes_used)
+"""
+
+from repro.core.policies import (
+    CostAwareGreedyPolicy,
+    GreedyUsefulnessPolicy,
+    LookaheadPolicy,
+    MaxUncertaintyPolicy,
+    RandomPolicy,
+)
+from repro.core.probing import APro, ProbeSession
+from repro.core.query_types import QueryType, QueryTypeClassifier
+from repro.core.relevancy import RelevancyDistribution, derive_rd
+from repro.core.selection import RDBasedSelector, SelectionResult
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.core.training import EDTrainer, ErrorModel
+from repro.corpus.collections import build_health_testbed
+from repro.corpus.newsgroups import build_newsgroup_testbed
+from repro.exceptions import ReproError
+from repro.hiddenweb.database import HiddenWebDatabase, RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.metasearch.baselines import EstimationBasedSelector
+from repro.metasearch.fusion import merge_results
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.metasearch.redde import ReddeSelector
+from repro.persistence import load_trained_state, save_trained_state
+from repro.querylog.generator import QueryTraceGenerator
+from repro.summaries.builder import ExactSummaryBuilder, SampledSummaryBuilder
+from repro.summaries.estimators import (
+    CoriEstimator,
+    GlossEstimator,
+    MaxSimilarityEstimator,
+    TermIndependenceEstimator,
+)
+from repro.summaries.summary import ContentSummary
+from repro.text.analyzer import Analyzer
+from repro.types import Document, Query, SearchResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APro",
+    "Analyzer",
+    "ContentSummary",
+    "CoriEstimator",
+    "CostAwareGreedyPolicy",
+    "CorrectnessMetric",
+    "Document",
+    "EDTrainer",
+    "ErrorModel",
+    "EstimationBasedSelector",
+    "ExactSummaryBuilder",
+    "GlossEstimator",
+    "GreedyUsefulnessPolicy",
+    "HiddenWebDatabase",
+    "LookaheadPolicy",
+    "MaxSimilarityEstimator",
+    "MaxUncertaintyPolicy",
+    "Mediator",
+    "Metasearcher",
+    "MetasearcherConfig",
+    "ProbeSession",
+    "Query",
+    "QueryTraceGenerator",
+    "QueryType",
+    "QueryTypeClassifier",
+    "RDBasedSelector",
+    "RandomPolicy",
+    "ReddeSelector",
+    "RelevancyDefinition",
+    "RelevancyDistribution",
+    "ReproError",
+    "SampledSummaryBuilder",
+    "SearchResult",
+    "SelectionResult",
+    "TermIndependenceEstimator",
+    "TopKComputer",
+    "build_health_testbed",
+    "build_newsgroup_testbed",
+    "derive_rd",
+    "load_trained_state",
+    "merge_results",
+    "save_trained_state",
+    "__version__",
+]

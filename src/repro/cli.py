@@ -1,0 +1,179 @@
+"""Command-line interface: ``repro-metasearch``.
+
+Three commands:
+
+* ``demo``   — build a testbed, train, and answer one query end-to-end;
+* ``fig``    — regenerate one of the paper's figures/tables on the spot;
+* ``train``  — run the offline phase and save the trained state to JSON.
+
+All commands are deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments.ablations import compare_probing_policies
+from repro.experiments.harness import evaluate_selection_quality, train_pipeline
+from repro.experiments.probing_curves import probing_curves
+from repro.experiments.reporting import (
+    format_probing_curve,
+    format_selection_quality,
+    format_table,
+    format_threshold_probes,
+)
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+from repro.experiments.threshold_probes import probes_per_threshold
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-metasearch`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-metasearch",
+        description=(
+            "Probabilistic metasearching with adaptive probing "
+            "(ICDE 2004 reproduction)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="testbed size multiplier (default 0.1)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2004, help="master random seed"
+    )
+    parser.add_argument(
+        "--train-queries",
+        type=int,
+        default=500,
+        help="number of training queries",
+    )
+    parser.add_argument(
+        "--test-queries",
+        type=int,
+        default=80,
+        help="number of evaluation queries",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser(
+        "demo", help="train a metasearcher and answer one query"
+    )
+    demo.add_argument(
+        "--query", default="breast cancer chemotherapy", help="query text"
+    )
+    demo.add_argument("--k", type=int, default=3, help="databases to select")
+    demo.add_argument(
+        "--certainty",
+        type=float,
+        default=0.8,
+        help="required expected correctness",
+    )
+
+    fig = subparsers.add_parser(
+        "fig", help="regenerate one paper figure/table"
+    )
+    fig.add_argument(
+        "artifact",
+        choices=("15", "16", "17", "policies"),
+        help="which evaluation artifact to regenerate",
+    )
+    fig.add_argument("--k", type=int, default=1)
+
+    train = subparsers.add_parser(
+        "train", help="run the offline phase and save trained state"
+    )
+    train.add_argument("output", help="path of the JSON state file to write")
+    return parser
+
+
+def _context(args: argparse.Namespace):
+    print(
+        f"Building testbed (scale={args.scale}) and query sets "
+        f"({args.train_queries} train / {args.test_queries} test)...",
+        flush=True,
+    )
+    return build_paper_context(
+        PaperSetupConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+        )
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+
+    context = _context(args)
+    searcher = Metasearcher(
+        context.mediator, MetasearcherConfig(), analyzer=context.analyzer
+    )
+    print("Training (offline sampling)...", flush=True)
+    searcher.train(context.train_queries)
+    answer = searcher.search(args.query, k=args.k, certainty=args.certainty)
+    print(f"\nQuery     : {args.query!r}")
+    print(f"Selected  : {', '.join(answer.selected)}")
+    print(f"Certainty : {answer.certainty:.3f} (required {args.certainty})")
+    print(f"Probes    : {answer.probes_used}")
+    for hit in answer.hits:
+        print(f"  {hit.database:<16} doc {hit.doc_id:>6}  score {hit.score:.3f}")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    context = _context(args)
+    print("Training pipeline...", flush=True)
+    pipeline = train_pipeline(context)
+    if args.artifact == "15":
+        results = evaluate_selection_quality(context, pipeline)
+        print(format_selection_quality(results))
+    elif args.artifact == "16":
+        result = probing_curves(context, pipeline, k=args.k, max_probes=6)
+        print(format_probing_curve(result))
+    elif args.artifact == "17":
+        result = probes_per_threshold(context, pipeline, k=args.k)
+        print(format_threshold_probes(result))
+    else:  # policies ablation
+        results = compare_probing_policies(
+            context, pipeline, k=args.k, threshold=0.8
+        )
+        rows = [
+            (r.policy, f"{r.avg_probes:.2f}", f"{r.avg_correctness:.3f}")
+            for r in results
+        ]
+        print(format_table(("policy", "avg probes", "realized Cor"), rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+
+    context = _context(args)
+    searcher = Metasearcher(
+        context.mediator, MetasearcherConfig(), analyzer=context.analyzer
+    )
+    print("Training (offline sampling)...", flush=True)
+    searcher.train(context.train_queries)
+    searcher.save(args.output)
+    probes = context.mediator.total_probes()
+    print(f"Saved trained state to {args.output} ({probes} offline probes).")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {"demo": _cmd_demo, "fig": _cmd_fig, "train": _cmd_train}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Correctness metrics and the golden standard (paper §3.2, Eqs. 3–4).
+
+The golden standard DB_topk for a query is obtained by asking every
+database its true relevancy (an evaluation-only oracle, mirroring the
+paper's offline construction) and taking the k best under the global
+tie-break order: higher relevancy first, earlier mediation position on
+ties.
+
+Tie-tolerant scoring. True relevancies are integer match counts, so ties
+at the k-boundary are common on smaller corpora, and "the" top-k is then
+genuinely ambiguous. :meth:`GoldenStandard.score` therefore accepts any
+answer set whose relevancy multiset attains the maximum — i.e. any set
+that is a valid top-k under *some* tie-breaking — and grants partial
+credit against the best-matching valid top-k. This keeps the evaluation
+from rewarding a method merely for sharing the evaluator's arbitrary
+tie-break convention. (The probabilistic machinery still uses the
+deterministic index order internally, which makes its expected
+correctness a conservative lower bound.)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.types import Query
+
+__all__ = [
+    "true_topk",
+    "absolute_correctness",
+    "partial_correctness",
+    "GoldenStandard",
+]
+
+
+def rank_by_relevancy(
+    relevancies: Sequence[float], k: int
+) -> tuple[int, ...]:
+    """Indices of the k most relevant entries (ties → lower index).
+
+    This tie-break rule is the single source of truth shared by the
+    golden standard and the probabilistic top-k machinery.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    order = sorted(
+        range(len(relevancies)), key=lambda i: (-relevancies[i], i)
+    )
+    return tuple(sorted(order[: min(k, len(relevancies))]))
+
+
+def true_topk(
+    mediator: Mediator,
+    query: Query,
+    k: int,
+    definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+) -> frozenset[str]:
+    """The actual top-k database names for *query* (oracle access)."""
+    relevancies = [db.relevancy(query, definition) for db in mediator]
+    winners = rank_by_relevancy(relevancies, k)
+    return frozenset(mediator[i].name for i in winners)
+
+
+def absolute_correctness(
+    selected: Iterable[str], truth: frozenset[str]
+) -> float:
+    """Cor_a (Eq. 3): 1 iff the selected set equals DB_topk, else 0."""
+    return 1.0 if frozenset(selected) == truth else 0.0
+
+
+def partial_correctness(
+    selected: Iterable[str], truth: frozenset[str], k: int
+) -> float:
+    """Cor_p (Eq. 4): |selected ∩ DB_topk| / k."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return len(frozenset(selected) & truth) / k
+
+
+def tie_tolerant_scores(
+    selected_relevancies: Iterable[float],
+    all_relevancies: Sequence[float],
+    k: int,
+) -> tuple[float, float]:
+    """(Cor_a, Cor_p) of a selection against *any* valid top-k.
+
+    Let τ be the k-th largest true relevancy. A selection of size k is
+    absolutely correct iff every member has relevancy >= τ and it
+    contains every database with relevancy > τ (it is then a top-k under
+    some tie-breaking). Partial credit counts members above τ plus as
+    many τ-valued members as τ-valued slots remain.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    selected_list = list(selected_relevancies)
+    if len(selected_list) != k:
+        raise ValueError(
+            f"selection has {len(selected_list)} relevancies, expected k={k}"
+        )
+    ordered = sorted(all_relevancies, reverse=True)
+    if k > len(ordered):
+        raise ValueError(f"k={k} exceeds database count {len(ordered)}")
+    tau = ordered[k - 1]
+    mandatory = sum(1 for r in ordered[:k] if r > tau)
+    tie_slots = k - mandatory
+    above = sum(1 for r in selected_list if r > tau)
+    at_tau = sum(1 for r in selected_list if r == tau)
+    overlap = above + min(at_tau, tie_slots)
+    absolute = 1.0 if (above == mandatory and at_tau == tie_slots) else 0.0
+    return absolute, overlap / k
+
+
+class GoldenStandard:
+    """Caches true top-k answers per (query, k) for one mediator.
+
+    Experiment loops evaluate many methods on the same queries; the cache
+    keeps oracle computation to one pass per query.
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> None:
+        self._mediator = mediator
+        self._definition = definition
+        self._relevancies: dict[Query, list[float]] = {}
+
+    def relevancies(self, query: Query) -> list[float]:
+        """True relevancies of every database, mediation order."""
+        cached = self._relevancies.get(query)
+        if cached is None:
+            cached = [
+                db.relevancy(query, self._definition) for db in self._mediator
+            ]
+            self._relevancies[query] = cached
+        return cached
+
+    def topk(self, query: Query, k: int) -> frozenset[str]:
+        """DB_topk for *query*."""
+        winners = rank_by_relevancy(self.relevancies(query), k)
+        return frozenset(self._mediator[i].name for i in winners)
+
+    def score(
+        self, query: Query, selected: Iterable[str], k: int
+    ) -> tuple[float, float]:
+        """(Cor_a, Cor_p) of *selected*, tie-tolerant (see module docs)."""
+        relevancies = self.relevancies(query)
+        selected_rels = [
+            relevancies[self._mediator.position(name)] for name in selected
+        ]
+        return tie_tolerant_scores(selected_rels, relevancies, k)
+
+    def score_strict(
+        self, query: Query, selected: Iterable[str], k: int
+    ) -> tuple[float, float]:
+        """(Cor_a, Cor_p) against the single index-tie-broken top-k."""
+        truth = self.topk(query, k)
+        selected_set = frozenset(selected)
+        return (
+            absolute_correctness(selected_set, truth),
+            partial_correctness(selected_set, truth, k),
+        )

@@ -1,0 +1,172 @@
+"""The estimator-error model (paper Eq. 2 and Fig. 4).
+
+The relative error an estimator makes on database *db* and query *q* is
+
+    err(db, q) = (r(db, q) − r̂(db, q)) / r̂(db, q)
+
+so err = +100 % means the estimator *under*-estimated by half (actual is
+double the estimate) and err = −100 % means the database actually had
+nothing (r = 0). This sign convention is the one consistent with every
+worked example in the paper (see DESIGN.md).
+
+An :class:`ErrorDistribution` is the histogram of observed errors for one
+(database, query-type) pair, built from training samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.exceptions import DistributionError, TrainingError
+from repro.stats.chisquare import ChiSquareResult, pearson_chi2_test
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.histogram import Histogram
+
+__all__ = ["relative_error", "DEFAULT_ERROR_EDGES", "ErrorDistribution"]
+
+#: Default estimate floor: the denominator of Eq. 2 is clamped to this
+#: value so the relative error stays finite when the independence product
+#: drops below a fraction of a document. Kept small (a twentieth of a
+#: document) so the ordering information in sub-unit estimates survives
+#: into the derived relevancy distributions; the floor only needs to
+#: match between training and RD derivation.
+DEFAULT_ESTIMATE_FLOOR = 0.05
+
+#: Default error-histogram edges. Errors are bounded below by −1 (actual
+#: relevancy cannot be negative); the positive side is open-ended, so the
+#: bins widen geometrically and the last bin absorbs extreme
+#: underestimates (with a small floor, errors of several hundred occur
+#: for fringe queries). Per-bin *sample means* are used as
+#: representatives, so wide bins stay faithful.
+DEFAULT_ERROR_EDGES: tuple[float, ...] = (
+    -1.0, -0.75, -0.5, -0.25, -0.05, 0.05, 0.25, 0.5, 1.0, 2.0, 4.0, 9.0,
+    19.0, 49.0, 149.0, 999.0,
+)
+
+
+def relative_error(
+    actual: float,
+    estimated: float,
+    estimate_floor: float = DEFAULT_ESTIMATE_FLOOR,
+) -> float:
+    """err(db, q) per Eq. 2, with a floor on the estimate.
+
+    Parameters
+    ----------
+    actual:
+        The true relevancy r(db, q).
+    estimated:
+        The estimator's r̂(db, q).
+    estimate_floor:
+        Denominator floor; protects against the degenerate division when
+        the independence product drops below one document. Must be > 0.
+    """
+    if estimate_floor <= 0:
+        raise ValueError(f"estimate_floor must be positive, got {estimate_floor}")
+    if actual < 0:
+        raise ValueError(f"actual relevancy must be non-negative, got {actual}")
+    return (actual - estimated) / max(estimated, estimate_floor)
+
+
+class ErrorDistribution:
+    """Histogram of estimator errors for one (database, query-type) pair.
+
+    The distribution view (:meth:`to_distribution`) places each bin's
+    mass at the *mean observed error in that bin* — a representative that
+    keeps RD derivation faithful even with wide bins.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[float] = DEFAULT_ERROR_EDGES,
+    ) -> None:
+        self._histogram = Histogram(tuple(edges))
+        self._distribution: DiscreteDistribution | None = None
+
+    # -- training -------------------------------------------------------------
+
+    def observe(self, error: float) -> None:
+        """Record one training error sample."""
+        self._histogram.add(error)
+        self._distribution = None
+
+    def observe_all(self, errors: Iterable[float]) -> None:
+        """Record many training error samples."""
+        self._histogram.add_all(errors)
+        self._distribution = None
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        """Number of recorded errors."""
+        return self._histogram.total
+
+    @property
+    def histogram(self) -> Histogram:
+        """The underlying histogram (bin edges, counts, means)."""
+        return self._histogram
+
+    def to_distribution(self) -> DiscreteDistribution:
+        """The ED as a discrete distribution over error values."""
+        if self.sample_count == 0:
+            raise TrainingError("error distribution has no samples")
+        if self._distribution is None:
+            self._distribution = self._histogram.to_distribution()
+        return self._distribution
+
+    def mean_error(self) -> float:
+        """Average observed error (bias of the estimator on this slice)."""
+        return self.to_distribution().mean()
+
+    # -- persistence ------------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-serializable state (edges, per-bin counts and sums)."""
+        histogram = self._histogram
+        return {
+            "edges": [float(e) for e in histogram.edges],
+            "counts": [int(c) for c in histogram.counts],
+            "sums": [float(s) for s in histogram.sums],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "ErrorDistribution":
+        """Reconstruct an ED from :meth:`state` output."""
+        ed = cls(edges=state["edges"])
+        ed._histogram = Histogram.from_state(
+            state["edges"], state["counts"], state["sums"]
+        )
+        return ed
+
+    # -- combination and comparison --------------------------------------------
+
+    def merged_with(self, other: "ErrorDistribution") -> "ErrorDistribution":
+        """Pool two EDs over identical bin edges (fallback hierarchy)."""
+        merged = ErrorDistribution(self._histogram.edges)
+        merged._histogram = self._histogram.merged_with(other._histogram)
+        return merged
+
+    def chi2_against(self, reference: "ErrorDistribution") -> ChiSquareResult:
+        """Pearson χ² test of this ED's counts vs. a reference ED.
+
+        This is the paper's *goodness* measure: high p-value means this
+        (sample) ED is statistically indistinguishable from the
+        reference (ideal) ED.
+        """
+        if not np.array_equal(
+            self._histogram.edges, reference._histogram.edges
+        ):
+            raise DistributionError("EDs use different bin edges")
+        return pearson_chi2_test(
+            self._histogram.counts.astype(float),
+            reference._histogram.proportions(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorDistribution(samples={self.sample_count}, "
+            f"bins={self._histogram.num_bins})"
+        )

@@ -1,0 +1,230 @@
+"""The adaptive probing algorithm APro (paper §5, Fig. 10/11).
+
+APro starts from the RD-based selection; while no k-set reaches the
+user-required expected correctness t, it probes one more database (order
+chosen by a :class:`~repro.core.policies.ProbePolicy`), collapses that
+database's RD to an impulse at the observed relevancy, and re-evaluates.
+Termination is guaranteed: once every database is probed, the best set's
+expected correctness is exactly 1.
+
+The returned :class:`ProbeSession` records the full trajectory — the
+best set and its certainty after every probe — which is what the paper's
+Fig. 16 plots.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.policies import GreedyUsefulnessPolicy, ProbePolicy
+from repro.core.relevancy import RelevancyDistribution
+from repro.core.selection import RDBasedSelector
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.exceptions import ProbingError
+from repro.types import Query
+
+__all__ = ["ProbeRecord", "ProbeSession", "APro"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeRecord:
+    """One executed probe: which database and what it reported."""
+
+    database: str
+    index: int
+    observed: float
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """Best answer set and its certainty after a number of probes."""
+
+    probes: int
+    names: tuple[str, ...]
+    expected_correctness: float
+
+
+@dataclass
+class ProbeSession:
+    """Full record of one APro run for a query."""
+
+    query: Query
+    k: int
+    metric: CorrectnessMetric
+    threshold: float
+    records: list[ProbeRecord] = field(default_factory=list)
+    trajectory: list[TrajectoryPoint] = field(default_factory=list)
+
+    @property
+    def num_probes(self) -> int:
+        """Total probes issued."""
+        return len(self.records)
+
+    def total_cost(self, costs: Sequence[float] | None = None) -> float:
+        """Weighted probing cost of the session.
+
+        With *costs* (per-database, mediation order) each probe is
+        charged its database's cost; without, every probe costs 1 — the
+        paper's uniform-cost assumption (§5.2).
+        """
+        if costs is None:
+            return float(self.num_probes)
+        return float(sum(costs[record.index] for record in self.records))
+
+    @property
+    def final(self) -> TrajectoryPoint:
+        """The returned answer (last trajectory point)."""
+        return self.trajectory[-1]
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the final certainty met the requested threshold."""
+        return self.final.expected_correctness >= self.threshold
+
+    def names_after(self, probes: int) -> tuple[str, ...]:
+        """Best set after *probes* probes (clamped to the trajectory end).
+
+        Fig. 16 evaluates the answer APro would return if stopped after
+        a fixed number of probes; once the run has halted, later points
+        repeat the final answer.
+        """
+        index = min(probes, len(self.trajectory) - 1)
+        return self.trajectory[index].names
+
+
+class APro:
+    """Adaptive probing on top of an :class:`RDBasedSelector`.
+
+    Parameters
+    ----------
+    selector:
+        Provides RDs, the mediator and the relevancy definition.
+    policy:
+        Probe-order strategy (defaults to the paper's greedy policy).
+    """
+
+    def __init__(
+        self,
+        selector: RDBasedSelector,
+        policy: ProbePolicy | None = None,
+    ) -> None:
+        self._selector = selector
+        self._policy = policy or GreedyUsefulnessPolicy()
+
+    def run(
+        self,
+        query: Query,
+        k: int,
+        threshold: float,
+        metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+        max_probes: int | None = None,
+        force_probes: int | None = None,
+        batch_size: int = 1,
+    ) -> ProbeSession:
+        """Execute APro for one query.
+
+        Parameters
+        ----------
+        query:
+            The user query.
+        k:
+            Answer-set size.
+        threshold:
+            User-required certainty t; the loop stops as soon as the
+            best set's expected correctness reaches it.
+        metric:
+            Correctness metric being guaranteed.
+        max_probes:
+            Optional hard probe budget.
+        force_probes:
+            Keep probing until this many probes even after the threshold
+            is met (used to trace correctness-vs-probes curves). The
+            threshold still defines :attr:`ProbeSession.satisfied`.
+        batch_size:
+            Probes issued concurrently per round (latency extension:
+            real probes are network round-trips, so issuing a few in
+            parallel trades a small amount of probe efficiency for
+            wall-clock latency). Each round picks the policy's best
+            candidate, excludes it, and repeats on the *same* belief
+            state up to this many times before observing the results.
+            ``1`` (default) is the paper's strictly sequential APro.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ProbingError(f"threshold must be in [0, 1], got {threshold}")
+        if max_probes is not None and max_probes < 0:
+            raise ProbingError(f"max_probes must be >= 0, got {max_probes}")
+        if batch_size < 1:
+            raise ProbingError(f"batch_size must be >= 1, got {batch_size}")
+
+        mediator = self._selector.mediator
+        rds: list[RelevancyDistribution] = self._selector.build_rds(query)
+        session = ProbeSession(
+            query=query, k=k, metric=metric, threshold=threshold
+        )
+        computer = TopKComputer(rds, k)
+        best, score = computer.best_set(metric)
+        self._record_point(session, mediator, 0, best, score)
+
+        probed: set[int] = set()
+        while True:
+            reached = score >= threshold
+            want_more = (
+                force_probes is not None and len(probed) < force_probes
+            )
+            if reached and not want_more:
+                break
+            if max_probes is not None and len(probed) >= max_probes:
+                break
+            candidates = [
+                i
+                for i in range(len(rds))
+                if i not in probed and not rds[i].is_impulse
+            ]
+            if not candidates:
+                break
+            budget = len(candidates)
+            if max_probes is not None:
+                budget = min(budget, max_probes - len(probed))
+            round_size = min(batch_size, budget)
+            batch: list[int] = []
+            remaining = list(candidates)
+            for _ in range(round_size):
+                choice = self._policy.choose(
+                    computer, remaining, metric, threshold
+                )
+                if choice not in remaining:
+                    raise ProbingError(
+                        f"policy chose database {choice} outside candidates"
+                    )
+                batch.append(choice)
+                remaining.remove(choice)
+            for choice in batch:
+                observed = mediator[choice].probe_relevancy(
+                    query, self._selector.definition
+                )
+                session.records.append(
+                    ProbeRecord(
+                        database=mediator[choice].name,
+                        index=choice,
+                        observed=observed,
+                    )
+                )
+                probed.add(choice)
+                rds[choice] = RelevancyDistribution.impulse(observed)
+                computer = TopKComputer(rds, k)
+                best, score = computer.best_set(metric)
+                self._record_point(
+                    session, mediator, len(probed), best, score
+                )
+        return session
+
+    @staticmethod
+    def _record_point(session, mediator, probes, best, score) -> None:
+        session.trajectory.append(
+            TrajectoryPoint(
+                probes=probes,
+                names=tuple(mediator[i].name for i in best),
+                expected_correctness=score,
+            )
+        )

@@ -1,0 +1,58 @@
+"""Relevancy distributions (paper §3.1, Fig. 5).
+
+An RD is the metasearcher's belief about the unknown true relevancy
+r(db, q): the point estimate r̂ pushed through the learned error
+distribution, ``P[r = r̂·(1 + e)] = ED(e)``. Probing a database collapses
+its RD to an impulse at the observed value.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DEFAULT_ESTIMATE_FLOOR, ErrorDistribution
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.stats.distribution import DiscreteDistribution
+
+__all__ = ["RelevancyDistribution", "derive_rd"]
+
+#: An RD is simply a finite discrete distribution over relevancy values.
+RelevancyDistribution = DiscreteDistribution
+
+
+def derive_rd(
+    estimate: float,
+    error_distribution: ErrorDistribution,
+    definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    estimate_floor: float = DEFAULT_ESTIMATE_FLOOR,
+) -> RelevancyDistribution:
+    """Derive the RD of a database from its estimate and its ED.
+
+    Each ED atom *e* maps to the relevancy value ``r̂'·(1 + e)`` where
+    ``r̂' = max(r̂, floor)`` matches the floor used when the errors were
+    measured (so training and inference invert each other exactly).
+    Under the document-frequency definition values are rounded to whole
+    documents and clamped at zero; colliding values merge. Under the
+    similarity definition values are clamped into [0, 1].
+
+    Parameters
+    ----------
+    estimate:
+        r̂(db, q) from the relevancy estimator.
+    error_distribution:
+        The ED of the database for the query's type.
+    definition:
+        Which relevancy definition the values live in.
+    estimate_floor:
+        Must equal the floor used during ED training.
+    """
+    floored = max(estimate, estimate_floor)
+    errors = error_distribution.to_distribution()
+    if definition is RelevancyDefinition.DOCUMENT_FREQUENCY:
+        return errors.map(
+            lambda e: float(max(0, round(floored * (1.0 + e))))
+        )
+    return errors.map(lambda e: min(1.0, max(0.0, floored * (1.0 + e))))
+
+
+def impulse_rd(value: float) -> RelevancyDistribution:
+    """The RD of a probed database: all mass at the observed relevancy."""
+    return DiscreteDistribution.impulse(value)

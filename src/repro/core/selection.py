@@ -1,0 +1,155 @@
+"""RD-based database selection (paper §3.3, §6.2).
+
+The selector turns a query into one RD per database (estimate → query
+type → ED → RD) and returns the k-set with the highest expected
+correctness — no probing involved. It is both the paper's "RD-based, no
+probing" method and the starting state of the adaptive-probing loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.core.query_types import QueryTypeClassifier
+from repro.core.relevancy import RelevancyDistribution, derive_rd
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.core.training import ErrorModel
+from repro.exceptions import SelectionError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.stats.distribution import DiscreteDistribution
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = ["SelectionResult", "RDBasedSelector"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of one selection: the set, its certainty, and the RDs."""
+
+    indices: tuple[int, ...]
+    names: tuple[str, ...]
+    expected_correctness: float
+    computer: TopKComputer
+
+    @property
+    def k(self) -> int:
+        """Size of the answer set."""
+        return len(self.indices)
+
+
+class RDBasedSelector:
+    """Probability-aware database selection.
+
+    Parameters
+    ----------
+    mediator:
+        The mediated databases (selection itself never probes them).
+    summaries:
+        Per-database content summaries.
+    estimator:
+        Point estimator r̂ whose errors the model corrects.
+    error_model:
+        Trained per-(database, query-type) error distributions.
+    classifier:
+        The query-type decision tree (must match the one used to train).
+    definition:
+        Relevancy definition for derived RDs.
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        summaries: Mapping[str, ContentSummary],
+        estimator: RelevancyEstimator,
+        error_model: ErrorModel,
+        classifier: QueryTypeClassifier | None = None,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> None:
+        missing = [db.name for db in mediator if db.name not in summaries]
+        if missing:
+            raise SelectionError(f"missing summaries for databases: {missing}")
+        self._mediator = mediator
+        self._summaries = dict(summaries)
+        self._estimator = estimator
+        self._error_model = error_model
+        self._classifier = classifier or QueryTypeClassifier()
+        self._definition = definition
+
+    @property
+    def mediator(self) -> Mediator:
+        """The mediated databases."""
+        return self._mediator
+
+    @property
+    def definition(self) -> RelevancyDefinition:
+        """Relevancy definition the selector operates under."""
+        return self._definition
+
+    # -- RD construction ----------------------------------------------------------
+
+    def estimate(self, database_name: str, query: Query) -> float:
+        """r̂(db, q) for one database."""
+        return self._estimator.estimate(self._summaries[database_name], query)
+
+    def build_rd(self, database_name: str, query: Query) -> RelevancyDistribution:
+        """The relevancy distribution of one database for *query*.
+
+        Short-circuits: an exact summary with a zero-df query term proves
+        r = 0 (conjunctive semantics), yielding an impulse without any
+        ED. A database with no usable ED falls back to trusting the
+        estimate (impulse at r̂) — the behaviour of a plain estimator.
+        """
+        summary = self._summaries[database_name]
+        if self._is_certain_zero(summary, query):
+            return DiscreteDistribution.impulse(0.0)
+        estimate = self._estimator.estimate(summary, query)
+        query_type = self._classifier.classify(query, estimate)
+        ed = self._error_model.lookup(database_name, query_type)
+        if ed is None:
+            return DiscreteDistribution.impulse(self._point_value(estimate))
+        return derive_rd(
+            estimate,
+            ed,
+            definition=self._definition,
+            estimate_floor=self._error_model.estimate_floor,
+        )
+
+    def build_rds(self, query: Query) -> list[RelevancyDistribution]:
+        """RDs of every database, in mediation order."""
+        return [self.build_rd(db.name, query) for db in self._mediator]
+
+    def _point_value(self, estimate: float) -> float:
+        if self._definition is RelevancyDefinition.DOCUMENT_FREQUENCY:
+            return float(max(0, round(estimate)))
+        return min(1.0, max(0.0, estimate))
+
+    def _is_certain_zero(self, summary: ContentSummary, query: Query) -> bool:
+        if self._definition is not RelevancyDefinition.DOCUMENT_FREQUENCY:
+            return False
+        if not summary.is_exact:
+            return False
+        return any(
+            summary.document_frequency(term) == 0 for term in query.terms
+        )
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(
+        self,
+        query: Query,
+        k: int,
+        metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+    ) -> SelectionResult:
+        """Select the k-set with maximal expected correctness (no probes)."""
+        computer = TopKComputer(self.build_rds(query), k)
+        indices, expected = computer.best_set(metric)
+        return SelectionResult(
+            indices=indices,
+            names=tuple(self._mediator[i].name for i in indices),
+            expected_correctness=expected,
+            computer=computer,
+        )

@@ -1,0 +1,362 @@
+"""Exact probabilistic top-k computation over relevancy distributions.
+
+Given independent RDs for the n mediated databases, this module answers
+the questions the paper's framework needs (§3.3, §5.1):
+
+* ``P[db_i ∈ DB_topk]`` — marginal membership probabilities, via a
+  Poisson-binomial dynamic program truncated at k;
+* ``P[S = DB_topk]`` — the probability that a candidate set *S* is
+  exactly the true top-k, i.e. the expected **absolute** correctness
+  E[Cor_a(S)] (Eq. 5);
+* E[Cor_p(S)] — the expected **partial** correctness (Eq. 6), which
+  equals the mean of the members' marginals by linearity;
+* the answer set maximizing either expectation.
+
+Tie handling. True relevancies are discrete (match counts), so ties are
+real. We impose the same strict total order used by the golden standard:
+higher relevancy wins, and on equal relevancy the database earlier in
+mediation order wins. Internally every (value, database) support atom
+gets a unique global *rank* under this order, which removes all equality
+special-cases from the probability algebra.
+
+Hypothetical probing. The greedy policy (§5.4) needs "what would the best
+expected correctness be if database i turned out to have relevancy v?"
+for every support atom v. All entry points accept an ``override=(i, t)``
+pair (database i collapsed onto its atom t) and reuse the precomputed
+rank structure, making usefulness evaluation cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import combinations
+from math import comb
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import SelectionError
+from repro.stats.distribution import DiscreteDistribution
+
+__all__ = ["CorrectnessMetric", "TopKComputer"]
+
+
+class CorrectnessMetric(enum.Enum):
+    """Which expected-correctness definition to optimize (§3.2)."""
+
+    ABSOLUTE = "absolute"
+    PARTIAL = "partial"
+
+
+class TopKComputer:
+    """Probabilistic top-k calculator for one query's RDs.
+
+    Parameters
+    ----------
+    rds:
+        One relevancy distribution per database, in mediation order
+        (the order defines tie-breaking).
+    k:
+        Number of databases to select (1 <= k <= n; k = n is legal and
+        trivially certain).
+    exact_set_limit:
+        ``best_set`` enumerates all C(n, k) candidate sets exhaustively
+        when their count is at most this; beyond it, a marginal-ranked
+        hill-climbing search is used.
+    swap_width:
+        Size of the non-member pool considered by the hill climber.
+    """
+
+    def __init__(
+        self,
+        rds: Sequence[DiscreteDistribution],
+        k: int,
+        exact_set_limit: int = 400,
+        swap_width: int = 4,
+    ) -> None:
+        n = len(rds)
+        if n == 0:
+            raise SelectionError("need at least one database")
+        if not 1 <= k <= n:
+            raise SelectionError(f"k must be in [1, {n}], got {k}")
+        self._rds = list(rds)
+        self._n = n
+        self._k = k
+        self._exact_set_limit = exact_set_limit
+        self._swap_width = max(1, swap_width)
+        self._build_atoms()
+
+    # -- construction of the rank structure ---------------------------------
+
+    def _build_atoms(self) -> None:
+        values = np.concatenate([rd.values for rd in self._rds])
+        probs = np.concatenate([rd.probs for rd in self._rds])
+        dbs = np.concatenate(
+            [np.full(rd.support_size, i) for i, rd in enumerate(self._rds)]
+        )
+        m = len(values)
+        # Strict total order: ascending value; on equal value the later
+        # database sorts lower (so the earlier database outranks it).
+        order = np.lexsort((-dbs, values))
+        ranks = np.empty(m, dtype=np.int64)
+        ranks[order] = np.arange(m)
+
+        self._atom_values = values
+        self._atom_probs = probs
+        self._atom_dbs = dbs
+        self._atom_ranks = ranks
+        self._num_atoms = m
+
+        # Per-database cumulative mass by rank, supporting
+        # P(rank_j > t) and P(rank_j < t) lookups for arbitrary t.
+        self._db_sorted_ranks: list[np.ndarray] = []
+        self._db_cumprobs: list[np.ndarray] = []
+        for i in range(self._n):
+            mask = dbs == i
+            db_ranks = ranks[mask]
+            db_probs = probs[mask]
+            sort = np.argsort(db_ranks)
+            sorted_ranks = db_ranks[sort]
+            cum = np.concatenate(([0.0], np.cumsum(db_probs[sort])))
+            self._db_sorted_ranks.append(sorted_ranks)
+            self._db_cumprobs.append(cum)
+
+        # G[j, t] = P(database j's realization outranks atom t)
+        # L[j, t] = P(database j's realization ranks below atom t)
+        # (for j == atom_db[t], G + L + P(atom t) == 1).
+        greater = np.empty((self._n, m), dtype=np.float64)
+        less = np.empty((self._n, m), dtype=np.float64)
+        for j in range(self._n):
+            sorted_ranks = self._db_sorted_ranks[j]
+            cum = self._db_cumprobs[j]
+            right = np.searchsorted(sorted_ranks, ranks, side="right")
+            left = np.searchsorted(sorted_ranks, ranks, side="left")
+            greater[j] = cum[-1] - cum[right]
+            less[j] = cum[left]
+        self._greater = greater
+        self._less = less
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def num_databases(self) -> int:
+        """n — number of mediated databases."""
+        return self._n
+
+    @property
+    def k(self) -> int:
+        """Size of the answer set."""
+        return self._k
+
+    def rd(self, i: int) -> DiscreteDistribution:
+        """The RD of database *i*."""
+        return self._rds[i]
+
+    def atoms_of(self, i: int) -> list[tuple[int, float, float]]:
+        """(atom_index, value, probability) triples of database *i*."""
+        indices = np.nonzero(self._atom_dbs == i)[0]
+        return [
+            (int(t), float(self._atom_values[t]), float(self._atom_probs[t]))
+            for t in indices
+        ]
+
+    # -- override plumbing -----------------------------------------------------
+
+    def _effective_rows(
+        self, override: tuple[int, int] | None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(greater, less, atom_probs) with the override applied.
+
+        ``override=(i, t0)`` collapses database i onto its support atom
+        t0 (a hypothetical probe outcome). Rows are copied lazily — only
+        the overridden row is materialized anew.
+        """
+        if override is None:
+            return self._greater, self._less, self._atom_probs
+        i, t0 = override
+        if not 0 <= i < self._n:
+            raise SelectionError(f"override database {i} out of range")
+        if self._atom_dbs[t0] != i:
+            raise SelectionError(
+                f"override atom {t0} does not belong to database {i}"
+            )
+        rank0 = self._atom_ranks[t0]
+        greater = self._greater.copy()
+        less = self._less.copy()
+        greater[i] = (rank0 > self._atom_ranks).astype(np.float64)
+        less[i] = (rank0 < self._atom_ranks).astype(np.float64)
+        probs = self._atom_probs.copy()
+        probs[self._atom_dbs == i] = 0.0
+        probs[t0] = 1.0
+        return greater, less, probs
+
+    # -- marginal top-k membership ----------------------------------------------
+
+    def marginals(self, override: tuple[int, int] | None = None) -> np.ndarray:
+        """P[db_i ∈ DB_topk] for every database.
+
+        For each support atom t of database i, the number of *other*
+        databases outranking t is a sum of independent Bernoullis with
+        probabilities G[j, t]; database i is in the top-k at that atom
+        iff at most k − 1 others outrank it. The DP below tracks the
+        count distribution truncated at k for every atom simultaneously.
+        """
+        greater, _, probs = self._effective_rows(override)
+        if self._k >= self._n:
+            return np.ones(self._n)
+        m = self._num_atoms
+        # beat[j, t]: P(db j outranks atom t), with the atom's own
+        # database excluded from the count (conditioned on, not competing).
+        dp = np.zeros((m, self._k), dtype=np.float64)
+        dp[:, 0] = 1.0
+        own = self._atom_dbs
+        for j in range(self._n):
+            p = greater[j].copy()
+            p[own == j] = 0.0
+            keep = dp * (1.0 - p)[:, None]
+            shifted = np.zeros_like(dp)
+            shifted[:, 1:] = dp[:, :-1] * p[:, None]
+            dp = keep + shifted
+        membership = dp.sum(axis=1)  # P(count <= k-1) per atom
+        weighted = probs * membership
+        marginals = np.zeros(self._n)
+        np.add.at(marginals, own, weighted)
+        return np.clip(marginals, 0.0, 1.0)
+
+    # -- set-level expected correctness ------------------------------------------
+
+    def prob_set_is_topk(
+        self,
+        subset: Sequence[int],
+        override: tuple[int, int] | None = None,
+    ) -> float:
+        """P[subset = DB_topk] — E[Cor_a(subset)] (Eq. 5).
+
+        The event "subset is exactly the top-k" happens iff every member
+        outranks every non-member. Partitioning on the *weakest member's*
+        atom t: every other member must outrank t and every non-member
+        must rank below t.
+        """
+        members = self._validated_subset(subset)
+        if len(members) == self._n:
+            return 1.0
+        greater, less, probs = self._effective_rows(override)
+        member_list = sorted(members)
+        outside_list = [j for j in range(self._n) if j not in members]
+
+        atom_mask = np.isin(self._atom_dbs, member_list) & (probs > 0.0)
+        atom_idx = np.nonzero(atom_mask)[0]
+        if len(atom_idx) == 0:
+            return 0.0
+        inside = greater[np.ix_(member_list, atom_idx)].copy()
+        # Neutralize each atom's own database in the member product.
+        pos_of = {db: row for row, db in enumerate(member_list)}
+        own_rows = np.array([pos_of[int(d)] for d in self._atom_dbs[atom_idx]])
+        inside[own_rows, np.arange(len(atom_idx))] = 1.0
+        inside_prod = inside.prod(axis=0)
+        if outside_list:
+            outside_prod = less[np.ix_(outside_list, atom_idx)].prod(axis=0)
+        else:
+            outside_prod = np.ones(len(atom_idx))
+        total = float((probs[atom_idx] * inside_prod * outside_prod).sum())
+        return min(1.0, max(0.0, total))
+
+    def expected_correctness(
+        self,
+        subset: Sequence[int],
+        metric: CorrectnessMetric,
+        override: tuple[int, int] | None = None,
+        marginals: np.ndarray | None = None,
+    ) -> float:
+        """E[Cor(subset)] under the chosen metric.
+
+        ``marginals`` may be passed to reuse a previous
+        :meth:`marginals` result for the same override.
+        """
+        members = self._validated_subset(subset)
+        if metric is CorrectnessMetric.ABSOLUTE:
+            return self.prob_set_is_topk(sorted(members), override)
+        if marginals is None:
+            marginals = self.marginals(override)
+        return float(np.mean([marginals[i] for i in sorted(members)]))
+
+    def _validated_subset(self, subset: Sequence[int]) -> frozenset[int]:
+        members = frozenset(int(i) for i in subset)
+        if len(members) != self._k:
+            raise SelectionError(
+                f"subset size {len(members)} != k = {self._k}"
+            )
+        if not all(0 <= i < self._n for i in members):
+            raise SelectionError(f"subset {sorted(members)} out of range")
+        return members
+
+    # -- answer-set search --------------------------------------------------------
+
+    def best_set(
+        self,
+        metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+        override: tuple[int, int] | None = None,
+    ) -> tuple[tuple[int, ...], float]:
+        """The answer set maximizing expected correctness, with its value.
+
+        For the partial metric the optimum is exactly the k databases
+        with the largest marginals (E[Cor_p] is their mean, by linearity
+        of expectation). For the absolute metric every C(n, k) set is
+        enumerated when feasible; otherwise a marginal-seeded
+        hill-climbing swap search is used (see DESIGN.md).
+        """
+        if self._k == self._n:
+            return tuple(range(self._n)), 1.0
+        marginals = self.marginals(override)
+        ranked = sorted(range(self._n), key=lambda i: (-marginals[i], i))
+        if metric is CorrectnessMetric.PARTIAL or self._k == 1:
+            # For k = 1 the marginal IS the set probability, so the
+            # partial-optimal singleton is also the absolute optimum.
+            chosen = tuple(sorted(ranked[: self._k]))
+            value = float(np.mean([marginals[i] for i in chosen]))
+            return chosen, min(1.0, value)
+        if comb(self._n, self._k) <= self._exact_set_limit:
+            return self._best_absolute_exact(override)
+        return self._best_absolute_hillclimb(ranked, override)
+
+    def _best_absolute_exact(
+        self, override: tuple[int, int] | None
+    ) -> tuple[tuple[int, ...], float]:
+        best_set: tuple[int, ...] = tuple(range(self._k))
+        best_value = -1.0
+        for candidate in combinations(range(self._n), self._k):
+            value = self.prob_set_is_topk(candidate, override)
+            if value > best_value + 1e-15:
+                best_set, best_value = candidate, value
+        return best_set, max(0.0, best_value)
+
+    def _best_absolute_hillclimb(
+        self,
+        ranked: list[int],
+        override: tuple[int, int] | None,
+    ) -> tuple[tuple[int, ...], float]:
+        current = set(ranked[: self._k])
+        pool = ranked[self._k : self._k + self._swap_width]
+        current_value = self.prob_set_is_topk(sorted(current), override)
+        improved = True
+        while improved:
+            improved = False
+            for member in sorted(current):
+                for candidate in pool:
+                    if candidate in current:
+                        continue
+                    trial = (current - {member}) | {candidate}
+                    value = self.prob_set_is_topk(sorted(trial), override)
+                    if value > current_value + 1e-12:
+                        current, current_value = trial, value
+                        improved = True
+                        break
+                if improved:
+                    break
+        return tuple(sorted(current)), current_value
+
+    def __repr__(self) -> str:
+        return (
+            f"TopKComputer(n={self._n}, k={self._k}, "
+            f"atoms={self._num_atoms})"
+        )

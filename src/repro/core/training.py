@@ -1,0 +1,280 @@
+"""Offline ED training by database sampling (paper §4, Example 2).
+
+Before user queries arrive, the metasearcher issues training queries to
+every database, compares each observed true relevancy against the
+estimator's prediction, and accumulates the relative errors into one
+:class:`~repro.core.errors.ErrorDistribution` per (database, query-type)
+pair. The resulting :class:`ErrorModel` serves EDs at query time, with a
+pooled-fallback chain for sparsely sampled types.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.core.errors import (
+    DEFAULT_ERROR_EDGES,
+    DEFAULT_ESTIMATE_FLOOR,
+    ErrorDistribution,
+    relative_error,
+)
+from repro.core.query_types import QueryType, QueryTypeClassifier
+from repro.exceptions import TrainingError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = ["ErrorModel", "EDTrainer"]
+
+
+class ErrorModel:
+    """Trained error distributions with a pooled-fallback hierarchy.
+
+    Lookup order for (database, query-type):
+
+    1. the exact (database, type) ED, if it has >= *min_samples*;
+    2. the database's ED pooled over term counts but keeping the
+       estimate band (a 3-term high-estimate query errs like a 2-term
+       high-estimate one far more than like a low-estimate one);
+    3. the database's pooled ED over all types;
+    4. the global pooled ED over all databases and types;
+    5. ``None`` — the caller should fall back to trusting the estimate.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[float] = DEFAULT_ERROR_EDGES,
+        min_samples: int = 5,
+        estimate_floor: float = DEFAULT_ESTIMATE_FLOOR,
+    ) -> None:
+        if min_samples < 1:
+            raise TrainingError(f"min_samples must be >= 1, got {min_samples}")
+        self._edges = tuple(edges)
+        self._min_samples = min_samples
+        self.estimate_floor = estimate_floor
+        self._per_type: dict[tuple[str, QueryType], ErrorDistribution] = {}
+        self._per_flag: dict[tuple[str, int], ErrorDistribution] = {}
+        self._per_db: dict[str, ErrorDistribution] = {}
+        self._global = ErrorDistribution(self._edges)
+
+    # -- training-side interface ------------------------------------------------
+
+    def observe(
+        self, database_name: str, query_type: QueryType, error: float
+    ) -> None:
+        """Record one training error for (database, type)."""
+        key = (database_name, query_type)
+        ed = self._per_type.get(key)
+        if ed is None:
+            ed = self._per_type[key] = ErrorDistribution(self._edges)
+        ed.observe(error)
+        flag_key = (database_name, query_type.estimate_band)
+        flag_ed = self._per_flag.get(flag_key)
+        if flag_ed is None:
+            flag_ed = self._per_flag[flag_key] = ErrorDistribution(self._edges)
+        flag_ed.observe(error)
+        db_ed = self._per_db.get(database_name)
+        if db_ed is None:
+            db_ed = self._per_db[database_name] = ErrorDistribution(self._edges)
+        db_ed.observe(error)
+        self._global.observe(error)
+
+    def sample_count(
+        self, database_name: str, query_type: QueryType
+    ) -> int:
+        """Training samples accumulated for the exact (db, type) pair."""
+        ed = self._per_type.get((database_name, query_type))
+        return ed.sample_count if ed else 0
+
+    # -- query-side interface -----------------------------------------------------
+
+    def lookup(
+        self, database_name: str, query_type: QueryType
+    ) -> ErrorDistribution | None:
+        """The best available ED for (database, type), or ``None``."""
+        ed = self._per_type.get((database_name, query_type))
+        if ed is not None and ed.sample_count >= self._min_samples:
+            return ed
+        flag_ed = self._per_flag.get((database_name, query_type.estimate_band))
+        if flag_ed is not None and flag_ed.sample_count >= self._min_samples:
+            return flag_ed
+        db_ed = self._per_db.get(database_name)
+        if db_ed is not None and db_ed.sample_count >= self._min_samples:
+            return db_ed
+        if self._global.sample_count >= self._min_samples:
+            return self._global
+        return None
+
+    def exact(
+        self, database_name: str, query_type: QueryType
+    ) -> ErrorDistribution | None:
+        """The exact (db, type) ED regardless of sample count."""
+        return self._per_type.get((database_name, query_type))
+
+    def types_for(self, database_name: str) -> list[QueryType]:
+        """Query types with a trained ED for *database_name*."""
+        return sorted(
+            qt for (name, qt) in self._per_type if name == database_name
+        )
+
+    # -- persistence ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the whole trained model."""
+        return {
+            "edges": [float(e) for e in self._edges],
+            "min_samples": self._min_samples,
+            "estimate_floor": self.estimate_floor,
+            "per_type": [
+                {
+                    "database": name,
+                    "num_terms": qt.num_terms,
+                    "estimate_band": qt.estimate_band,
+                    "ed": ed.state(),
+                }
+                for (name, qt), ed in sorted(self._per_type.items())
+            ],
+            "per_flag": [
+                {"database": name, "estimate_band": band, "ed": ed.state()}
+                for (name, band), ed in sorted(self._per_flag.items())
+            ],
+            "per_db": [
+                {"database": name, "ed": ed.state()}
+                for name, ed in sorted(self._per_db.items())
+            ],
+            "global": self._global.state(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ErrorModel":
+        """Reconstruct a trained model from :meth:`state_dict` output."""
+        model = cls(
+            edges=state["edges"],
+            min_samples=state["min_samples"],
+            estimate_floor=state["estimate_floor"],
+        )
+        for entry in state["per_type"]:
+            key = (
+                entry["database"],
+                QueryType(entry["num_terms"], entry["estimate_band"]),
+            )
+            model._per_type[key] = ErrorDistribution.from_state(entry["ed"])
+        for entry in state["per_flag"]:
+            key = (entry["database"], entry["estimate_band"])
+            model._per_flag[key] = ErrorDistribution.from_state(entry["ed"])
+        for entry in state["per_db"]:
+            model._per_db[entry["database"]] = ErrorDistribution.from_state(
+                entry["ed"]
+            )
+        model._global = ErrorDistribution.from_state(state["global"])
+        return model
+
+    def __repr__(self) -> str:
+        return (
+            f"ErrorModel(slices={len(self._per_type)}, "
+            f"total_samples={self._global.sample_count})"
+        )
+
+
+class EDTrainer:
+    """Samples databases with training queries to build an ErrorModel.
+
+    Parameters
+    ----------
+    mediator:
+        The mediated databases (training probes are metered).
+    summaries:
+        Per-database content summaries feeding the estimator.
+    estimator:
+        The relevancy estimator whose errors are being modelled.
+    classifier:
+        Query-type classifier; one ED is learned per (db, type).
+    definition:
+        Relevancy definition used for the observed true values.
+    samples_per_type:
+        Stop probing a (db, type) slice once it holds this many samples
+        (the paper settles on 50); ``None`` uses every training query.
+    edges:
+        Error-histogram bin edges.
+    estimate_floor:
+        Error-normalization floor (must match RD derivation).
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        summaries: Mapping[str, ContentSummary],
+        estimator: RelevancyEstimator,
+        classifier: QueryTypeClassifier | None = None,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+        samples_per_type: int | None = 50,
+        edges: Sequence[float] = DEFAULT_ERROR_EDGES,
+        estimate_floor: float = DEFAULT_ESTIMATE_FLOOR,
+        min_samples: int = 5,
+    ) -> None:
+        missing = [db.name for db in mediator if db.name not in summaries]
+        if missing:
+            raise TrainingError(f"missing summaries for databases: {missing}")
+        if samples_per_type is not None and samples_per_type < 1:
+            raise TrainingError("samples_per_type must be >= 1 or None")
+        self._mediator = mediator
+        self._summaries = dict(summaries)
+        self._estimator = estimator
+        self._classifier = classifier or QueryTypeClassifier()
+        self._definition = definition
+        self._samples_per_type = samples_per_type
+        self._edges = tuple(edges)
+        self._estimate_floor = estimate_floor
+        self._min_samples = min_samples
+
+    def train(self, queries: Iterable[Query]) -> ErrorModel:
+        """Probe databases with *queries* and return the trained model.
+
+        Queries whose true relevancy is already certain from an exact
+        summary (a query term with zero document frequency under
+        conjunctive semantics) are skipped — no probe can add
+        information there, and the query-time selector short-circuits
+        the same case to an impulse at zero.
+        """
+        model = ErrorModel(
+            edges=self._edges,
+            min_samples=self._min_samples,
+            estimate_floor=self._estimate_floor,
+        )
+        for query in queries:
+            for database in self._mediator:
+                summary = self._summaries[database.name]
+                if self._certain_zero(summary, query):
+                    continue
+                estimate = self._estimator.estimate(summary, query)
+                query_type = self._classifier.classify(query, estimate)
+                if (
+                    self._samples_per_type is not None
+                    and model.sample_count(database.name, query_type)
+                    >= self._samples_per_type
+                ):
+                    continue
+                actual = database.probe_relevancy(query, self._definition)
+                error = relative_error(
+                    actual, estimate, estimate_floor=self._estimate_floor
+                )
+                model.observe(database.name, query_type, error)
+        return model
+
+    def _certain_zero(self, summary: ContentSummary, query: Query) -> bool:
+        """True when an exact summary proves r(db, q) = 0."""
+        if self._definition is not RelevancyDefinition.DOCUMENT_FREQUENCY:
+            return False
+        if not summary.is_exact:
+            return False
+        return any(
+            summary.document_frequency(term) == 0 for term in query.terms
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EDTrainer(databases={len(self._mediator)}, "
+            f"samples_per_type={self._samples_per_type})"
+        )

@@ -1,0 +1,29 @@
+"""Synthetic corpora: the stand-in for real Hidden-Web content.
+
+The paper evaluated on 20 real health/science/news databases crawled from
+CompletePlanet and on 20 UCLA newsgroups. Neither is distributable, so
+this package generates topically-structured corpora whose statistics
+reproduce the phenomenon the paper exploits: **term co-occurrence inside
+topics** makes the term-independence estimator err non-uniformly across
+databases (underestimating on-topic queries, wildly overestimating
+off-topic ones).
+"""
+
+from repro.corpus.collections import HEALTH_TESTBED_SPECS, build_health_testbed
+from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+from repro.corpus.newsgroups import build_newsgroup_testbed
+from repro.corpus.topics import Topic, TopicRegistry, default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary, zipf_weights
+
+__all__ = [
+    "DatabaseSpec",
+    "DocumentGenerator",
+    "HEALTH_TESTBED_SPECS",
+    "Topic",
+    "TopicRegistry",
+    "ZipfVocabulary",
+    "build_health_testbed",
+    "build_newsgroup_testbed",
+    "default_topic_registry",
+    "zipf_weights",
+]

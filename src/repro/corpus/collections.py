@@ -1,0 +1,174 @@
+"""The 20-database "health web" testbed.
+
+Mirrors the paper's §6.1 setup: 13 health/medicine databases (from
+CompletePlanet's Health & Medicine category in the original), 4 broader
+science databases, and 3 daily-news sites with steady health coverage.
+Every database is a distinct topic mixture, so estimator-error behaviour
+differs per database — the premise of per-database error distributions.
+
+Base sizes are laptop-scale (hundreds to a few thousand documents at
+``scale=1.0``); pass a larger ``scale`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+from repro.corpus.topics import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.types import Document
+
+__all__ = ["HEALTH_TESTBED_SPECS", "build_health_testbed", "testbed_specs"]
+
+
+_HEALTH_TOPICS = (
+    "oncology", "cardiology", "neurology", "infectious", "nutrition",
+    "pediatrics", "pharmacology", "mental_health", "genetics", "surgery",
+)
+
+
+def _health_mixture(base: float = 0.3, **dominant: float) -> dict[str, float]:
+    """A mixture covering every health topic, with named topics boosted.
+
+    Real health databases overlap: a cardiology portal still carries
+    nutrition and pharmacology content. Full coverage at a low base
+    weight keeps golden standards non-degenerate (most health queries
+    match several databases) while the dominant weights give each
+    database its own concentration — the source of database-specific
+    estimator bias.
+    """
+    mixture = {topic: base for topic in _HEALTH_TOPICS}
+    mixture.update(dominant)
+    return mixture
+
+
+def _spec(
+    name: str,
+    size: int,
+    mixture: dict[str, float],
+    seed: int,
+    background_fraction: float = 0.45,
+) -> DatabaseSpec:
+    return DatabaseSpec(
+        name=name,
+        size=size,
+        topic_mixture=mixture,
+        background_fraction=background_fraction,
+        seed=seed,
+    )
+
+
+#: The 20 database recipes. Health databases are dominated by one or two
+#: subtopics with a long tail of others; science databases are broad,
+#: shallow mixtures; news databases mix news topics with health coverage.
+HEALTH_TESTBED_SPECS: tuple[DatabaseSpec, ...] = (
+    # -- 13 health & medicine databases ---------------------------------
+    # Sizes span an order of magnitude; large archives are broad (low
+    # per-topic concentration, strong underestimation of on-topic
+    # queries), small portals are focused. The tension between the two
+    # is what breaks estimate-based ranking.
+    _spec("MedWeb", 1600, _health_mixture(
+        oncology=2.5, cardiology=2.5, neurology=1.5, infectious=1.5,
+    ), seed=101),
+    _spec("PubMedCentral", 7500, _health_mixture(
+        base=0.8, oncology=2.0, genetics=1.8, pharmacology=1.8,
+    ), seed=102),
+    _spec("NIHClinical", 5200, _health_mixture(
+        base=0.6, pharmacology=2.5, oncology=1.8, cardiology=1.4,
+    ), seed=103),
+    _spec("OncoLine", 1000, _health_mixture(
+        oncology=9, pharmacology=1, genetics=1, surgery=1,
+    ), seed=104),
+    _spec("HeartCenter", 850, _health_mixture(
+        cardiology=9, nutrition=1, surgery=1,
+    ), seed=105),
+    _spec("NeuroArchive", 800, _health_mixture(
+        neurology=9, mental_health=2, genetics=1,
+    ), seed=106),
+    _spec("KidsHealth", 950, _health_mixture(
+        pediatrics=8, nutrition=2, infectious=2, mental_health=1,
+    ), seed=107),
+    _spec("NutritionFacts", 700, _health_mixture(
+        nutrition=9, cardiology=1, pediatrics=1,
+    ), seed=108),
+    _spec("MindMatters", 780, _health_mixture(
+        mental_health=9, neurology=2, pharmacology=1,
+    ), seed=109),
+    _spec("GenomeBank", 1100, _health_mixture(
+        genetics=8, oncology=2, pharmacology=1,
+    ), seed=110),
+    _spec("SurgeryToday", 680, _health_mixture(
+        surgery=9, oncology=1, cardiology=1,
+    ), seed=111),
+    _spec("EpidemicWatch", 900, _health_mixture(
+        infectious=9, pediatrics=1, pharmacology=1,
+    ), seed=112),
+    _spec("DrugIndex", 1250, _health_mixture(
+        pharmacology=8, mental_health=1, cardiology=1, infectious=1,
+    ), seed=113),
+    # -- 4 broader science databases -------------------------------------
+    # Science archives carry a thin layer of every health topic plus
+    # their own science topics.
+    _spec("ScienceMag", 4800, {
+        **_health_mixture(base=0.5),
+        "physics": 2.5, "astronomy": 2.5, "ecology": 2.5, "chemistry": 2.5,
+    }, seed=114),
+    _spec("NatureArchive", 4200, {
+        **_health_mixture(base=0.6, genetics=1.5),
+        "ecology": 2.5, "chemistry": 2.0, "physics": 1.5, "astronomy": 1.0,
+    }, seed=115),
+    _spec("PhysicsWorld", 1400, {
+        **_health_mixture(base=0.15),
+        "physics": 6.0, "astronomy": 3.0, "chemistry": 1.0,
+    }, seed=116),
+    _spec("EarthReports", 1300, {
+        **_health_mixture(base=0.15, nutrition=0.8),
+        "ecology": 6.0, "chemistry": 2.0, "astronomy": 1.0,
+    }, seed=117),
+    # -- 3 daily-news databases -------------------------------------------
+    # News sites update constantly on health topics alongside their core
+    # news beats, with noisier prose (higher background fraction).
+    _spec("CNNDaily", 3800, {
+        **_health_mixture(base=0.4, infectious=1.0, nutrition=0.8),
+        "politics": 3.0, "business": 3.0, "sports": 2.0,
+    }, seed=118, background_fraction=0.55),
+    _spec("NYTimesWeb", 4500, {
+        **_health_mixture(base=0.4, oncology=0.9, cardiology=0.8),
+        "politics": 3.0, "business": 3.0, "sports": 2.0,
+    }, seed=119, background_fraction=0.55),
+    _spec("HealthWire", 1200, {
+        **_health_mixture(base=0.8, infectious=2.0, nutrition=1.6,
+                          pharmacology=1.6),
+        "politics": 1.0, "business": 1.0,
+    }, seed=120, background_fraction=0.50),
+)
+
+
+def testbed_specs(scale: float = 1.0) -> list[DatabaseSpec]:
+    """The testbed recipes with sizes multiplied by *scale*."""
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    return [spec.scaled(scale) for spec in HEALTH_TESTBED_SPECS]
+
+
+def build_health_testbed(
+    scale: float = 1.0,
+    seed: int = 2004,
+    background_vocab_size: int = 4000,
+) -> dict[str, list[Document]]:
+    """Generate the full testbed: database name -> documents.
+
+    Parameters
+    ----------
+    scale:
+        Size multiplier applied to every database (default laptop scale).
+    seed:
+        Seed for the shared background vocabulary and topic catalogue.
+    background_vocab_size:
+        Size of the shared non-topical vocabulary.
+    """
+    registry = default_topic_registry(seed=seed)
+    background = ZipfVocabulary(background_vocab_size, seed=seed + 1)
+    generator = DocumentGenerator(registry, background)
+    return {
+        spec.name: generator.generate(spec) for spec in testbed_specs(scale)
+    }

@@ -1,0 +1,267 @@
+"""Topic language models.
+
+A :class:`Topic` is a unigram language model over a topic-specific
+vocabulary: a handful of human-readable *anchor* terms (so examples and
+query logs stay legible — "cancer", "tumor", "cardiac"…) backed by
+Zipf-weighted pseudo-words. Documents mix one topic's model with a shared
+background model; queries draw from topic vocabularies.
+
+The :class:`TopicRegistry` holds the fixed catalogue of topics used by
+the health-web and newsgroup testbeds, grouped into domains
+(health / science / news) mirroring the paper's database categories.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.corpus.zipf import pseudo_words, zipf_weights
+
+__all__ = ["Topic", "TopicRegistry", "default_topic_registry"]
+
+
+class Topic:
+    """A named unigram language model.
+
+    Parameters
+    ----------
+    name:
+        Topic identifier (e.g. ``"oncology"``).
+    domain:
+        Coarse grouping (``"health"``, ``"science"``, ``"news"``).
+    anchors:
+        Human-readable high-probability terms heading the distribution.
+    vocab_size:
+        Total vocabulary size (anchors + generated pseudo-words).
+    seed:
+        Seed for the topic's pseudo-word generation (one per topic so
+        topic vocabularies are disjoint with overwhelming probability).
+    exponent:
+        Zipf exponent of the within-topic term distribution.
+    num_facets:
+        Number of sub-topical *facets* the vocabulary is striped into.
+        Real databases cover a topic unevenly (a consumer health portal
+        and a research archive both "cover oncology" through different
+        vocabulary slices); documents concentrate on one facet, and each
+        database weighs facets its own way — the mechanism that makes
+        term-correlation (and thus estimator error) database-specific.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        domain: str,
+        anchors: tuple[str, ...],
+        vocab_size: int = 120,
+        seed: int = 0,
+        exponent: float = 0.9,
+        num_facets: int = 4,
+    ) -> None:
+        if vocab_size < len(anchors):
+            raise ValueError(
+                f"topic {name!r}: vocab_size {vocab_size} < {len(anchors)} anchors"
+            )
+        if num_facets < 1 or num_facets > vocab_size:
+            raise ValueError(
+                f"topic {name!r}: num_facets must be in [1, {vocab_size}]"
+            )
+        rng = np.random.default_rng(seed)
+        generated = pseudo_words(
+            vocab_size - len(anchors), rng, reserved=set(anchors)
+        )
+        self.name = name
+        self.domain = domain
+        self.words: tuple[str, ...] = tuple(anchors) + tuple(generated)
+        self.weights = zipf_weights(vocab_size, exponent)
+        self._cumulative = np.cumsum(self.weights)
+        # Facets stripe the rank order (rank % F) so every facet mixes
+        # frequent and rare terms.
+        self.num_facets = num_facets
+        self.facet_of_term = np.arange(vocab_size) % num_facets
+        self._facet_cumulatives: list[np.ndarray] = []
+        self._facet_indices: list[np.ndarray] = []
+        for facet in range(num_facets):
+            indices = np.nonzero(self.facet_of_term == facet)[0]
+            weights = self.weights[indices]
+            self._facet_indices.append(indices)
+            self._facet_cumulatives.append(np.cumsum(weights / weights.sum()))
+
+    def sample_terms(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Draw *count* terms i.i.d. from the topic distribution."""
+        positions = np.searchsorted(self._cumulative, rng.random(count))
+        return [self.words[int(pos)] for pos in positions]
+
+    def sample_facet_terms(
+        self, rng: np.random.Generator, count: int, facet: int
+    ) -> list[str]:
+        """Draw *count* terms i.i.d. from one facet's distribution."""
+        cumulative = self._facet_cumulatives[facet]
+        indices = self._facet_indices[facet]
+        positions = np.searchsorted(cumulative, rng.random(count))
+        return [self.words[int(indices[pos])] for pos in positions]
+
+    def sample_distinct(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Draw *count* distinct terms, probability-weighted.
+
+        Used by the query generator (a keyword query never repeats a
+        term). Rejection sampling is fine because count << vocab size.
+        """
+        if count > len(self.words):
+            raise ValueError(
+                f"cannot draw {count} distinct terms from {len(self.words)}"
+            )
+        chosen: dict[str, None] = {}
+        while len(chosen) < count:
+            for term in self.sample_terms(rng, count - len(chosen)):
+                chosen.setdefault(term)
+        return list(chosen)[:count]
+
+    def __repr__(self) -> str:
+        return f"Topic({self.name!r}, domain={self.domain!r}, |V|={len(self.words)})"
+
+
+class TopicRegistry:
+    """An ordered, name-addressable collection of topics."""
+
+    def __init__(self, topics: list[Topic]) -> None:
+        names = [topic.name for topic in topics]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate topic names in registry")
+        self._topics = {topic.name: topic for topic in topics}
+
+    def __getitem__(self, name: str) -> Topic:
+        return self._topics[name]
+
+    def __iter__(self):
+        return iter(self._topics.values())
+
+    def __len__(self) -> int:
+        return len(self._topics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._topics
+
+    def names(self) -> list[str]:
+        """Topic names in registration order."""
+        return list(self._topics)
+
+    def in_domain(self, domain: str) -> list[Topic]:
+        """All topics belonging to *domain*."""
+        return [topic for topic in self._topics.values() if topic.domain == domain]
+
+
+# Anchor-term seeds for the default catalogue. Each topic gets a small set
+# of recognizable terms; bulk vocabulary is generated pseudo-words.
+_HEALTH_TOPIC_ANCHORS: dict[str, tuple[str, ...]] = {
+    "oncology": (
+        "cancer", "tumor", "chemotherapy", "breast", "lymphoma", "melanoma",
+        "biopsy", "metastasis", "oncologist", "radiation", "carcinoma",
+        "leukemia",
+    ),
+    "cardiology": (
+        "heart", "cardiac", "artery", "cholesterol", "hypertension",
+        "angioplasty", "arrhythmia", "stroke", "vascular", "coronary",
+        "infarction", "stent",
+    ),
+    "neurology": (
+        "brain", "neuron", "alzheimer", "parkinson", "seizure", "epilepsy",
+        "migraine", "cognitive", "dementia", "neural", "spinal", "cortex",
+    ),
+    "infectious": (
+        "virus", "infection", "vaccine", "influenza", "antibiotic",
+        "bacteria", "epidemic", "pathogen", "immunity", "hepatitis",
+        "malaria", "outbreak",
+    ),
+    "nutrition": (
+        "diet", "vitamin", "obesity", "protein", "calorie", "mineral",
+        "supplement", "fiber", "glucose", "metabolism", "nutrient",
+        "dietary",
+    ),
+    "pediatrics": (
+        "child", "infant", "pediatric", "vaccination", "asthma",
+        "development", "newborn", "adolescent", "growth", "autism",
+        "measles", "pregnancy",
+    ),
+    "pharmacology": (
+        "drug", "dosage", "clinical", "trial", "prescription", "placebo",
+        "aspirin", "insulin", "antidepressant", "painkiller", "dose",
+        "pharmacy",
+    ),
+    "mental_health": (
+        "depression", "anxiety", "therapy", "psychiatric", "stress",
+        "bipolar", "schizophrenia", "counseling", "insomnia", "trauma",
+        "psychologist", "mood",
+    ),
+    "genetics": (
+        "gene", "dna", "mutation", "genome", "chromosome", "hereditary",
+        "protein", "sequencing", "genetic", "allele", "stemcell", "clone",
+    ),
+    "surgery": (
+        "surgery", "transplant", "anesthesia", "incision", "surgeon",
+        "operative", "implant", "suture", "laparoscopic", "recovery",
+        "orthopedic", "graft",
+    ),
+}
+
+_SCIENCE_TOPIC_ANCHORS: dict[str, tuple[str, ...]] = {
+    "physics": (
+        "quantum", "particle", "energy", "relativity", "photon", "laser",
+        "magnetic", "collider", "neutrino", "plasma",
+    ),
+    "astronomy": (
+        "galaxy", "telescope", "planet", "orbit", "asteroid", "nebula",
+        "cosmic", "supernova", "satellite", "lunar",
+    ),
+    "ecology": (
+        "climate", "ecosystem", "species", "biodiversity", "habitat",
+        "emission", "wildlife", "conservation", "forest", "pollution",
+    ),
+    "chemistry": (
+        "molecule", "polymer", "catalyst", "compound", "synthesis",
+        "reaction", "crystal", "solvent", "enzyme", "isotope",
+    ),
+}
+
+_NEWS_TOPIC_ANCHORS: dict[str, tuple[str, ...]] = {
+    "politics": (
+        "election", "senate", "policy", "congress", "campaign", "governor",
+        "legislation", "diplomat", "treaty", "ballot",
+    ),
+    "business": (
+        "market", "stock", "economy", "merger", "investor", "earnings",
+        "inflation", "revenue", "startup", "trade",
+    ),
+    "sports": (
+        "game", "season", "playoff", "coach", "championship", "league",
+        "tournament", "athlete", "stadium", "score",
+    ),
+}
+
+
+def default_topic_registry(vocab_size: int = 120, seed: int = 7) -> TopicRegistry:
+    """Build the standard topic catalogue used by the testbeds.
+
+    Ten health subtopics, four science topics and three news topics —
+    enough to assemble databases mirroring the paper's mix of 13 health
+    databases, 4 broad-science databases and 3 news sites.
+    """
+    topics: list[Topic] = []
+    catalogue = (
+        ("health", _HEALTH_TOPIC_ANCHORS),
+        ("science", _SCIENCE_TOPIC_ANCHORS),
+        ("news", _NEWS_TOPIC_ANCHORS),
+    )
+    topic_seed = seed
+    for domain, anchor_map in catalogue:
+        for name, anchors in anchor_map.items():
+            topic_seed += 1
+            topics.append(
+                Topic(
+                    name=name,
+                    domain=domain,
+                    anchors=anchors,
+                    vocab_size=vocab_size,
+                    seed=topic_seed,
+                )
+            )
+    return TopicRegistry(topics)

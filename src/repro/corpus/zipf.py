@@ -1,0 +1,123 @@
+"""Zipfian vocabularies and pseudo-word generation.
+
+Natural-language term frequencies follow a Zipf law; the synthetic
+corpora inherit that shape so that document-frequency statistics (and
+therefore the term-independence estimator's inputs) look like real text.
+
+Pseudo-words are pronounceable syllable compositions ("lorvasen",
+"cardimol") generated deterministically from a seed, so vocabularies are
+reproducible, collision-free and safely disjoint from the stopword list.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["zipf_weights", "pseudo_words", "ZipfVocabulary"]
+
+_ONSETS = (
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s",
+    "t", "v", "z", "br", "cr", "dr", "fl", "gl", "pl", "pr", "st", "tr",
+)
+_NUCLEI = ("a", "e", "i", "o", "u", "ai", "ea", "io", "ou")
+_CODAS = ("", "", "", "l", "m", "n", "r", "s", "t", "x", "nd", "rm", "st")
+
+
+def zipf_weights(size: int, exponent: float = 1.1) -> np.ndarray:
+    """Return normalized Zipf probabilities ``p_r ∝ 1/r^exponent``.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks (must be positive).
+    exponent:
+        Zipf exponent; 1.0–1.2 matches English text.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    ranks = np.arange(1, size + 1, dtype=np.float64)
+    weights = ranks ** -float(exponent)
+    return weights / weights.sum()
+
+
+def pseudo_words(
+    count: int,
+    rng: np.random.Generator,
+    min_syllables: int = 2,
+    max_syllables: int = 4,
+    reserved: set[str] | None = None,
+) -> list[str]:
+    """Generate *count* distinct pronounceable pseudo-words.
+
+    Words already present in *reserved* are never produced (used to keep
+    topic vocabularies disjoint from anchor terms and stopwords).
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    taken: set[str] = set(reserved) if reserved else set()
+    words: list[str] = []
+    while len(words) < count:
+        n_syllables = int(rng.integers(min_syllables, max_syllables + 1))
+        parts = []
+        for _ in range(n_syllables):
+            parts.append(str(rng.choice(_ONSETS)))
+            parts.append(str(rng.choice(_NUCLEI)))
+        parts.append(str(rng.choice(_CODAS)))
+        word = "".join(parts)
+        if word in taken:
+            continue
+        taken.add(word)
+        words.append(word)
+    return words
+
+
+class ZipfVocabulary:
+    """A fixed vocabulary with Zipf-distributed sampling weights.
+
+    Combines optional human-readable *anchor* terms (placed at the top
+    ranks, so they are frequent) with generated pseudo-words for bulk.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        seed: int,
+        exponent: float = 1.1,
+        anchors: tuple[str, ...] = (),
+    ) -> None:
+        if size < len(anchors):
+            raise ValueError(
+                f"vocabulary size {size} smaller than anchor count {len(anchors)}"
+            )
+        rng = np.random.default_rng(seed)
+        generated = pseudo_words(
+            size - len(anchors), rng, reserved=set(anchors)
+        )
+        self._words: tuple[str, ...] = tuple(anchors) + tuple(generated)
+        self._word_set = frozenset(self._words)
+        self._weights = zipf_weights(size, exponent)
+        self._cumulative = np.cumsum(self._weights)
+
+    @property
+    def words(self) -> tuple[str, ...]:
+        """All words, most-frequent rank first."""
+        return self._words
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalized sampling probabilities aligned with :attr:`words`."""
+        return self._weights
+
+    def sample(self, rng: np.random.Generator, count: int) -> list[str]:
+        """Draw *count* words i.i.d. from the Zipf distribution."""
+        positions = np.searchsorted(self._cumulative, rng.random(count))
+        return [self._words[int(pos)] for pos in positions]
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._word_set
+
+    def __repr__(self) -> str:
+        return f"ZipfVocabulary(size={len(self._words)})"

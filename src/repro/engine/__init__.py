@@ -1,0 +1,14 @@
+"""In-memory full-text search engine substrate.
+
+This is the machinery *inside* each simulated Hidden-Web database: an
+inverted index with per-term postings, conjunctive (AND) match counting
+(the document-frequency relevancy definition) and tf-idf cosine ranking
+(the document-similarity relevancy definition).
+"""
+
+from repro.engine.index import InvertedIndex
+from repro.engine.postings import PostingList
+from repro.engine.searcher import Searcher
+from repro.engine.vectorspace import VectorSpaceScorer
+
+__all__ = ["InvertedIndex", "PostingList", "Searcher", "VectorSpaceScorer"]

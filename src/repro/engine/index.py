@@ -1,0 +1,160 @@
+"""The inverted index: term -> posting list, plus document metadata.
+
+The index is built once from a corpus (documents are analyzed through a
+shared :class:`~repro.text.Analyzer`) and then serves both relevancy
+definitions of the paper:
+
+* *document-frequency*: ``match_count(query)`` — the number of documents
+  containing **all** query terms (conjunctive semantics), which is what a
+  real Hidden-Web answer page reports as "N results";
+* *document-similarity*: tf-idf cosine ranking via
+  :class:`~repro.engine.vectorspace.VectorSpaceScorer`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+from repro.engine.postings import PostingList, intersect_many
+from repro.text.analyzer import Analyzer
+from repro.types import Document, Query
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """An immutable-after-build in-memory inverted index.
+
+    Parameters
+    ----------
+    analyzer:
+        Pipeline applied to every document; the same instance should be
+        used for queries so terms match.
+    """
+
+    def __init__(self, analyzer: Analyzer | None = None) -> None:
+        self._analyzer = analyzer or Analyzer()
+        self._postings: dict[str, PostingList] = {}
+        self._doc_lengths: dict[int, int] = {}
+        self._doc_norms: dict[int, float] = {}
+        self._documents: dict[int, Document] = {}
+        self._frozen = False
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, document: Document) -> None:
+        """Index one document. Ids must be unique and added in order."""
+        if self._frozen:
+            raise RuntimeError("cannot add documents to a frozen index")
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate doc_id {document.doc_id}")
+        terms = self._analyzer.analyze(document.text)
+        counts: dict[str, int] = {}
+        for term in terms:
+            counts[term] = counts.get(term, 0) + 1
+        for term, freq in counts.items():
+            plist = self._postings.get(term)
+            if plist is None:
+                plist = self._postings[term] = PostingList()
+            plist.add(document.doc_id, freq)
+        self._documents[document.doc_id] = document
+        self._doc_lengths[document.doc_id] = len(terms)
+
+    def add_all(self, documents: Iterable[Document]) -> None:
+        """Index every document from *documents*."""
+        for document in documents:
+            self.add(document)
+
+    def freeze(self) -> "InvertedIndex":
+        """Finalize the index: precompute tf-idf document norms.
+
+        Returns ``self`` for chaining. Further :meth:`add` calls raise.
+        """
+        if self._frozen:
+            return self
+        num_docs = max(len(self._documents), 1)
+        sq_norms: dict[int, float] = {doc_id: 0.0 for doc_id in self._documents}
+        for plist in self._postings.values():
+            idf = math.log(num_docs / plist.document_frequency) + 1.0
+            for doc_id, freq in plist:
+                weight = (1.0 + math.log(freq)) * idf
+                sq_norms[doc_id] += weight * weight
+        self._doc_norms = {
+            doc_id: math.sqrt(sq) if sq > 0 else 1.0
+            for doc_id, sq in sq_norms.items()
+        }
+        self._frozen = True
+        return self
+
+    # -- statistics -----------------------------------------------------
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The analyzer shared with queries."""
+        return self._analyzer
+
+    @property
+    def num_documents(self) -> int:
+        """|db|: number of indexed documents."""
+        return len(self._documents)
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct index terms."""
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        """r(db, t): number of documents containing *term*."""
+        plist = self._postings.get(term)
+        return plist.document_frequency if plist else 0
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency: log(N/df) + 1."""
+        df = self.document_frequency(term)
+        if df == 0:
+            return 0.0
+        return math.log(self.num_documents / df) + 1.0
+
+    def postings(self, term: str) -> PostingList | None:
+        """Posting list for *term*, or ``None`` if absent."""
+        return self._postings.get(term)
+
+    def terms(self) -> Iterable[str]:
+        """All index terms (arbitrary but deterministic insertion order)."""
+        return self._postings.keys()
+
+    def document(self, doc_id: int) -> Document:
+        """Look up a stored document by id."""
+        return self._documents[doc_id]
+
+    def document_norm(self, doc_id: int) -> float:
+        """tf-idf L2 norm of a document (requires :meth:`freeze`)."""
+        if not self._frozen:
+            raise RuntimeError("call freeze() before requesting norms")
+        return self._doc_norms[doc_id]
+
+    # -- conjunctive matching --------------------------------------------
+
+    def matching_doc_ids(self, query: Query) -> list[int]:
+        """Documents containing *all* query terms, ascending by id."""
+        lists = []
+        for term in query.terms:
+            plist = self._postings.get(term)
+            if plist is None:
+                return []
+            lists.append(plist)
+        return intersect_many(lists)
+
+    def match_count(self, query: Query) -> int:
+        """r(db, q) under the document-frequency relevancy definition."""
+        return len(self.matching_doc_ids(query))
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedIndex(docs={self.num_documents}, "
+            f"terms={self.vocabulary_size}, frozen={self._frozen})"
+        )

@@ -1,0 +1,108 @@
+"""Posting lists: the per-term payload of an inverted index.
+
+A posting list stores, for one term, the sorted document ids containing
+the term and the term frequency in each. Lists support the two operations
+the engine needs: sorted-merge intersection (for conjunctive matching) and
+iteration (for scoring).
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Iterator
+
+__all__ = ["PostingList", "intersect_many"]
+
+
+class PostingList:
+    """Compact posting list for a single term.
+
+    Internally two parallel ``array`` columns: document ids (ascending)
+    and term frequencies. Construction is append-only through
+    :meth:`add`; ids must be added in strictly increasing order, which the
+    index builder guarantees by processing documents in id order.
+    """
+
+    __slots__ = ("_doc_ids", "_freqs")
+
+    def __init__(self) -> None:
+        self._doc_ids = array("q")
+        self._freqs = array("q")
+
+    def add(self, doc_id: int, freq: int) -> None:
+        """Append one posting. *doc_id* must exceed the current maximum."""
+        if self._doc_ids and doc_id <= self._doc_ids[-1]:
+            raise ValueError(
+                f"postings must be appended in increasing doc-id order; "
+                f"got {doc_id} after {self._doc_ids[-1]}"
+            )
+        if freq <= 0:
+            raise ValueError(f"term frequency must be positive, got {freq}")
+        self._doc_ids.append(doc_id)
+        self._freqs.append(freq)
+
+    @property
+    def document_frequency(self) -> int:
+        """Number of documents containing the term."""
+        return len(self._doc_ids)
+
+    @property
+    def collection_frequency(self) -> int:
+        """Total occurrences of the term across all documents."""
+        return sum(self._freqs)
+
+    def doc_ids(self) -> array:
+        """The ascending document-id column (do not mutate)."""
+        return self._doc_ids
+
+    def freq(self, doc_id: int) -> int:
+        """Term frequency in *doc_id* (0 if the document lacks the term)."""
+        idx = self._bisect(doc_id)
+        if idx is None:
+            return 0
+        return self._freqs[idx]
+
+    def _bisect(self, doc_id: int) -> int | None:
+        lo, hi = 0, len(self._doc_ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._doc_ids[mid] < doc_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self._doc_ids) and self._doc_ids[lo] == doc_id:
+            return lo
+        return None
+
+    def __len__(self) -> int:
+        return len(self._doc_ids)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return zip(self._doc_ids, self._freqs)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return self._bisect(doc_id) is not None
+
+    def __repr__(self) -> str:
+        return f"PostingList(df={self.document_frequency})"
+
+
+def intersect_many(lists: list[PostingList]) -> list[int]:
+    """Return doc ids present in *every* posting list (sorted ascending).
+
+    Uses the standard smallest-first sorted-merge: start from the shortest
+    list and galloping-probe the others, so the cost is bounded by the
+    rarest term. An empty input list yields an empty intersection (callers
+    decide what an empty conjunction means).
+    """
+    if not lists:
+        return []
+    if any(len(pl) == 0 for pl in lists):
+        return []
+    ordered = sorted(lists, key=len)
+    result = list(ordered[0].doc_ids())
+    for plist in ordered[1:]:
+        if not result:
+            break
+        result = [doc_id for doc_id in result if doc_id in plist]
+    return result

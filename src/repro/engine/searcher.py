@@ -1,0 +1,63 @@
+"""High-level search façade over an index: the "result page" producer.
+
+A :class:`Searcher` combines conjunctive match counting with cosine
+ranking to produce the :class:`~repro.types.SearchResult` a Hidden-Web
+interface would return: the number of matching documents plus the first
+page of ranked hits.
+"""
+
+from __future__ import annotations
+
+from repro.engine.index import InvertedIndex
+from repro.engine.vectorspace import VectorSpaceScorer
+from repro.types import Query, ScoredDocument, SearchResult
+
+__all__ = ["Searcher"]
+
+
+class Searcher:
+    """Executes queries against one index.
+
+    Parameters
+    ----------
+    index:
+        The database's inverted index (frozen on first use).
+    page_size:
+        Number of ranked hits included in each result page (default 10,
+        like a typical web result page).
+    """
+
+    def __init__(self, index: InvertedIndex, page_size: int = 10) -> None:
+        if page_size < 0:
+            raise ValueError(f"page_size must be non-negative, got {page_size}")
+        self._index = index
+        self._scorer = VectorSpaceScorer(index)
+        self._page_size = page_size
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The underlying index."""
+        return self._index
+
+    def search(self, query: Query) -> SearchResult:
+        """Run *query*, returning match count and a ranked first page.
+
+        Ranked hits are restricted to conjunctive matches when any exist
+        (mirroring AND-semantics engines); when the conjunction is empty
+        the page is empty as well, matching a "0 results" answer page.
+        """
+        matching = self._index.matching_doc_ids(query)
+        if not matching:
+            return SearchResult(query=query, num_matches=0)
+        scores = self._scorer.score_all(query)
+        ranked = sorted(
+            ((doc_id, scores.get(doc_id, 0.0)) for doc_id in matching),
+            key=lambda item: (-item[1], item[0]),
+        )
+        page = tuple(
+            ScoredDocument(doc_id, score)
+            for doc_id, score in ranked[: self._page_size]
+        )
+        return SearchResult(
+            query=query, num_matches=len(matching), top_documents=page
+        )

@@ -1,0 +1,56 @@
+"""tf-idf vector-space scoring (cosine similarity).
+
+Implements the classic lnc.ltc-style weighting used as the
+document-similarity relevancy surrogate in the paper (Salton & Buckley):
+``w = (1 + log tf) * (log(N/df) + 1)``, cosine-normalized on the document
+side. Scores are accumulated term-at-a-time over postings, so only
+documents containing at least one query term are touched.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.engine.index import InvertedIndex
+from repro.types import Query, ScoredDocument
+
+__all__ = ["VectorSpaceScorer"]
+
+
+class VectorSpaceScorer:
+    """Cosine tf-idf scorer over a frozen :class:`InvertedIndex`."""
+
+    def __init__(self, index: InvertedIndex) -> None:
+        index.freeze()
+        self._index = index
+
+    def score_all(self, query: Query) -> dict[int, float]:
+        """Map doc_id -> cosine similarity for docs sharing >=1 term."""
+        index = self._index
+        query_weights: dict[str, float] = {}
+        for term in query.terms:
+            idf = index.idf(term)
+            if idf > 0.0:
+                # Query tf is 1 per distinct term (queries are term sets).
+                query_weights[term] = idf
+        if not query_weights:
+            return {}
+        query_norm = math.sqrt(sum(w * w for w in query_weights.values()))
+        scores: dict[int, float] = {}
+        for term, q_weight in query_weights.items():
+            plist = index.postings(term)
+            if plist is None:
+                continue
+            idf = index.idf(term)
+            for doc_id, freq in plist:
+                d_weight = (1.0 + math.log(freq)) * idf
+                scores[doc_id] = scores.get(doc_id, 0.0) + q_weight * d_weight
+        for doc_id in scores:
+            scores[doc_id] /= query_norm * index.document_norm(doc_id)
+        return scores
+
+    def top_k(self, query: Query, k: int) -> list[ScoredDocument]:
+        """The *k* highest-cosine documents, ties broken by lower doc id."""
+        scores = self.score_all(query)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        return [ScoredDocument(doc_id, score) for doc_id, score in ranked[:k]]

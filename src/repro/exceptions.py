@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch a single base class at API boundaries while tests assert precise
+subclasses.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "EmptyQueryError",
+    "UnknownDatabaseError",
+    "SummaryError",
+    "TrainingError",
+    "DistributionError",
+    "SelectionError",
+    "ProbingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter value was supplied to a public constructor."""
+
+
+class EmptyQueryError(ReproError, ValueError):
+    """A query produced no searchable terms after analysis."""
+
+
+class UnknownDatabaseError(ReproError, KeyError):
+    """A database name was not found in the mediator's registry."""
+
+
+class SummaryError(ReproError):
+    """A content summary is missing or inconsistent with its database."""
+
+
+class TrainingError(ReproError):
+    """Error-distribution training could not complete."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A probability distribution was constructed from invalid data."""
+
+
+class SelectionError(ReproError):
+    """Database selection could not produce a valid answer set."""
+
+
+class ProbingError(ReproError):
+    """The adaptive-probing loop hit an unrecoverable condition."""

@@ -1,0 +1,109 @@
+"""Calibration diagnostics for the certainty estimates.
+
+The whole point of the expected-correctness "certainty knob" is that the
+number the metasearcher reports (E[Cor]) means what it says. This module
+measures that: test queries are bucketed by claimed certainty and the
+realized correctness of each bucket is compared against its mean claim —
+a reliability curve, plus summary statistics (expected calibration
+error, claimed-vs-realized correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import TrainedPipeline, train_pipeline
+from repro.experiments.setup import ExperimentContext
+
+__all__ = ["CalibrationBucket", "CalibrationResult", "calibration_curve"]
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One reliability-curve point."""
+
+    lower: float
+    upper: float
+    mean_claimed: float
+    mean_realized: float
+    count: int
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Reliability curve and summary calibration statistics."""
+
+    k: int
+    metric: CorrectnessMetric
+    buckets: tuple[CalibrationBucket, ...]
+    expected_calibration_error: float
+    correlation: float
+    num_queries: int
+
+
+def calibration_curve(
+    context: ExperimentContext,
+    pipeline: TrainedPipeline | None = None,
+    k: int = 1,
+    metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+    bucket_edges: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0001),
+    num_queries: int | None = None,
+) -> CalibrationResult:
+    """Measure how honest the claimed expected correctness is.
+
+    Returns one bucket per claimed-certainty band, the expected
+    calibration error (count-weighted |claimed − realized|), and the
+    Pearson correlation between claims and outcomes.
+    """
+    pipeline = pipeline or train_pipeline(context)
+    queries = context.test_queries
+    if num_queries is not None:
+        queries = queries[:num_queries]
+    claimed = []
+    realized = []
+    for query in queries:
+        result = pipeline.rd_selector.select(query, k, metric)
+        claimed.append(result.expected_correctness)
+        cor_a, cor_p = context.golden.score(query, result.names, k)
+        realized.append(
+            cor_a if metric is CorrectnessMetric.ABSOLUTE else cor_p
+        )
+    claimed_arr = np.asarray(claimed)
+    realized_arr = np.asarray(realized)
+
+    buckets = []
+    ece = 0.0
+    for lower, upper in zip(bucket_edges, bucket_edges[1:]):
+        mask = (claimed_arr >= lower) & (claimed_arr < upper)
+        count = int(mask.sum())
+        if count == 0:
+            continue
+        mean_claimed = float(claimed_arr[mask].mean())
+        mean_realized = float(realized_arr[mask].mean())
+        buckets.append(
+            CalibrationBucket(
+                lower=float(lower),
+                upper=float(min(upper, 1.0)),
+                mean_claimed=mean_claimed,
+                mean_realized=mean_realized,
+                count=count,
+            )
+        )
+        ece += count * abs(mean_claimed - mean_realized)
+    total = max(len(queries), 1)
+    if claimed_arr.std() > 0 and realized_arr.std() > 0:
+        correlation = float(np.corrcoef(claimed_arr, realized_arr)[0, 1])
+    else:
+        correlation = 0.0
+    return CalibrationResult(
+        k=k,
+        metric=metric,
+        buckets=tuple(buckets),
+        expected_calibration_error=ece / total,
+        correlation=correlation,
+        num_queries=len(queries),
+    )

@@ -1,0 +1,90 @@
+"""Cost efficiency: remote queries spent per user query.
+
+The paper's §1 motivation: without database selection, every user query
+must be forwarded to all n databases. This experiment totals the remote
+interactions of three strategies — forward-everywhere, baseline
+selection (k forwards, no probes), and APro selection at a certainty
+level (probes + k forwards) — together with the answer quality each one
+buys, reproducing the scalability argument quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import TrainedPipeline, train_pipeline
+from repro.experiments.setup import ExperimentContext
+
+__all__ = ["EfficiencyRow", "cost_efficiency"]
+
+
+@dataclass(frozen=True)
+class EfficiencyRow:
+    """One strategy's cost/quality trade-off."""
+
+    strategy: str
+    avg_remote_queries: float
+    avg_partial_correctness: float
+    num_queries: int
+
+
+def cost_efficiency(
+    context: ExperimentContext,
+    pipeline: TrainedPipeline | None = None,
+    k: int = 3,
+    certainty: float = 0.8,
+    num_queries: int | None = None,
+) -> list[EfficiencyRow]:
+    """Remote-query cost vs. answer quality per strategy.
+
+    "Remote queries" counts both selection probes and the final forwards
+    to the selected databases (forward-everywhere pays n forwards and
+    trivially achieves perfect coverage).
+    """
+    pipeline = pipeline or train_pipeline(context)
+    queries = context.test_queries
+    if num_queries is not None:
+        queries = queries[:num_queries]
+    n = context.num_databases
+    apro = APro(pipeline.rd_selector)
+
+    baseline_quality = []
+    apro_cost = []
+    apro_quality = []
+    for query in queries:
+        _cor_a, cor_p = context.golden.score(
+            query, pipeline.baseline.select(query, k), k
+        )
+        baseline_quality.append(cor_p)
+        session = apro.run(
+            query, k=k, threshold=certainty, metric=CorrectnessMetric.PARTIAL
+        )
+        apro_cost.append(session.num_probes + k)
+        _cor_a, cor_p = context.golden.score(query, session.final.names, k)
+        apro_quality.append(cor_p)
+
+    count = len(queries)
+    return [
+        EfficiencyRow(
+            strategy="forward to all databases",
+            avg_remote_queries=float(n),
+            avg_partial_correctness=1.0,
+            num_queries=count,
+        ),
+        EfficiencyRow(
+            strategy="baseline selection (no probing)",
+            avg_remote_queries=float(k),
+            avg_partial_correctness=float(np.mean(baseline_quality)),
+            num_queries=count,
+        ),
+        EfficiencyRow(
+            strategy=f"APro selection (t = {certainty})",
+            avg_remote_queries=float(np.mean(apro_cost)),
+            avg_partial_correctness=float(np.mean(apro_quality)),
+            num_queries=count,
+        ),
+    ]

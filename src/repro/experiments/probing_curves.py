@@ -1,0 +1,93 @@
+"""Fig. 16: average correctness after 0, 1, 2, … probes.
+
+For every test query, APro is forced to keep probing past its stopping
+condition and asked, after each probe, what it would return if stopped
+there; correctness of those intermediate answers is averaged over the
+test set. The term-independence baseline appears as the flat reference
+line (probing does not change it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.policies import ProbePolicy
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import TrainedPipeline, train_pipeline
+from repro.experiments.setup import ExperimentContext
+
+__all__ = ["ProbingCurveResult", "probing_curves"]
+
+
+@dataclass(frozen=True)
+class ProbingCurveResult:
+    """One Fig. 16 panel: correctness as a function of probes."""
+
+    k: int
+    metric: CorrectnessMetric
+    #: avg correctness of APro's answer after j probes (index = j).
+    apro_curve: tuple[float, ...]
+    #: same evaluated with the partial metric (secondary axis).
+    apro_partial_curve: tuple[float, ...]
+    #: the baseline's (constant) correctness, for the reference line.
+    baseline_absolute: float
+    baseline_partial: float
+    num_queries: int
+    avg_probes_per_query: float
+
+
+def probing_curves(
+    context: ExperimentContext,
+    pipeline: TrainedPipeline | None = None,
+    k: int = 1,
+    max_probes: int = 6,
+    metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+    policy: ProbePolicy | None = None,
+    num_queries: int | None = None,
+) -> ProbingCurveResult:
+    """Trace the correctness-vs-probes curve for one k."""
+    pipeline = pipeline or train_pipeline(context)
+    queries = context.test_queries
+    if num_queries is not None:
+        queries = queries[:num_queries]
+    apro = APro(pipeline.rd_selector, policy=policy)
+    absolute = np.zeros(max_probes + 1)
+    partial = np.zeros(max_probes + 1)
+    base_abs = 0.0
+    base_part = 0.0
+    total_probes = 0
+    for query in queries:
+        session = apro.run(
+            query,
+            k=k,
+            threshold=1.0,
+            metric=metric,
+            force_probes=max_probes,
+            max_probes=max_probes,
+        )
+        total_probes += session.num_probes
+        for j in range(max_probes + 1):
+            cor_a, cor_p = context.golden.score(
+                query, session.names_after(j), k
+            )
+            absolute[j] += cor_a
+            partial[j] += cor_p
+        cor_a, cor_p = context.golden.score(
+            query, pipeline.baseline.select(query, k), k
+        )
+        base_abs += cor_a
+        base_part += cor_p
+    count = max(len(queries), 1)
+    return ProbingCurveResult(
+        k=k,
+        metric=metric,
+        apro_curve=tuple(float(x) for x in absolute / count),
+        apro_partial_curve=tuple(float(x) for x in partial / count),
+        baseline_absolute=base_abs / count,
+        baseline_partial=base_part / count,
+        num_queries=len(queries),
+        avg_probes_per_query=total_probes / count,
+    )

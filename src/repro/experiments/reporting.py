@@ -1,0 +1,136 @@
+"""Plain-text rendering of experiment results.
+
+Benchmarks and examples print the same rows/series the paper reports;
+these helpers keep that output consistent and terminal-friendly
+(fixed-width tables, simple bar charts for distributions).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.errors import ErrorDistribution
+from repro.experiments.harness import SelectionQualityResult
+from repro.experiments.probing_curves import ProbingCurveResult
+from repro.experiments.sampling_size import SamplingGoodnessResult
+from repro.experiments.threshold_probes import ThresholdProbesResult
+
+__all__ = [
+    "format_table",
+    "format_selection_quality",
+    "format_probing_curve",
+    "format_threshold_probes",
+    "format_sampling_goodness",
+    "format_error_distribution",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [
+        [str(value) for value in row] for row in rows
+    ]
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for idx, row in enumerate(cells):
+        lines.append(
+            "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        )
+        if idx == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_selection_quality(
+    results: Sequence[SelectionQualityResult],
+) -> str:
+    """The Fig. 15 table: method x k -> Avg(Cor_a), Avg(Cor_p)."""
+    rows = [
+        (
+            result.method,
+            result.k,
+            f"{result.avg_absolute:.3f}",
+            f"{result.avg_partial:.3f}",
+            result.num_queries,
+        )
+        for result in results
+    ]
+    return format_table(
+        ("method", "k", "Avg(Cor_a)", "Avg(Cor_p)", "queries"), rows
+    )
+
+
+def format_probing_curve(result: ProbingCurveResult) -> str:
+    """One Fig. 16 panel as a probes -> correctness series."""
+    rows = [
+        (
+            probes,
+            f"{absolute:.3f}",
+            f"{partial:.3f}",
+            f"{result.baseline_absolute:.3f}",
+        )
+        for probes, (absolute, partial) in enumerate(
+            zip(result.apro_curve, result.apro_partial_curve)
+        )
+    ]
+    header = (
+        f"Fig. 16 (k={result.k}, metric={result.metric.value}, "
+        f"{result.num_queries} queries)\n"
+    )
+    return header + format_table(
+        ("# probes", "APro Cor_a", "APro Cor_p", "baseline Cor_a"), rows
+    )
+
+
+def format_threshold_probes(result: ThresholdProbesResult) -> str:
+    """The Fig. 17 series: threshold -> average probes."""
+    rows = [
+        (f"{t:.2f}", f"{probes:.2f}", f"{correct:.3f}")
+        for t, probes, correct in zip(
+            result.thresholds, result.avg_probes, result.avg_correctness
+        )
+    ]
+    header = f"Fig. 17 (k={result.k}, {result.num_queries} queries)\n"
+    return header + format_table(
+        ("threshold t", "avg probes", "realized correctness"), rows
+    )
+
+
+def format_sampling_goodness(result: SamplingGoodnessResult) -> str:
+    """Fig. 7 (per database) plus the Fig. 8 average row."""
+    headers = ("database",) + tuple(
+        f"S={size}" for size in result.sampling_sizes
+    )
+    rows: list[tuple[object, ...]] = [
+        (name,) + tuple(f"{g:.3f}" for g in values)
+        for name, values in sorted(result.per_database.items())
+    ]
+    rows.append(
+        ("AVERAGE (Fig. 8)",)
+        + tuple(f"{g:.3f}" for g in result.average)
+    )
+    return format_table(headers, rows)
+
+
+def format_error_distribution(
+    ed: ErrorDistribution, width: int = 40
+) -> str:
+    """An ED as a text histogram (the paper's Fig. 4 / Fig. 9 bars)."""
+    histogram = ed.histogram
+    proportions = histogram.proportions()
+    peak = max(float(proportions.max()), 1e-12)
+    lines = [f"samples: {ed.sample_count}"]
+    for i in range(histogram.num_bins):
+        if histogram.counts[i] == 0:
+            continue
+        lo = histogram.edges[i]
+        hi = histogram.edges[i + 1]
+        bar = "#" * max(1, int(round(width * proportions[i] / peak)))
+        lines.append(
+            f"  [{lo:+8.2f}, {hi:+8.2f})  {proportions[i]:6.1%}  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Fig. 7 / Fig. 8: how many sample queries does a stable ED need?
+
+Reproduces §4.2: on each newsgroup-style database, the *ideal* error
+distribution is built from the full query pool; for each candidate
+sampling size S, sample EDs of S queries are drawn repeatedly and
+compared against the ideal via the Pearson χ² test. The test's p-value
+is the *goodness* of the sampling size; values above 0.05 mean the
+sample ED is statistically indistinguishable from the ideal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.errors import (
+    DEFAULT_ERROR_EDGES,
+    DEFAULT_ESTIMATE_FLOOR,
+    ErrorDistribution,
+    relative_error,
+)
+from repro.core.query_types import QueryTypeClassifier
+from repro.exceptions import TrainingError
+from repro.hiddenweb.mediator import Mediator
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import TermIndependenceEstimator
+from repro.types import Query
+
+__all__ = ["SamplingGoodnessResult", "sampling_size_goodness"]
+
+#: The paper's five candidate sampling sizes.
+DEFAULT_SAMPLING_SIZES: tuple[int, ...] = (10, 20, 50, 100, 200)
+
+
+@dataclass(frozen=True)
+class SamplingGoodnessResult:
+    """Goodness of every sampling size, per database and averaged."""
+
+    sampling_sizes: tuple[int, ...]
+    #: database name -> tuple of average goodness, aligned with sizes.
+    per_database: dict[str, tuple[float, ...]]
+    #: average over databases, aligned with sizes (the Fig. 8 row).
+    average: tuple[float, ...]
+    repetitions: int
+
+
+def _error_samples(
+    mediator: Mediator,
+    database_name: str,
+    queries: Sequence[Query],
+    band: int,
+    classifier: QueryTypeClassifier,
+    num_terms: int,
+) -> np.ndarray:
+    """Observed errors on one database for queries of one type."""
+    database = mediator[database_name]
+    estimator = TermIndependenceEstimator()
+    summary = ExactSummaryBuilder().build(database)
+    errors = []
+    for query in queries:
+        if query.num_terms != num_terms:
+            continue
+        estimate = estimator.estimate(summary, query)
+        if classifier.band_of(estimate) != band:
+            continue
+        actual = database.relevancy(query)
+        errors.append(
+            relative_error(actual, estimate, DEFAULT_ESTIMATE_FLOOR)
+        )
+    return np.asarray(errors)
+
+
+def sampling_size_goodness(
+    mediator: Mediator,
+    query_pool: Sequence[Query],
+    sampling_sizes: Sequence[int] = DEFAULT_SAMPLING_SIZES,
+    repetitions: int = 10,
+    num_terms: int = 2,
+    band: int | None = None,
+    classifier: QueryTypeClassifier | None = None,
+    seed: int = 0,
+    edges: Sequence[float] = DEFAULT_ERROR_EDGES,
+) -> SamplingGoodnessResult:
+    """Run the §4.2 experiment over every database of *mediator*.
+
+    Parameters
+    ----------
+    mediator:
+        The (newsgroup) testbed.
+    query_pool:
+        The large query set standing in for the paper's 4.7 M-query
+        trace; the ideal ED per database uses every applicable query.
+    sampling_sizes:
+        Candidate sizes S (paper: 10, 20, 50, 100, 200).
+    repetitions:
+        Sample EDs drawn per size (paper: 10); goodness is their mean.
+    num_terms / band:
+        Which query type to study; the paper's headline uses 2-term
+        queries in the top estimate band (band defaults to the
+        classifier's highest).
+    """
+    classifier = classifier or QueryTypeClassifier()
+    if band is None:
+        band = classifier.num_bands - 1
+    rng = np.random.default_rng(seed)
+    sizes = tuple(int(s) for s in sampling_sizes)
+    per_database: dict[str, tuple[float, ...]] = {}
+    for database in mediator:
+        errors = _error_samples(
+            mediator, database.name, query_pool, band, classifier, num_terms
+        )
+        if len(errors) < max(sizes):
+            raise TrainingError(
+                f"database {database.name!r} has only {len(errors)} "
+                f"qualifying queries; enlarge the query pool or lower the "
+                f"band (need {max(sizes)})"
+            )
+        ideal = ErrorDistribution(edges)
+        ideal.observe_all(errors.tolist())
+        goodness_per_size = []
+        for size in sizes:
+            p_values = []
+            for _ in range(repetitions):
+                chosen = rng.choice(len(errors), size=size, replace=False)
+                sample = ErrorDistribution(edges)
+                sample.observe_all(errors[chosen].tolist())
+                p_values.append(sample.chi2_against(ideal).p_value)
+            goodness_per_size.append(float(np.mean(p_values)))
+        per_database[database.name] = tuple(goodness_per_size)
+    stacked = np.array(list(per_database.values()))
+    return SamplingGoodnessResult(
+        sampling_sizes=sizes,
+        per_database=per_database,
+        average=tuple(float(x) for x in stacked.mean(axis=0)),
+        repetitions=repetitions,
+    )

@@ -1,0 +1,79 @@
+"""Fig. 17: how many probes APro needs per required certainty level t.
+
+Runs APro to completion for each test query at every threshold in the
+sweep and averages the probe counts — the paper's final experiment
+(§6.4), showing cost growing with the user's certainty demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.policies import ProbePolicy
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import TrainedPipeline, train_pipeline
+from repro.experiments.setup import ExperimentContext
+
+__all__ = ["ThresholdProbesResult", "probes_per_threshold"]
+
+#: The paper's six certainty levels.
+DEFAULT_THRESHOLDS: tuple[float, ...] = (0.70, 0.75, 0.80, 0.85, 0.90, 0.95)
+
+
+@dataclass(frozen=True)
+class ThresholdProbesResult:
+    """Fig. 17: average probes (and achieved correctness) per threshold."""
+
+    k: int
+    metric: CorrectnessMetric
+    thresholds: tuple[float, ...]
+    avg_probes: tuple[float, ...]
+    #: realized average correctness of the returned sets per threshold —
+    #: the point of the certainty knob is that this tracks t.
+    avg_correctness: tuple[float, ...]
+    num_queries: int
+
+
+def probes_per_threshold(
+    context: ExperimentContext,
+    pipeline: TrainedPipeline | None = None,
+    k: int = 1,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    metric: CorrectnessMetric = CorrectnessMetric.ABSOLUTE,
+    policy: ProbePolicy | None = None,
+    num_queries: int | None = None,
+) -> ThresholdProbesResult:
+    """Average APro probe count for each user-required certainty."""
+    pipeline = pipeline or train_pipeline(context)
+    queries = context.test_queries
+    if num_queries is not None:
+        queries = queries[:num_queries]
+    apro = APro(pipeline.rd_selector, policy=policy)
+    avg_probes = []
+    avg_correct = []
+    for threshold in thresholds:
+        probe_counts = []
+        correctness = []
+        for query in queries:
+            session = apro.run(query, k=k, threshold=threshold, metric=metric)
+            probe_counts.append(session.num_probes)
+            cor_a, cor_p = context.golden.score(
+                query, session.final.names, k
+            )
+            correctness.append(
+                cor_a if metric is CorrectnessMetric.ABSOLUTE else cor_p
+            )
+        avg_probes.append(float(np.mean(probe_counts)))
+        avg_correct.append(float(np.mean(correctness)))
+    return ThresholdProbesResult(
+        k=k,
+        metric=metric,
+        thresholds=tuple(float(t) for t in thresholds),
+        avg_probes=tuple(avg_probes),
+        avg_correctness=tuple(avg_correct),
+        num_queries=len(queries),
+    )

@@ -1,0 +1,18 @@
+"""The Hidden-Web layer: databases behind search interfaces.
+
+A :class:`HiddenWebDatabase` exposes exactly what a real deep-web source
+exposes — a keyword ``probe`` returning a match count and a ranked first
+page — and meters every probe through :class:`ProbeAccounting`. The
+:class:`Mediator` is the metasearcher's registry of databases.
+"""
+
+from repro.hiddenweb.accounting import ProbeAccounting
+from repro.hiddenweb.database import HiddenWebDatabase, RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+
+__all__ = [
+    "HiddenWebDatabase",
+    "Mediator",
+    "ProbeAccounting",
+    "RelevancyDefinition",
+]

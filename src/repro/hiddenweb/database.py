@@ -1,0 +1,171 @@
+"""A Hidden-Web database: full-text content behind a search interface.
+
+The metasearcher may only interact with a database through
+:meth:`HiddenWebDatabase.probe`, which costs one unit of probe budget and
+returns what a web answer page returns. Evaluation code (golden standard
+construction) uses the *oracle* accessor :meth:`relevancy`, which reads
+the same truth without charging probe cost — mirroring the paper's
+offline construction of correct answers.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+from repro.engine.index import InvertedIndex
+from repro.engine.searcher import Searcher
+from repro.hiddenweb.accounting import ProbeAccounting
+from repro.text.analyzer import Analyzer
+from repro.types import Document, Query, SearchResult
+
+__all__ = ["RelevancyDefinition", "HiddenWebDatabase"]
+
+
+class RelevancyDefinition(enum.Enum):
+    """The two database-relevancy definitions of §2.1.
+
+    * ``DOCUMENT_FREQUENCY`` — r(db, q) is the number of documents
+      matching all query terms (integer counts; what answer pages report).
+    * ``DOCUMENT_SIMILARITY`` — r(db, q) is the cosine similarity of the
+      database's most relevant document (floats in [0, 1]; measured by
+      downloading the top result).
+    """
+
+    DOCUMENT_FREQUENCY = "document_frequency"
+    DOCUMENT_SIMILARITY = "document_similarity"
+
+
+class HiddenWebDatabase:
+    """One mediated free-text database.
+
+    Parameters
+    ----------
+    name:
+        Unique database name.
+    documents:
+        Full content; indexed once at construction.
+    analyzer:
+        Shared analyzer (pass the mediator's to keep terms consistent).
+    page_size:
+        Result-page size of the simulated interface.
+    count_significant_digits:
+        Many real engines report rounded counts ("about 1,200 results").
+        When set, reported match counts are rounded to this many
+        significant digits; ``None`` (default) reports exact counts.
+        Only the *reported* number is affected — ranking and the page
+        contents stay exact.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        documents: Iterable[Document],
+        analyzer: Analyzer | None = None,
+        page_size: int = 10,
+        count_significant_digits: int | None = None,
+    ) -> None:
+        if count_significant_digits is not None and count_significant_digits < 1:
+            raise ValueError("count_significant_digits must be >= 1 or None")
+        self.name = name
+        index = InvertedIndex(analyzer or Analyzer())
+        index.add_all(documents)
+        index.freeze()
+        self._index = index
+        self._searcher = Searcher(index, page_size=page_size)
+        self._accounting = ProbeAccounting()
+        self._count_digits = count_significant_digits
+
+    def _reported_count(self, exact: int) -> int:
+        if self._count_digits is None or exact == 0:
+            return exact
+        from math import floor, log10
+
+        magnitude = floor(log10(exact))
+        scale = 10 ** max(0, magnitude - self._count_digits + 1)
+        return int(round(exact / scale) * scale)
+
+    # -- public interface (what a metasearcher can do) -------------------
+
+    @property
+    def size(self) -> int:
+        """|db| — most Hidden-Web databases export (or leak) their size."""
+        return self._index.num_documents
+
+    @property
+    def accounting(self) -> ProbeAccounting:
+        """This database's probe-cost meter."""
+        return self._accounting
+
+    def probe(self, query: Query) -> SearchResult:
+        """Issue *query* live. Costs one probe (plus page downloads).
+
+        The reported match count may be rounded (see
+        ``count_significant_digits``), exactly as real answer pages do.
+        """
+        result = self._searcher.search(query)
+        self._accounting.record_probe(
+            documents_downloaded=len(result.top_documents)
+        )
+        reported = self._reported_count(result.num_matches)
+        if reported != result.num_matches:
+            result = SearchResult(
+                query=result.query,
+                num_matches=reported,
+                top_documents=result.top_documents,
+            )
+        return result
+
+    def probe_relevancy(
+        self,
+        query: Query,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> float:
+        """Probe and reduce the answer page to the relevancy value.
+
+        Under the document-frequency definition the answer page's match
+        count is the relevancy; under document-similarity, the top
+        returned document's similarity is (paper §3.4).
+        """
+        result = self.probe(query)
+        if definition is RelevancyDefinition.DOCUMENT_FREQUENCY:
+            return float(result.num_matches)
+        return result.best_score
+
+    def fetch_document(self, doc_id: int) -> Document:
+        """Download one result document (costs one document download).
+
+        Used by query-based sampling, which builds approximate content
+        summaries from retrieved pages.
+        """
+        document = self._index.document(doc_id)
+        self._accounting.record_download(1)
+        return document
+
+    # -- oracle interface (evaluation only; no probe cost) ----------------
+
+    def relevancy(
+        self,
+        query: Query,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> float:
+        """True relevancy r(db, q) without probe cost (evaluation only)."""
+        if definition is RelevancyDefinition.DOCUMENT_FREQUENCY:
+            return float(self._index.match_count(query))
+        result = self._searcher.search(query)
+        return result.best_score
+
+    # -- internals shared with summary builders ---------------------------
+
+    @property
+    def index(self) -> InvertedIndex:
+        """The underlying index.
+
+        Exposed for *exact* summary construction, which models the
+        publisher exporting its own statistics (STARTS-style); selection
+        algorithms never touch it.
+        """
+        return self._index
+
+    def __repr__(self) -> str:
+        return f"HiddenWebDatabase({self.name!r}, size={self.size})"

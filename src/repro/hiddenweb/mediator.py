@@ -1,0 +1,104 @@
+"""The mediator: the metasearcher's registry of Hidden-Web databases.
+
+Keeps an ordered, name-addressable collection of databases sharing one
+analyzer, and offers bulk helpers (total probe cost, accounting reset)
+used by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.exceptions import ConfigurationError, UnknownDatabaseError
+from repro.hiddenweb.accounting import ProbeSnapshot
+from repro.hiddenweb.database import HiddenWebDatabase
+from repro.text.analyzer import Analyzer
+from repro.types import Document
+
+__all__ = ["Mediator"]
+
+
+class Mediator:
+    """An ordered set of uniquely named databases.
+
+    Database order is significant: it defines the deterministic
+    tie-breaking order used throughout the probabilistic top-k machinery
+    (lower position wins ties).
+    """
+
+    def __init__(self, databases: Sequence[HiddenWebDatabase]) -> None:
+        if not databases:
+            raise ConfigurationError("a mediator needs at least one database")
+        names = [db.name for db in databases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate database names in {names}")
+        self._databases = list(databases)
+        self._by_name = {db.name: db for db in databases}
+        self._positions = {db.name: i for i, db in enumerate(databases)}
+
+    @classmethod
+    def from_documents(
+        cls,
+        corpora: Mapping[str, list[Document]],
+        analyzer: Analyzer | None = None,
+        page_size: int = 10,
+    ) -> "Mediator":
+        """Index a name -> documents mapping into a mediator.
+
+        All databases share one analyzer instance (and its term cache).
+        """
+        analyzer = analyzer or Analyzer()
+        databases = [
+            HiddenWebDatabase(name, documents, analyzer, page_size=page_size)
+            for name, documents in corpora.items()
+        ]
+        return cls(databases)
+
+    # -- collection protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._databases)
+
+    def __iter__(self) -> Iterator[HiddenWebDatabase]:
+        return iter(self._databases)
+
+    def __getitem__(self, key: int | str) -> HiddenWebDatabase:
+        if isinstance(key, int):
+            return self._databases[key]
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise UnknownDatabaseError(key) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def names(self) -> list[str]:
+        """Database names in mediation (tie-break) order."""
+        return [db.name for db in self._databases]
+
+    def position(self, name: str) -> int:
+        """Index of *name* in mediation order."""
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise UnknownDatabaseError(name) from None
+
+    # -- accounting helpers -------------------------------------------------
+
+    def total_probes(self) -> int:
+        """Sum of live probes across all databases."""
+        return sum(db.accounting.probes for db in self._databases)
+
+    def snapshot(self) -> dict[str, ProbeSnapshot]:
+        """Per-database accounting snapshot."""
+        return {db.name: db.accounting.snapshot() for db in self._databases}
+
+    def reset_accounting(self) -> None:
+        """Zero all probe meters (e.g. between training and testing)."""
+        for db in self._databases:
+            db.accounting.reset()
+
+    def __repr__(self) -> str:
+        return f"Mediator(databases={len(self._databases)})"

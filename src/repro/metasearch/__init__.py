@@ -1,0 +1,20 @@
+"""The metasearcher façade: train, select, search, fuse.
+
+:class:`Metasearcher` wires the whole pipeline together behind a
+three-call API (``train`` → ``select`` → ``search``);
+:mod:`~repro.metasearch.baselines` holds the estimation-based selectors
+the paper compares against; :mod:`~repro.metasearch.fusion` merges result
+pages from the selected databases (the paper's task 2).
+"""
+
+from repro.metasearch.baselines import EstimationBasedSelector
+from repro.metasearch.fusion import FusedHit, merge_results
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+
+__all__ = [
+    "EstimationBasedSelector",
+    "FusedHit",
+    "Metasearcher",
+    "MetasearcherConfig",
+    "merge_results",
+]

@@ -1,0 +1,52 @@
+"""Estimation-based database selection — the paper's baseline (§6.1).
+
+Rank databases by the point estimate r̂(db, q) and take the top k, ties
+broken by mediation order. With the term-independence estimator this is
+exactly the baseline row of the paper's Fig. 15; with the CORI estimator
+it is the classic CORI selection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.correctness import rank_by_relevancy
+from repro.exceptions import SelectionError
+from repro.hiddenweb.mediator import Mediator
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = ["EstimationBasedSelector"]
+
+
+class EstimationBasedSelector:
+    """Top-k by estimated relevancy, no probabilistic correction."""
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        summaries: Mapping[str, ContentSummary],
+        estimator: RelevancyEstimator,
+    ) -> None:
+        missing = [db.name for db in mediator if db.name not in summaries]
+        if missing:
+            raise SelectionError(f"missing summaries for databases: {missing}")
+        self._mediator = mediator
+        self._summaries = dict(summaries)
+        self._estimator = estimator
+
+    def estimates(self, query: Query) -> list[float]:
+        """r̂ for every database, in mediation order."""
+        return [
+            self._estimator.estimate(self._summaries[db.name], query)
+            for db in self._mediator
+        ]
+
+    def select(self, query: Query, k: int) -> tuple[str, ...]:
+        """Names of the k databases with the highest estimates."""
+        winners = rank_by_relevancy(self.estimates(query), k)
+        return tuple(self._mediator[i].name for i in winners)
+
+    def __repr__(self) -> str:
+        return f"EstimationBasedSelector(estimator={self._estimator!r})"

@@ -1,0 +1,66 @@
+"""Result fusion (the paper's task 2, Fig. 1 arrow 2).
+
+Merges the ranked first pages returned by the selected databases into a
+single list. Cosine scores from different databases are not directly
+comparable (idf statistics differ), so each source's scores are min-max
+normalized before interleaving — a standard CombMNZ-style treatment
+simplified for single-occurrence documents (a document lives in exactly
+one database here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Mapping
+
+from repro.types import SearchResult
+
+__all__ = ["FusedHit", "merge_results"]
+
+
+@dataclass(frozen=True, slots=True)
+class FusedHit:
+    """One merged hit: originating database, document id, fused score."""
+
+    database: str
+    doc_id: int
+    score: float
+
+
+def _normalized_scores(result: SearchResult) -> list[tuple[int, float]]:
+    hits = result.top_documents
+    if not hits:
+        return []
+    scores = [hit.score for hit in hits]
+    low, high = min(scores), max(scores)
+    if high == low:
+        return [(hit.doc_id, 1.0) for hit in hits]
+    return [
+        (hit.doc_id, (hit.score - low) / (high - low)) for hit in hits
+    ]
+
+
+def merge_results(
+    results: Mapping[str, SearchResult],
+    limit: int = 10,
+) -> list[FusedHit]:
+    """Fuse per-database result pages into one ranked list.
+
+    Parameters
+    ----------
+    results:
+        Mapping database-name -> its search result for the query.
+    limit:
+        Maximum number of fused hits returned.
+
+    Ties are broken by database name then document id, keeping the
+    merged ranking deterministic.
+    """
+    if limit < 0:
+        raise ValueError(f"limit must be non-negative, got {limit}")
+    fused: list[FusedHit] = []
+    for database, result in results.items():
+        for doc_id, score in _normalized_scores(result):
+            fused.append(FusedHit(database=database, doc_id=doc_id, score=score))
+    fused.sort(key=lambda hit: (-hit.score, hit.database, hit.doc_id))
+    return fused[:limit]

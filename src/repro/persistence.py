@@ -1,0 +1,112 @@
+"""Persistence for the trained metasearcher state.
+
+The expensive offline phase — exporting/sampling content summaries and
+probing databases for error distributions — should run once; this module
+saves its products (summaries + error model + classifier configuration)
+to a single JSON file and restores them into a ready
+:class:`~repro.core.selection.RDBasedSelector`.
+
+The saved file is versioned and self-describing; databases themselves
+(the corpora) are *not* stored — on load, the caller supplies a mediator
+whose database names must cover the saved summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.query_types import QueryTypeClassifier
+from repro.core.selection import RDBasedSelector
+from repro.core.training import ErrorModel
+from repro.exceptions import ConfigurationError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+
+__all__ = ["TrainedState", "save_trained_state", "load_trained_state"]
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TrainedState:
+    """Everything the query-time selector needs, minus the databases."""
+
+    summaries: dict[str, ContentSummary]
+    error_model: ErrorModel
+    estimate_thresholds: tuple[float, ...]
+    term_counts: tuple[int, ...]
+    definition: RelevancyDefinition
+
+    def classifier(self) -> QueryTypeClassifier:
+        """Rebuild the query-type classifier this state was trained with."""
+        return QueryTypeClassifier(
+            estimate_thresholds=self.estimate_thresholds,
+            term_counts=self.term_counts,
+        )
+
+    def selector(
+        self, mediator: Mediator, estimator: RelevancyEstimator
+    ) -> RDBasedSelector:
+        """Attach the state to live databases, yielding a selector.
+
+        Raises
+        ------
+        ConfigurationError
+            If the mediator contains a database with no saved summary.
+        """
+        missing = [
+            db.name for db in mediator if db.name not in self.summaries
+        ]
+        if missing:
+            raise ConfigurationError(
+                f"saved state lacks summaries for databases: {missing}"
+            )
+        return RDBasedSelector(
+            mediator=mediator,
+            summaries=self.summaries,
+            estimator=estimator,
+            error_model=self.error_model,
+            classifier=self.classifier(),
+            definition=self.definition,
+        )
+
+
+def save_trained_state(state: TrainedState, path: str | Path) -> None:
+    """Write *state* to *path* as versioned JSON."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "definition": state.definition.value,
+        "estimate_thresholds": list(state.estimate_thresholds),
+        "term_counts": list(state.term_counts),
+        "summaries": [
+            summary.to_dict() for _name, summary in sorted(state.summaries.items())
+        ],
+        "error_model": state.error_model.state_dict(),
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_trained_state(path: str | Path) -> TrainedState:
+    """Read a :func:`save_trained_state` file back."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trained-state format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    summaries = {
+        entry["database_name"]: ContentSummary.from_dict(entry)
+        for entry in payload["summaries"]
+    }
+    return TrainedState(
+        summaries=summaries,
+        error_model=ErrorModel.from_state_dict(payload["error_model"]),
+        estimate_thresholds=tuple(payload["estimate_thresholds"]),
+        term_counts=tuple(payload["term_counts"]),
+        definition=RelevancyDefinition(payload["definition"]),
+    )

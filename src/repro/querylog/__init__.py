@@ -1,0 +1,18 @@
+"""Query-trace generation and domain filtering.
+
+Reproduces the paper's query pipeline: a large Web query trace
+(simulated), a domain vocabulary extracted from authoritative topic pages
+(simulated from the topic catalogue), and a filter keeping multi-term
+queries with at least two in-domain terms. Train and test sets are
+disjoint by construction.
+"""
+
+from repro.querylog.generator import QueryTraceGenerator, TraceConfig
+from repro.querylog.vocabulary import domain_vocabulary, is_domain_query
+
+__all__ = [
+    "QueryTraceGenerator",
+    "TraceConfig",
+    "domain_vocabulary",
+    "is_domain_query",
+]

@@ -1,0 +1,198 @@
+"""Synthetic Web-query traces.
+
+A trace is a stream of 2- and 3-term keyword queries. Each query picks a
+topic (weighted toward the domain of interest, as a health-portal trace
+would be after filtering), draws distinct topic terms, and occasionally
+swaps in a background word or a second topic's term — producing the full
+range of estimator behaviour: strongly on-topic queries (correlated
+terms), fringe queries, and queries with zero matches on most databases.
+
+Queries are emitted as analyzed :class:`~repro.types.Query` objects with
+an exact post-analysis term count (surface forms that stem together are
+rejected and redrawn), so "2-term query" means the same thing to the
+generator, the estimators and the query-type classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.topics import TopicRegistry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.exceptions import ConfigurationError, EmptyQueryError
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+__all__ = ["TraceConfig", "QueryTraceGenerator"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Knobs of the trace generator.
+
+    Parameters
+    ----------
+    term_count_mix:
+        Mapping query length -> probability (post-analysis term counts).
+        The paper focuses on 2- and 3-term queries (web queries average
+        ~2.2 terms).
+    domain_weights:
+        Mapping topic-domain -> weight for choosing the query's topic
+        domain. Default is a health-dominated trace.
+    background_term_prob:
+        Probability that one term of the query is replaced by a shared
+        background word.
+    cross_topic_prob:
+        Probability that one term comes from a different topic of the
+        same domain (creates rare-co-occurrence queries).
+    """
+
+    term_count_mix: dict[int, float] = field(
+        default_factory=lambda: {2: 0.5, 3: 0.5}
+    )
+    domain_weights: dict[str, float] = field(
+        default_factory=lambda: {"health": 8.0, "science": 1.0, "news": 1.0}
+    )
+    background_term_prob: float = 0.25
+    cross_topic_prob: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.term_count_mix:
+            raise ConfigurationError("term_count_mix must not be empty")
+        if any(count < 1 for count in self.term_count_mix):
+            raise ConfigurationError("query lengths must be >= 1")
+        if any(prob < 0 for prob in self.term_count_mix.values()):
+            raise ConfigurationError("term-count probabilities must be >= 0")
+        if sum(self.term_count_mix.values()) <= 0:
+            raise ConfigurationError("term_count_mix has zero total mass")
+        for name, value in (
+            ("background_term_prob", self.background_term_prob),
+            ("cross_topic_prob", self.cross_topic_prob),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+class QueryTraceGenerator:
+    """Deterministic generator of analyzed keyword queries.
+
+    Parameters
+    ----------
+    registry:
+        Topic catalogue providing query vocabulary.
+    background:
+        Shared background vocabulary (same one the corpora use, so
+        background query terms actually occur in documents).
+    analyzer:
+        The indexing analyzer; generated queries are normalized with it.
+    config:
+        Trace shape; defaults to a health-dominated 2/3-term mix.
+    seed:
+        RNG seed.
+    """
+
+    _MAX_DRAWS_PER_QUERY = 64
+
+    def __init__(
+        self,
+        registry: TopicRegistry,
+        background: ZipfVocabulary,
+        analyzer: Analyzer | None = None,
+        config: TraceConfig | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._background = background
+        self._analyzer = analyzer or Analyzer()
+        self._config = config or TraceConfig()
+        self._rng = np.random.default_rng(seed)
+
+        domains = [
+            domain
+            for domain in self._config.domain_weights
+            if registry.in_domain(domain)
+        ]
+        if not domains:
+            raise ConfigurationError(
+                "no topic registry domain matches the configured weights"
+            )
+        weights = np.array(
+            [self._config.domain_weights[d] for d in domains], dtype=float
+        )
+        self._domains = domains
+        self._domain_probs = weights / weights.sum()
+        lengths = sorted(self._config.term_count_mix)
+        probs = np.array(
+            [self._config.term_count_mix[n] for n in lengths], dtype=float
+        )
+        self._lengths = lengths
+        self._length_probs = probs / probs.sum()
+
+    # -- single-query construction ---------------------------------------
+
+    def _draw_surface_terms(self, num_terms: int) -> list[str]:
+        rng = self._rng
+        domain = self._domains[
+            int(rng.choice(len(self._domains), p=self._domain_probs))
+        ]
+        topics = self._registry.in_domain(domain)
+        topic = topics[int(rng.integers(len(topics)))]
+        terms = topic.sample_distinct(rng, num_terms)
+        if num_terms >= 2 and rng.random() < self._config.cross_topic_prob:
+            other = topics[int(rng.integers(len(topics)))]
+            terms[-1] = other.sample_distinct(rng, 1)[0]
+        if num_terms >= 2 and rng.random() < self._config.background_term_prob:
+            slot = int(rng.integers(num_terms))
+            terms[slot] = self._background.sample(rng, 1)[0]
+        return terms
+
+    def next_query(self) -> Query:
+        """Generate one query with an exact post-analysis term count."""
+        num_terms = self._lengths[
+            int(self._rng.choice(len(self._lengths), p=self._length_probs))
+        ]
+        for _ in range(self._MAX_DRAWS_PER_QUERY):
+            surface = self._draw_surface_terms(num_terms)
+            try:
+                query = self._analyzer.query(" ".join(surface))
+            except EmptyQueryError:
+                continue
+            if query.num_terms == num_terms:
+                return query
+        raise ConfigurationError(
+            f"could not produce a {num_terms}-term query; the topic "
+            "vocabulary may be too small or collapse under stemming"
+        )
+
+    # -- batch construction ------------------------------------------------
+
+    def generate(self, count: int, unique: bool = True) -> list[Query]:
+        """Generate *count* queries; with ``unique`` duplicates are redrawn."""
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        queries: list[Query] = []
+        seen: set[Query] = set()
+        attempts_left = max(count * 50, 1000)
+        while len(queries) < count:
+            if attempts_left <= 0:
+                raise ConfigurationError(
+                    f"exhausted attempts generating {count} unique queries "
+                    f"(got {len(queries)}); enlarge the topic vocabulary"
+                )
+            attempts_left -= 1
+            query = self.next_query()
+            if unique:
+                if query in seen:
+                    continue
+                seen.add(query)
+            queries.append(query)
+        return queries
+
+    def train_test_split(
+        self, n_train: int, n_test: int
+    ) -> tuple[list[Query], list[Query]]:
+        """Two disjoint query sets (the paper's Q_train / Q_test)."""
+        combined = self.generate(n_train + n_test, unique=True)
+        return combined[:n_train], combined[n_train:]

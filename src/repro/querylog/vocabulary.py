@@ -1,0 +1,47 @@
+"""Domain vocabularies and query filtering.
+
+The paper built a health-care vocabulary from MedLinePlus topic pages and
+kept Web-trace queries using at least two vocabulary terms. Here the
+"topic pages" are the topic catalogue itself: the domain vocabulary is
+the analyzed union of all terms of the domain's topics.
+"""
+
+from __future__ import annotations
+
+from repro.corpus.topics import TopicRegistry
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+__all__ = ["domain_vocabulary", "is_domain_query"]
+
+
+def domain_vocabulary(
+    registry: TopicRegistry,
+    domain: str,
+    analyzer: Analyzer | None = None,
+) -> frozenset[str]:
+    """Analyzed index terms of every topic in *domain*.
+
+    Passing the same analyzer used for indexing guarantees the vocabulary
+    matches query terms exactly (both are post-stemming).
+    """
+    analyzer = analyzer or Analyzer()
+    terms: set[str] = set()
+    for topic in registry.in_domain(domain):
+        for word in topic.words:
+            terms.update(analyzer.analyze(word))
+    return frozenset(terms)
+
+
+def is_domain_query(
+    query: Query,
+    vocabulary: frozenset[str],
+    min_domain_terms: int = 2,
+) -> bool:
+    """True if *query* uses at least *min_domain_terms* vocabulary terms.
+
+    This is the paper's trace filter ("randomly pick multiple-term
+    queries that use at least two terms from our health-care vocabulary").
+    """
+    in_domain = sum(1 for term in query.terms if term in vocabulary)
+    return in_domain >= min_domain_terms

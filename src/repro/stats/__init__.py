@@ -1,0 +1,21 @@
+"""Statistics substrate: distributions, histograms, chi-square testing.
+
+Everything here is implemented from first principles (the incomplete
+gamma function backing the chi-square tail is written out, not imported),
+with scipy used only in the test suite as an oracle.
+"""
+
+from repro.stats.chisquare import ChiSquareResult, pearson_chi2_test
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.histogram import Histogram
+from repro.stats.special import chi2_sf, regularized_gamma_p, regularized_gamma_q
+
+__all__ = [
+    "ChiSquareResult",
+    "DiscreteDistribution",
+    "Histogram",
+    "chi2_sf",
+    "pearson_chi2_test",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+]

@@ -1,0 +1,97 @@
+"""Special functions: the regularized incomplete gamma function.
+
+Implements P(a, x) and Q(a, x) with the classic Numerical-Recipes pair of
+algorithms — a power series for x < a + 1 and a Lentz continued fraction
+otherwise — which is accurate to ~1e-12 over the chi-square range used
+here. ``chi2_sf`` builds the chi-square survival function on top.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["regularized_gamma_p", "regularized_gamma_q", "chi2_sf"]
+
+_MAX_ITERATIONS = 500
+_EPSILON = 1e-14
+_TINY = 1e-300
+
+
+def _gamma_p_series(a: float, x: float) -> float:
+    """Series expansion of P(a, x); converges fast for x < a + 1."""
+    term = 1.0 / a
+    total = term
+    denom = a
+    for _ in range(_MAX_ITERATIONS):
+        denom += 1.0
+        term *= x / denom
+        total += term
+        if abs(term) < abs(total) * _EPSILON:
+            break
+    log_prefactor = a * math.log(x) - x - math.lgamma(a)
+    return total * math.exp(log_prefactor)
+
+
+def _gamma_q_continued_fraction(a: float, x: float) -> float:
+    """Lentz continued fraction for Q(a, x); converges for x >= a + 1."""
+    b = x + 1.0 - a
+    c = 1.0 / _TINY
+    d = 1.0 / b
+    h = d
+    for i in range(1, _MAX_ITERATIONS + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _TINY:
+            d = _TINY
+        c = b + an / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            break
+    log_prefactor = a * math.log(x) - x - math.lgamma(a)
+    return h * math.exp(log_prefactor)
+
+
+def regularized_gamma_p(a: float, x: float) -> float:
+    """The regularized lower incomplete gamma function P(a, x).
+
+    P(a, x) = γ(a, x) / Γ(a), with P(a, 0) = 0 and P(a, ∞) = 1.
+    """
+    if a <= 0.0:
+        raise ValueError(f"a must be positive, got {a}")
+    if x < 0.0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        return min(1.0, max(0.0, _gamma_p_series(a, x)))
+    return min(1.0, max(0.0, 1.0 - _gamma_q_continued_fraction(a, x)))
+
+
+def regularized_gamma_q(a: float, x: float) -> float:
+    """The regularized upper incomplete gamma function Q(a, x) = 1 − P."""
+    if a <= 0.0:
+        raise ValueError(f"a must be positive, got {a}")
+    if x < 0.0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return min(1.0, max(0.0, 1.0 - _gamma_p_series(a, x)))
+    return min(1.0, max(0.0, _gamma_q_continued_fraction(a, x)))
+
+
+def chi2_sf(statistic: float, dof: int) -> float:
+    """Chi-square survival function P[X >= statistic] with *dof* degrees.
+
+    This is the p-value of a Pearson goodness-of-fit test.
+    """
+    if dof <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got {dof}")
+    if statistic < 0.0:
+        raise ValueError(f"statistic must be non-negative, got {statistic}")
+    return regularized_gamma_q(dof / 2.0, statistic / 2.0)

@@ -1,0 +1,174 @@
+"""Relevancy estimators: summary + query -> estimated relevancy r̂.
+
+The paper's baseline (and the input to its probabilistic model) is the
+**term-independence estimator** of Eq. 1, identical to bGlOSS's matching
+estimate. CORI and a max-similarity estimator are provided as additional
+baselines and as the estimator for the document-similarity relevancy
+definition.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from typing import Protocol
+
+from repro.exceptions import ConfigurationError
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = [
+    "RelevancyEstimator",
+    "TermIndependenceEstimator",
+    "CoriEstimator",
+    "GlossEstimator",
+    "MaxSimilarityEstimator",
+]
+
+
+class RelevancyEstimator(Protocol):
+    """Anything that maps (summary, query) to an estimated relevancy."""
+
+    def estimate(self, summary: ContentSummary, query: Query) -> float:
+        """Return r̂(db, q) for the summarized database."""
+        ...  # pragma: no cover - protocol signature
+
+
+class TermIndependenceEstimator:
+    """Eq. 1: r̂(db, q) = |db| · Π_i df(tᵢ)/|db|.
+
+    Assumes query terms are independently distributed over documents —
+    the assumption whose failure the paper's error distributions model.
+    This is also bGlOSS's estimate of the number of matching documents.
+    """
+
+    def estimate(self, summary: ContentSummary, query: Query) -> float:
+        estimate = float(summary.size)
+        for term in query.terms:
+            estimate *= summary.document_frequency(term) / summary.size
+        return estimate
+
+    def __repr__(self) -> str:
+        return "TermIndependenceEstimator()"
+
+
+class CoriEstimator:
+    """The CORI database-ranking score (Callan et al., inference nets).
+
+    Produces a belief score in (0, 1) rather than a match count; useful
+    only for *ranking* databases, so it serves as an alternative
+    selection baseline. Needs collection-wide statistics: constructor
+    takes every mediated summary.
+
+    score(db, q) = mean over query terms of (b + (1 − b) · T · I) with
+    T = df / (df + 50 + 150 · cw/avg_cw) and
+    I = log((n_db + 0.5)/cf(t)) / log(n_db + 1.0).
+    """
+
+    DEFAULT_BELIEF = 0.4
+
+    def __init__(
+        self,
+        summaries: Sequence[ContentSummary],
+        default_belief: float = DEFAULT_BELIEF,
+    ) -> None:
+        if not summaries:
+            raise ConfigurationError("CORI needs at least one summary")
+        if not 0.0 <= default_belief < 1.0:
+            raise ConfigurationError("default_belief must be in [0, 1)")
+        self._n_databases = len(summaries)
+        self._collection_frequency: dict[str, int] = {}
+        total_words = 0
+        for summary in summaries:
+            total_words += summary.vocabulary_size
+            for term in summary.terms():
+                self._collection_frequency[term] = (
+                    self._collection_frequency.get(term, 0) + 1
+                )
+        self._avg_cw = max(1.0, total_words / self._n_databases)
+        self._b = default_belief
+
+    def estimate(self, summary: ContentSummary, query: Query) -> float:
+        beliefs = []
+        for term in query.terms:
+            df = summary.document_frequency(term)
+            cf = self._collection_frequency.get(term, 0)
+            if df == 0 or cf == 0:
+                beliefs.append(self._b)
+                continue
+            t_component = df / (
+                df + 50.0 + 150.0 * summary.vocabulary_size / self._avg_cw
+            )
+            i_component = math.log((self._n_databases + 0.5) / cf) / math.log(
+                self._n_databases + 1.0
+            )
+            beliefs.append(self._b + (1.0 - self._b) * t_component * i_component)
+        return sum(beliefs) / len(beliefs)
+
+    def __repr__(self) -> str:
+        return f"CoriEstimator(databases={self._n_databases})"
+
+
+class GlossEstimator:
+    """gGlOSS's Sum(0) database-goodness estimate (Gravano & García-Molina).
+
+    For the vector-space retrieval model, gGlOSS keeps per-term weight
+    sums W(db, t) = Σ_d w(t, d) and estimates the database's *goodness*
+    for query q at threshold l = 0 as
+
+        Sum(0)(db, q) = Σ_{t ∈ q} qw(t) · W(db, t) · idf(db, t)
+
+    i.e. the total similarity mass the database could contribute. This
+    is a ranking score (not a match count) and serves as an additional
+    estimation-based selection baseline. Requires summaries built with
+    ``ExactSummaryBuilder(weights=True)``.
+    """
+
+    def estimate(self, summary: ContentSummary, query: Query) -> float:
+        total = 0.0
+        for term in query.terms:
+            weight_sum = summary.term_weight_sum(term)
+            if weight_sum == 0.0:
+                continue
+            idf = summary.idf(term)
+            total += idf * weight_sum * idf  # qw(t) = idf(t) for 1-tf queries
+        return total
+
+    def __repr__(self) -> str:
+        return "GlossEstimator()"
+
+
+class MaxSimilarityEstimator:
+    """Estimator for the document-similarity relevancy definition.
+
+    Estimates the cosine similarity of the database's best document by
+    assuming an "ideal responder" exists whenever every query term has
+    positive summary df: a document containing each present query term
+    once. Terms missing from the summary contribute nothing, so the
+    estimate degrades smoothly with coverage — the analogue of gGlOSS's
+    Max(l) estimate.
+    """
+
+    def estimate(self, summary: ContentSummary, query: Query) -> float:
+        # Terms the summary has never seen still weigh on the query side
+        # (at the rarest-possible idf, df = 1), so missing coverage
+        # degrades the estimate instead of silently vanishing.
+        default_idf = math.log(summary.size) + 1.0
+        query_weights = {
+            term: (summary.idf(term) if summary.contains(term) else default_idf)
+            for term in query.terms
+        }
+        query_norm = math.sqrt(sum(w * w for w in query_weights.values()))
+        if query_norm == 0.0:
+            return 0.0
+        covered = {
+            t: w for t, w in query_weights.items() if summary.contains(t)
+        }
+        doc_norm = math.sqrt(sum(w * w for w in covered.values()))
+        if doc_norm == 0.0:
+            return 0.0
+        dot = sum(w * w for w in covered.values())
+        return dot / (query_norm * doc_norm)
+
+    def __repr__(self) -> str:
+        return "MaxSimilarityEstimator()"

@@ -1,0 +1,152 @@
+"""The content summary: (term, document-frequency) pairs + database size.
+
+This is Figure 2 of the paper — the only statistic the metasearcher holds
+about a database before probing. Summaries may be exact or sampled;
+sampled summaries carry the sample size so estimators can judge fidelity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.exceptions import SummaryError
+
+__all__ = ["ContentSummary"]
+
+
+class ContentSummary:
+    """Immutable per-database statistics.
+
+    Parameters
+    ----------
+    database_name:
+        The summarized database.
+    size:
+        |db| — number of documents in the database (exported or estimated).
+    document_frequencies:
+        Mapping term -> number of documents containing the term. Under a
+        sampled summary these are *scaled-up estimates*.
+    sampled_documents:
+        ``None`` for an exact summary; otherwise the number of documents
+        the estimate is based on.
+    term_weight_sums:
+        Optional gGlOSS-style statistics: for each term, the sum of its
+        per-document weights (1 + log tf) over the database. Needed only
+        by the :class:`~repro.summaries.estimators.GlossEstimator`.
+    """
+
+    def __init__(
+        self,
+        database_name: str,
+        size: int,
+        document_frequencies: Mapping[str, int],
+        sampled_documents: int | None = None,
+        term_weight_sums: Mapping[str, float] | None = None,
+    ) -> None:
+        if size <= 0:
+            raise SummaryError(
+                f"summary of {database_name!r}: size must be positive, got {size}"
+            )
+        if sampled_documents is not None and sampled_documents <= 0:
+            raise SummaryError(
+                f"summary of {database_name!r}: sampled_documents must be positive"
+            )
+        for term, df in document_frequencies.items():
+            if df < 0 or df > size:
+                raise SummaryError(
+                    f"summary of {database_name!r}: df({term!r}) = {df} "
+                    f"outside [0, {size}]"
+                )
+        self.database_name = database_name
+        self.size = size
+        self._df = {t: df for t, df in document_frequencies.items() if df > 0}
+        self.sampled_documents = sampled_documents
+        self._weight_sums = (
+            {t: float(w) for t, w in term_weight_sums.items() if w > 0}
+            if term_weight_sums is not None
+            else None
+        )
+
+    @property
+    def has_weight_sums(self) -> bool:
+        """Whether gGlOSS weight-sum statistics are available."""
+        return self._weight_sums is not None
+
+    def term_weight_sum(self, term: str) -> float:
+        """Σ_d (1 + log tf(t, d)) for *term*, or 0 if unseen.
+
+        Raises :class:`SummaryError` when the summary was built without
+        weight-sum statistics.
+        """
+        if self._weight_sums is None:
+            raise SummaryError(
+                f"summary of {self.database_name!r} carries no gGlOSS "
+                "weight sums; rebuild with ExactSummaryBuilder(weights=True)"
+            )
+        return self._weight_sums.get(term, 0.0)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when built from full statistics rather than a sample."""
+        return self.sampled_documents is None
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of terms with positive document frequency."""
+        return len(self._df)
+
+    def document_frequency(self, term: str) -> int:
+        """r(db, t): documents containing *term* (0 if unseen)."""
+        return self._df.get(term, 0)
+
+    def contains(self, term: str) -> bool:
+        """Whether the summary has seen *term* at all."""
+        return term in self._df
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency from summary statistics."""
+        df = self.document_frequency(term)
+        if df == 0:
+            return 0.0
+        return math.log(self.size / df) + 1.0
+
+    def terms(self):
+        """All summarized terms (positive df)."""
+        return self._df.keys()
+
+    def items(self):
+        """(term, df) pairs."""
+        return self._df.items()
+
+    # -- persistence ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form of the summary."""
+        payload = {
+            "database_name": self.database_name,
+            "size": self.size,
+            "sampled_documents": self.sampled_documents,
+            "document_frequencies": dict(sorted(self._df.items())),
+        }
+        if self._weight_sums is not None:
+            payload["term_weight_sums"] = dict(sorted(self._weight_sums.items()))
+        return payload
+
+    @classmethod
+    def from_dict(cls, state: dict) -> "ContentSummary":
+        """Reconstruct a summary from :meth:`to_dict` output."""
+        return cls(
+            database_name=state["database_name"],
+            size=state["size"],
+            document_frequencies=state["document_frequencies"],
+            sampled_documents=state["sampled_documents"],
+            term_weight_sums=state.get("term_weight_sums"),
+        )
+
+    def __repr__(self) -> str:
+        kind = "exact" if self.is_exact else f"sampled({self.sampled_documents})"
+        return (
+            f"ContentSummary({self.database_name!r}, size={self.size}, "
+            f"terms={len(self._df)}, {kind})"
+        )

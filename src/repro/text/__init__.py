@@ -1,0 +1,19 @@
+"""Text-analysis substrate: tokenization, stopwords, stemming.
+
+The analyzer pipeline turns raw text into index terms and is shared by the
+search engine, the summary builders and the query-log tooling so that the
+whole system agrees on what a "term" is.
+"""
+
+from repro.text.analyzer import Analyzer
+from repro.text.porter import PorterStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.tokenize import tokenize
+
+__all__ = [
+    "Analyzer",
+    "PorterStemmer",
+    "DEFAULT_STOPWORDS",
+    "is_stopword",
+    "tokenize",
+]

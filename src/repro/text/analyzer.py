@@ -1,0 +1,93 @@
+"""The analyzer pipeline: raw text -> index terms.
+
+One :class:`Analyzer` instance is shared between the index side and the
+query side of the system so that both agree on normalization. The pipeline
+is tokenize -> stopword filter -> (optional) Porter stem -> length filter.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.exceptions import EmptyQueryError
+from repro.text.porter import PorterStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokenize import iter_tokens
+from repro.types import Query
+
+__all__ = ["Analyzer"]
+
+
+class Analyzer:
+    """Configurable text-analysis pipeline.
+
+    Parameters
+    ----------
+    stem:
+        Apply the Porter stemmer to each surviving token (default ``True``).
+    stopwords:
+        Set of tokens removed before stemming; pass an empty set to keep
+        everything. Defaults to :data:`~repro.text.stopwords.DEFAULT_STOPWORDS`.
+    min_length:
+        Tokens shorter than this (pre-stemming) are dropped. Default 2.
+    """
+
+    def __init__(
+        self,
+        stem: bool = True,
+        stopwords: Iterable[str] | None = None,
+        min_length: int = 2,
+    ) -> None:
+        self._stemmer = PorterStemmer() if stem else None
+        self._stopwords = (
+            frozenset(stopwords) if stopwords is not None else DEFAULT_STOPWORDS
+        )
+        self._min_length = min_length
+        # token -> processed term, or None if the token is dropped.
+        # Corpora reuse a bounded vocabulary, so memoizing per-token work
+        # (stopword check + stemming) makes indexing linear in tokens.
+        self._cache: dict[str, str | None] = {}
+
+    def _process(self, token: str) -> str | None:
+        if len(token) < self._min_length or token in self._stopwords:
+            return None
+        if self._stemmer is not None:
+            return self._stemmer.stem(token)
+        return token
+
+    def analyze(self, text: str) -> list[str]:
+        """Return the index terms of *text*, in order, duplicates kept."""
+        cache = self._cache
+        terms = []
+        for token in iter_tokens(text):
+            try:
+                term = cache[token]
+            except KeyError:
+                term = cache[token] = self._process(token)
+            if term is not None:
+                terms.append(term)
+        return terms
+
+    def query(self, text: str) -> Query:
+        """Analyze *text* into a :class:`~repro.types.Query`.
+
+        Duplicate terms are removed (keyword interfaces treat a repeated
+        term as a single conjunct) while first-occurrence order is kept.
+
+        Raises
+        ------
+        EmptyQueryError
+            If no term survives analysis.
+        """
+        seen: dict[str, None] = {}
+        for term in self.analyze(text):
+            seen.setdefault(term)
+        if not seen:
+            raise EmptyQueryError(f"query text {text!r} has no searchable terms")
+        return Query(tuple(seen))
+
+    def __repr__(self) -> str:
+        return (
+            f"Analyzer(stem={self._stemmer is not None}, "
+            f"stopwords={len(self._stopwords)}, min_length={self._min_length})"
+        )

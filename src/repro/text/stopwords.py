@@ -1,0 +1,31 @@
+"""English stopword list.
+
+The list is the classic van Rijsbergen / SMART-style core set trimmed to
+function words. Stopwords are dropped both at indexing time and at query
+time so document statistics and query statistics stay comparable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DEFAULT_STOPWORDS", "is_stopword"]
+
+DEFAULT_STOPWORDS: frozenset[str] = frozenset(
+    """
+    a about above after again against all am an and any are aren as at be
+    because been before being below between both but by can cannot could
+    couldn did didn do does doesn doing don down during each few for from
+    further had hadn has hasn have haven having he her here hers herself
+    him himself his how i if in into is isn it its itself just me more
+    most mustn my myself no nor not of off on once only or other ought
+    our ours ourselves out over own same shan she should shouldn so some
+    such than that the their theirs them themselves then there these they
+    this those through to too under until up very was wasn we were weren
+    what when where which while who whom why will with won would wouldn
+    you your yours yourself yourselves
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """Return ``True`` if *token* is in the default stopword list."""
+    return token in DEFAULT_STOPWORDS

@@ -1,0 +1,34 @@
+"""Lexical tokenization.
+
+A deliberately simple, deterministic tokenizer: lowercase alphanumeric
+runs, with embedded apostrophes and hyphens collapsed. Matches the level
+of text processing assumed by classic metasearch literature (GlOSS, CORI),
+where a term is a case-folded word.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator
+
+__all__ = ["tokenize", "iter_tokens"]
+
+# A token is a letter/digit run; internal apostrophes ("don't") and
+# hyphens ("tf-idf") are treated as joiners and removed afterwards.
+_TOKEN_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+_JOINER_RE = re.compile(r"['\-]")
+
+
+def iter_tokens(text: str) -> Iterator[str]:
+    """Yield normalized tokens from *text* in order of appearance."""
+    for match in _TOKEN_RE.finditer(text.lower()):
+        yield _JOINER_RE.sub("", match.group())
+
+
+def tokenize(text: str) -> list[str]:
+    """Return the list of normalized tokens in *text*.
+
+    >>> tokenize("Breast-Cancer trials, Phase II!")
+    ['breastcancer', 'trials', 'phase', 'ii']
+    """
+    return list(iter_tokens(text))

@@ -1,0 +1,86 @@
+"""Shared value types used across the library.
+
+These are deliberately small, immutable dataclasses: a :class:`Document`
+is what corpora produce and engines index; a :class:`Query` is an analyzed
+bag of terms; a :class:`SearchResult` is what a Hidden-Web search interface
+returns for one query (the only information a metasearcher can observe
+without crawling the database).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Document", "Query", "ScoredDocument", "SearchResult"]
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """A single indexable document.
+
+    Parameters
+    ----------
+    doc_id:
+        Identifier unique within its database.
+    text:
+        Raw document text (pre-analysis).
+    topic:
+        Optional label of the dominant topic that generated the document.
+        Synthetic corpora fill this in; it is never consulted by the
+        selection algorithms, only by diagnostics and tests.
+    """
+
+    doc_id: int
+    text: str
+    topic: str | None = None
+
+
+@dataclass(frozen=True)
+class Query:
+    """An analyzed keyword query: an ordered tuple of index terms.
+
+    Queries compare and hash by their terms, so a query can key
+    dictionaries (e.g. golden-standard caches) directly.
+    """
+
+    terms: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("a Query requires at least one term")
+
+    @property
+    def num_terms(self) -> int:
+        """Number of terms in the query."""
+        return len(self.terms)
+
+    def __str__(self) -> str:
+        return " ".join(self.terms)
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredDocument:
+    """One ranked search hit: a document plus its retrieval score."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """What a Hidden-Web database reports for one query.
+
+    Mirrors a real deep-web answer page: the number of matching documents
+    (most engines print "N results") and the first page of ranked hits.
+    """
+
+    query: Query
+    num_matches: int
+    top_documents: tuple[ScoredDocument, ...] = field(default_factory=tuple)
+
+    @property
+    def best_score(self) -> float:
+        """Similarity of the most relevant returned document (0 if none)."""
+        if not self.top_documents:
+            return 0.0
+        return self.top_documents[0].score

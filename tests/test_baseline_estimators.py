@@ -1,0 +1,112 @@
+"""Tests for the extra estimation baselines: gGlOSS and ReDDE."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, SummaryError
+from repro.metasearch.redde import ReddeSelector
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import GlossEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+
+class TestWeightSums:
+    def test_exact_builder_with_weights(self, tiny_mediator):
+        summary = ExactSummaryBuilder(weights=True).build(tiny_mediator[0])
+        assert summary.has_weight_sums
+        term = next(iter(summary.terms()))
+        # Weight sum >= df (each occurrence contributes at least 1.0).
+        assert summary.term_weight_sum(term) >= summary.document_frequency(
+            term
+        )
+
+    def test_exact_builder_without_weights(self, tiny_mediator):
+        summary = ExactSummaryBuilder().build(tiny_mediator[0])
+        assert not summary.has_weight_sums
+        with pytest.raises(SummaryError):
+            summary.term_weight_sum("anything")
+
+    def test_weight_sums_survive_serialization(self):
+        summary = ContentSummary(
+            "db", 10, {"a": 2}, term_weight_sums={"a": 3.5}
+        )
+        restored = ContentSummary.from_dict(summary.to_dict())
+        assert restored.has_weight_sums
+        assert restored.term_weight_sum("a") == pytest.approx(3.5)
+
+
+class TestGlossEstimator:
+    def test_zero_for_unseen_terms(self):
+        summary = ContentSummary(
+            "db", 100, {"a": 5}, term_weight_sums={"a": 6.0}
+        )
+        estimator = GlossEstimator()
+        assert estimator.estimate(summary, Query(("zebra",))) == 0.0
+
+    def test_monotone_in_weight_mass(self):
+        light = ContentSummary(
+            "db", 100, {"a": 5}, term_weight_sums={"a": 6.0}
+        )
+        heavy = ContentSummary(
+            "db", 100, {"a": 5}, term_weight_sums={"a": 60.0}
+        )
+        estimator = GlossEstimator()
+        query = Query(("a",))
+        assert estimator.estimate(heavy, query) > estimator.estimate(
+            light, query
+        )
+
+    def test_ranks_topical_database_higher(self, tiny_mediator):
+        builder = ExactSummaryBuilder(weights=True)
+        onco = builder.build(tiny_mediator["onco"])
+        news = builder.build(tiny_mediator["news"])
+        estimator = GlossEstimator()
+        query = Query(("cancer", "tumor"))
+        assert estimator.estimate(onco, query) > estimator.estimate(
+            news, query
+        )
+
+
+class TestReddeSelector:
+    @pytest.fixture(scope="class")
+    def redde(self, tiny_mediator, analyzer):
+        return ReddeSelector(
+            tiny_mediator,
+            analyzer=analyzer,
+            seed_terms=["cancer", "heart", "diet", "election", "virus"],
+            sample_size=40,
+            max_probes=120,
+            top_documents=30,
+            seed=5,
+        )
+
+    def test_selects_k_databases(self, redde, analyzer):
+        names = redde.select(analyzer.query("cancer treatment"), 2)
+        assert len(names) == 2
+
+    def test_topical_query_prefers_topical_database(self, redde, analyzer):
+        names = redde.select(analyzer.query("cancer tumor"), 1)
+        assert names[0] in ("onco", "broad")
+
+    def test_scores_scale_with_database_size(self, redde, analyzer):
+        scores = redde.scores(analyzer.query("cancer tumor"))
+        assert len(scores) == 4
+        assert all(score >= 0 for score in scores)
+
+    def test_sampling_costs_probes(self, tiny_mediator, analyzer):
+        before = tiny_mediator.total_probes()
+        ReddeSelector(
+            tiny_mediator,
+            analyzer=analyzer,
+            seed_terms=["cancer", "heart", "election"],
+            sample_size=10,
+            max_probes=30,
+            seed=6,
+        )
+        assert tiny_mediator.total_probes() > before
+
+    def test_invalid_configuration(self, tiny_mediator, analyzer):
+        with pytest.raises(ConfigurationError):
+            ReddeSelector(tiny_mediator, analyzer=analyzer, sample_size=0)
+        with pytest.raises(ConfigurationError):
+            ReddeSelector(tiny_mediator, analyzer=analyzer, top_documents=0)

@@ -1,0 +1,64 @@
+"""Tests for batched (parallel) probing — the latency extension."""
+
+import pytest
+
+from repro.core.probing import APro
+from repro.exceptions import ProbingError
+
+
+class TestBatchedProbing:
+    def test_batch_one_equals_sequential(self, trained_pipeline):
+        apro = APro(trained_pipeline["selector"])
+        query = trained_pipeline["test_queries"][0]
+        sequential = apro.run(query, k=1, threshold=0.95)
+        explicit = apro.run(query, k=1, threshold=0.95, batch_size=1)
+        assert [r.index for r in sequential.records] == [
+            r.index for r in explicit.records
+        ]
+
+    def test_batched_reaches_threshold(self, trained_pipeline):
+        apro = APro(trained_pipeline["selector"])
+        for query in trained_pipeline["test_queries"][:8]:
+            session = apro.run(query, k=1, threshold=0.95, batch_size=2)
+            assert session.satisfied
+
+    def test_batched_never_fewer_probes(self, trained_pipeline):
+        """Batching may overshoot (it commits to b probes before seeing
+        outcomes) but never undershoots the sequential run."""
+        apro = APro(trained_pipeline["selector"])
+        for query in trained_pipeline["test_queries"][:8]:
+            sequential = apro.run(query, k=1, threshold=0.9)
+            batched = apro.run(query, k=1, threshold=0.9, batch_size=3)
+            assert batched.num_probes >= sequential.num_probes
+            # And never probes beyond one extra (incomplete) round.
+            assert batched.num_probes <= sequential.num_probes + 3
+
+    def test_batched_rounds_fewer_than_probes(self, trained_pipeline):
+        """The point of batching: decision rounds shrink by ~batch size."""
+        apro = APro(trained_pipeline["selector"])
+        query = trained_pipeline["test_queries"][1]
+        batched = apro.run(query, k=1, threshold=1.0, batch_size=2)
+        if batched.num_probes >= 2:
+            rounds = (batched.num_probes + 1) // 2
+            assert rounds < batched.num_probes
+
+    def test_batch_respects_max_probes(self, trained_pipeline):
+        apro = APro(trained_pipeline["selector"])
+        query = trained_pipeline["test_queries"][2]
+        session = apro.run(
+            query, k=1, threshold=1.0, batch_size=3, max_probes=2
+        )
+        assert session.num_probes <= 2
+
+    def test_batch_never_repeats_database(self, trained_pipeline):
+        apro = APro(trained_pipeline["selector"])
+        query = trained_pipeline["test_queries"][3]
+        session = apro.run(query, k=2, threshold=1.0, batch_size=3)
+        indices = [record.index for record in session.records]
+        assert len(indices) == len(set(indices))
+
+    def test_invalid_batch_size(self, trained_pipeline):
+        apro = APro(trained_pipeline["selector"])
+        query = trained_pipeline["test_queries"][0]
+        with pytest.raises(ProbingError):
+            apro.run(query, k=1, threshold=0.5, batch_size=0)

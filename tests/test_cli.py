@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = [
+    "--scale", "0.03",
+    "--train-queries", "60",
+    "--test-queries", "10",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.k == 3
+        assert args.certainty == 0.8
+
+    def test_fig_choices(self):
+        args = build_parser().parse_args(["fig", "15"])
+        assert args.artifact == "15"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "99"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(
+            ["--scale", "0.5", "--seed", "7", "demo"]
+        )
+        assert args.scale == 0.5
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        code = main(SMALL + ["demo", "--k", "1", "--certainty", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Selected" in out
+        assert "Certainty" in out
+
+    def test_fig15_runs(self, capsys):
+        code = main(SMALL + ["fig", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Avg(Cor_a)" in out
+
+    def test_fig17_runs(self, capsys):
+        code = main(SMALL + ["fig", "17"])
+        assert code == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_train_saves_state(self, tmp_path, capsys):
+        target = tmp_path / "state.json"
+        code = main(SMALL + ["train", str(target)])
+        assert code == 0
+        assert target.exists()
+        from repro.persistence import load_trained_state
+
+        state = load_trained_state(target)
+        assert len(state.summaries) == 20

@@ -1,0 +1,177 @@
+"""Unit tests for the error model: Eq. 2, EDs, query types."""
+
+import pytest
+
+from repro.core.errors import (
+    DEFAULT_ERROR_EDGES,
+    DEFAULT_ESTIMATE_FLOOR,
+    ErrorDistribution,
+    relative_error,
+)
+from repro.core.query_types import QueryType, QueryTypeClassifier
+from repro.exceptions import ConfigurationError, DistributionError, TrainingError
+from repro.types import Query
+
+
+class TestRelativeError:
+    def test_paper_fig3b(self):
+        # Fig. 3(b): estimated 650, actual 1300 -> +100 % error
+        # ("the estimator underestimates db2's relevancy by 100 %").
+        assert relative_error(1300, 650) == pytest.approx(1.0)
+
+    def test_overestimate_is_negative(self):
+        assert relative_error(50, 100) == pytest.approx(-0.5)
+
+    def test_actual_zero_is_minus_one(self):
+        assert relative_error(0, 200) == pytest.approx(-1.0)
+
+    def test_exact_estimate_zero_error(self):
+        assert relative_error(42, 42) == 0.0
+
+    def test_floor_applies_to_small_estimates(self):
+        # With estimate 0.001 << floor, the error is (r - r̂)/floor.
+        error = relative_error(3, 0.001, estimate_floor=0.05)
+        assert error == pytest.approx((3 - 0.001) / 0.05)
+
+    def test_floor_does_not_apply_above(self):
+        assert relative_error(20, 10, estimate_floor=0.05) == pytest.approx(1.0)
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            relative_error(1, 1, estimate_floor=0.0)
+
+    def test_negative_actual_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(-1, 10)
+
+    def test_errors_bounded_below(self):
+        # Actual relevancy >= 0 implies error >= -1 whenever r̂ >= floor.
+        for actual in (0, 1, 7, 1000):
+            assert relative_error(actual, 10) >= -1.0
+
+
+class TestErrorDistribution:
+    def test_observe_and_distribution(self):
+        ed = ErrorDistribution()
+        ed.observe_all([-0.5, -0.5, 0.0, 1.5])
+        assert ed.sample_count == 4
+        dist = ed.to_distribution()
+        assert dist.support_size >= 2
+        assert sum(p for _v, p in dist.atoms()) == pytest.approx(1.0)
+
+    def test_empty_distribution_raises(self):
+        with pytest.raises(TrainingError):
+            ErrorDistribution().to_distribution()
+
+    def test_mean_error_tracks_bias(self):
+        ed = ErrorDistribution()
+        ed.observe_all([1.0] * 10)
+        assert ed.mean_error() == pytest.approx(1.0, abs=0.01)
+
+    def test_bin_representative_is_sample_mean(self):
+        # Samples 2.5 and 3.5 land in the (2, 4] bin; the distribution
+        # should place that bin's atom at their mean, 3.0.
+        ed = ErrorDistribution()
+        ed.observe_all([2.5, 3.5])
+        dist = ed.to_distribution()
+        assert dist.prob_of(3.0) == pytest.approx(1.0)
+
+    def test_merged_with(self):
+        a = ErrorDistribution()
+        a.observe_all([-1.0, -1.0])
+        b = ErrorDistribution()
+        b.observe_all([0.0, 0.0])
+        merged = a.merged_with(b)
+        assert merged.sample_count == 4
+        assert a.sample_count == 2  # originals untouched
+
+    def test_chi2_same_distribution_accepts(self):
+        a = ErrorDistribution()
+        b = ErrorDistribution()
+        samples = [-0.9, -0.5, 0.0, 0.3, 1.5, 3.0] * 20
+        a.observe_all(samples)
+        b.observe_all(samples)
+        assert a.chi2_against(b).p_value == pytest.approx(1.0)
+
+    def test_chi2_different_distribution_rejects(self):
+        a = ErrorDistribution()
+        a.observe_all([-1.0] * 100)
+        b = ErrorDistribution()
+        b.observe_all([5.0] * 100)
+        assert a.chi2_against(b).p_value < 0.01
+
+    def test_chi2_mismatched_edges(self):
+        a = ErrorDistribution(edges=(0.0, 1.0))
+        b = ErrorDistribution(edges=(0.0, 2.0))
+        a.observe(0.5)
+        b.observe(0.5)
+        with pytest.raises(DistributionError):
+            a.chi2_against(b)
+
+    def test_default_edges_cover_minus_one(self):
+        assert DEFAULT_ERROR_EDGES[0] == -1.0
+        assert DEFAULT_ESTIMATE_FLOOR > 0
+
+
+class TestQueryType:
+    def test_ordering(self):
+        assert QueryType(2, 0) < QueryType(2, 1) < QueryType(3, 0)
+
+    def test_label(self):
+        assert "2-term" in QueryType(2, 1).label()
+        label = QueryType(2, 0).label(thresholds=(10.0,))
+        assert "r̂ < 10" in label
+        label = QueryType(2, 1).label(thresholds=(10.0,))
+        assert "r̂ >= 10" in label
+
+
+class TestQueryTypeClassifier:
+    def test_paper_tree_two_bands(self):
+        classifier = QueryTypeClassifier(
+            estimate_thresholds=QueryTypeClassifier.PAPER_THRESHOLDS
+        )
+        assert classifier.num_bands == 2
+        query = Query(("breast", "cancer"))
+        assert classifier.classify(query, 5.0).estimate_band == 0
+        assert classifier.classify(query, 10.0).estimate_band == 1
+        assert classifier.classify(query, 500.0).estimate_band == 1
+
+    def test_default_tree_band_boundaries(self):
+        classifier = QueryTypeClassifier()
+        bands = [classifier.band_of(e) for e in (0.0, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)]
+        assert bands == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_term_count_clamping(self):
+        classifier = QueryTypeClassifier()
+        assert classifier.classify(Query(("a",)), 0.0).num_terms == 2
+        four = Query(("a", "b", "c", "d"))
+        assert classifier.classify(four, 0.0).num_terms == 3
+
+    def test_all_types_count(self):
+        classifier = QueryTypeClassifier(estimate_thresholds=(10.0,))
+        assert len(classifier.all_types()) == 4  # 2 term counts x 2 bands
+
+    def test_split_disabled(self):
+        classifier = QueryTypeClassifier(split_on_estimate=False)
+        assert classifier.num_bands == 1
+        assert classifier.band_of(1e9) == 0
+        assert len(classifier.all_types()) == 2
+
+    def test_scalar_threshold_accepted(self):
+        classifier = QueryTypeClassifier(estimate_thresholds=10.0)
+        assert classifier.estimate_thresholds == (10.0,)
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            QueryTypeClassifier(estimate_thresholds=())
+        with pytest.raises(ConfigurationError):
+            QueryTypeClassifier(estimate_thresholds=(5.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            QueryTypeClassifier(estimate_thresholds=(-1.0,))
+        with pytest.raises(ConfigurationError):
+            QueryTypeClassifier(term_counts=())
+
+    def test_label_uses_thresholds(self):
+        classifier = QueryTypeClassifier(estimate_thresholds=(1.0, 10.0))
+        label = classifier.label(QueryType(2, 1))
+        assert "1" in label and "10" in label

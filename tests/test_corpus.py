@@ -1,0 +1,255 @@
+"""Unit tests for the synthetic corpora: vocabularies, topics, generators."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.collections import (
+    HEALTH_TESTBED_SPECS,
+    build_health_testbed,
+)
+from repro.corpus.collections import testbed_specs as make_testbed_specs
+from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+from repro.corpus.newsgroups import build_newsgroup_testbed, newsgroup_specs
+from repro.corpus.topics import Topic, TopicRegistry, default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary, pseudo_words, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(100).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(50)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_exponent_effect(self):
+        flat = zipf_weights(100, exponent=0.5)
+        steep = zipf_weights(100, exponent=2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestPseudoWords:
+    def test_count_and_uniqueness(self):
+        rng = np.random.default_rng(5)
+        words = pseudo_words(200, rng)
+        assert len(words) == 200
+        assert len(set(words)) == 200
+
+    def test_respects_reserved(self):
+        rng = np.random.default_rng(5)
+        reserved = set(pseudo_words(50, np.random.default_rng(5)))
+        words = pseudo_words(50, rng, reserved=reserved)
+        assert not reserved & set(words)
+
+    def test_deterministic(self):
+        a = pseudo_words(20, np.random.default_rng(9))
+        b = pseudo_words(20, np.random.default_rng(9))
+        assert a == b
+
+    def test_pronounceable_shape(self):
+        words = pseudo_words(50, np.random.default_rng(1))
+        assert all(word.isalpha() and word.islower() for word in words)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            pseudo_words(-1, np.random.default_rng(0))
+
+
+class TestZipfVocabulary:
+    def test_anchors_lead(self):
+        vocab = ZipfVocabulary(50, seed=1, anchors=("cancer", "heart"))
+        assert vocab.words[:2] == ("cancer", "heart")
+        assert len(vocab) == 50
+
+    def test_contains(self):
+        vocab = ZipfVocabulary(30, seed=2, anchors=("cancer",))
+        assert "cancer" in vocab
+        assert "notaword" not in vocab
+
+    def test_sampling_respects_weights(self):
+        vocab = ZipfVocabulary(100, seed=3)
+        rng = np.random.default_rng(4)
+        sample = vocab.sample(rng, 5000)
+        # The rank-1 word must be sampled more than a mid-rank word.
+        assert sample.count(vocab.words[0]) > sample.count(vocab.words[50])
+
+    def test_size_smaller_than_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfVocabulary(1, seed=0, anchors=("a", "b"))
+
+
+class TestTopic:
+    def test_facet_striping(self, registry):
+        topic = registry["oncology"]
+        facets = topic.facet_of_term
+        # Striping: consecutive ranks cycle facets.
+        assert facets[0] != facets[1]
+        assert facets[0] == facets[topic.num_facets]
+
+    def test_sample_distinct(self, registry):
+        topic = registry["oncology"]
+        rng = np.random.default_rng(6)
+        terms = topic.sample_distinct(rng, 5)
+        assert len(terms) == len(set(terms)) == 5
+
+    def test_sample_distinct_too_many(self, registry):
+        topic = registry["oncology"]
+        with pytest.raises(ValueError):
+            topic.sample_distinct(np.random.default_rng(0), 10_000)
+
+    def test_facet_sampling_stays_in_facet(self, registry):
+        topic = registry["cardiology"]
+        rng = np.random.default_rng(7)
+        facet_terms = set(topic.sample_facet_terms(rng, 200, facet=1))
+        allowed = {
+            topic.words[i]
+            for i in range(len(topic.words))
+            if topic.facet_of_term[i] == 1
+        }
+        assert facet_terms <= allowed
+
+    def test_invalid_facets(self):
+        with pytest.raises(ValueError):
+            Topic("x", "health", ("a",), vocab_size=10, num_facets=0)
+
+    def test_vocab_smaller_than_anchors(self):
+        with pytest.raises(ValueError):
+            Topic("x", "health", ("a", "b", "c"), vocab_size=2)
+
+
+class TestTopicRegistry:
+    def test_default_has_three_domains(self, registry):
+        assert len(registry.in_domain("health")) == 10
+        assert len(registry.in_domain("science")) == 4
+        assert len(registry.in_domain("news")) == 3
+
+    def test_lookup_by_name(self, registry):
+        assert registry["oncology"].name == "oncology"
+        assert "oncology" in registry
+
+    def test_duplicate_names_rejected(self):
+        topic = Topic("dup", "health", ("a",), vocab_size=10)
+        with pytest.raises(ValueError):
+            TopicRegistry([topic, topic])
+
+    def test_anchor_terms_recognizable(self, registry):
+        assert "cancer" in registry["oncology"].words
+        assert "heart" in registry["cardiology"].words
+
+    def test_deterministic_by_seed(self):
+        a = default_topic_registry(seed=42)
+        b = default_topic_registry(seed=42)
+        assert a["oncology"].words == b["oncology"].words
+
+
+class TestDatabaseSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseSpec("x", 0, {"oncology": 1})
+        with pytest.raises(ValueError):
+            DatabaseSpec("x", 10, {})
+        with pytest.raises(ValueError):
+            DatabaseSpec("x", 10, {"oncology": -1})
+        with pytest.raises(ValueError):
+            DatabaseSpec("x", 10, {"oncology": 1}, background_fraction=1.0)
+        with pytest.raises(ValueError):
+            DatabaseSpec("x", 10, {"oncology": 1}, facet_skew=0.0)
+
+    def test_scaled(self):
+        spec = DatabaseSpec("x", 1000, {"oncology": 1}, seed=3)
+        half = spec.scaled(0.5)
+        assert half.size == 500
+        assert half.seed == spec.seed
+        assert half.topic_mixture == spec.topic_mixture
+
+    def test_scaled_floor(self):
+        spec = DatabaseSpec("x", 20, {"oncology": 1})
+        assert spec.scaled(0.01).size == 10
+
+
+class TestDocumentGenerator:
+    def test_generates_requested_count(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec("t", 40, {"oncology": 1}, seed=8)
+        docs = generator.generate(spec)
+        assert len(docs) == 40
+        assert [d.doc_id for d in docs] == list(range(40))
+
+    def test_deterministic(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec("t", 10, {"oncology": 1}, seed=9)
+        assert [d.text for d in generator.generate(spec)] == [
+            d.text for d in generator.generate(spec)
+        ]
+
+    def test_topic_labels_from_mixture(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec(
+            "t", 60, {"oncology": 1, "cardiology": 1}, seed=10
+        )
+        topics = {d.topic for d in generator.generate(spec)}
+        assert topics <= {"oncology", "cardiology"}
+        assert len(topics) == 2
+
+    def test_unknown_topic_rejected(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec("t", 10, {"nosuchtopic": 1})
+        with pytest.raises(KeyError):
+            generator.generate(spec)
+
+    def test_mixture_weights_respected(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec(
+            "t", 400, {"oncology": 9, "cardiology": 1}, seed=11
+        )
+        docs = generator.generate(spec)
+        onco = sum(1 for d in docs if d.topic == "oncology")
+        assert onco > 300
+
+    def test_background_fraction_zero(self, registry, background_vocab):
+        generator = DocumentGenerator(registry, background_vocab)
+        spec = DatabaseSpec(
+            "t", 20, {"oncology": 1}, background_fraction=0.0, seed=12
+        )
+        topic_words = set(registry["oncology"].words)
+        for doc in generator.generate(spec):
+            assert set(doc.text.split()) <= topic_words
+
+
+class TestTestbeds:
+    def test_twenty_databases(self):
+        assert len(HEALTH_TESTBED_SPECS) == 20
+        names = [spec.name for spec in HEALTH_TESTBED_SPECS]
+        assert len(set(names)) == 20
+
+    def test_scaled_specs(self):
+        specs = make_testbed_specs(scale=0.1)
+        for spec, original in zip(specs, HEALTH_TESTBED_SPECS):
+            assert spec.size == max(10, round(original.size * 0.1))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_testbed_specs(scale=0)
+
+    def test_build_health_testbed_small(self):
+        corpora = build_health_testbed(scale=0.02)
+        assert len(corpora) == 20
+        assert all(len(docs) >= 10 for docs in corpora.values())
+
+    def test_newsgroup_specs_sizes_increase(self):
+        specs = newsgroup_specs(scale=1.0)
+        sizes = [spec.size for spec in specs]
+        assert sizes == sorted(sizes)
+        assert len(specs) == 20
+
+    def test_newsgroup_build_small(self):
+        corpora = build_newsgroup_testbed(scale=0.05)
+        assert len(corpora) == 20
+
+    def test_newsgroup_invalid_scale(self):
+        with pytest.raises(ValueError):
+            newsgroup_specs(scale=-1)

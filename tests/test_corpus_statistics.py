@@ -1,0 +1,192 @@
+"""Statistical validation of the synthetic corpora.
+
+These tests verify that the generated collections actually exhibit the
+phenomena the reproduction depends on: Zipf-shaped term frequencies,
+positive within-topic term co-occurrence (lift > 1) whose strength
+scales inversely with the database's topic concentration, and the
+resulting database-specific estimator errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+from repro.corpus.topics import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.engine.index import InvertedIndex
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import TermIndependenceEstimator
+from repro.hiddenweb.database import HiddenWebDatabase
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+
+@pytest.fixture(scope="module")
+def stat_registry():
+    return default_topic_registry(seed=77)
+
+
+@pytest.fixture(scope="module")
+def stat_background():
+    return ZipfVocabulary(1000, seed=78)
+
+
+def build_db(registry, background, name, mixture, size=600, seed=0):
+    generator = DocumentGenerator(registry, background)
+    spec = DatabaseSpec(
+        name=name, size=size, topic_mixture=mixture, seed=seed
+    )
+    return HiddenWebDatabase(
+        name, generator.generate(spec), Analyzer(stem=False)
+    )
+
+
+def cooccurrence_lift(index: InvertedIndex, term_a: str, term_b: str):
+    """P(a ∧ b) / (P(a)·P(b)) over documents; None if unsupported."""
+    n = index.num_documents
+    df_a = index.document_frequency(term_a)
+    df_b = index.document_frequency(term_b)
+    if df_a == 0 or df_b == 0:
+        return None
+    joint = index.match_count(Query((term_a, term_b)))
+    if joint == 0:
+        return None
+    return (joint / n) / ((df_a / n) * (df_b / n))
+
+
+class TestZipfShape:
+    def test_term_frequencies_heavy_tailed(
+        self, stat_registry, stat_background
+    ):
+        db = build_db(
+            stat_registry,
+            stat_background,
+            "zipfy",
+            {"oncology": 1, "cardiology": 1},
+            seed=81,
+        )
+        dfs = sorted(
+            (
+                db.index.document_frequency(term)
+                for term in db.index.terms()
+            ),
+            reverse=True,
+        )
+        # Heavy tail: top-1 % of terms covers a large share of df mass...
+        top = max(1, len(dfs) // 100)
+        assert sum(dfs[:top]) > 0.05 * sum(dfs)
+        # ...while the typical term is far below the average (skew).
+        assert np.median(dfs) < np.mean(dfs) / 2
+
+
+class TestCooccurrenceLift:
+    def test_same_topic_terms_positively_correlated(
+        self, stat_registry, stat_background
+    ):
+        """In a mixed database, same-topic anchors co-occur with lift > 1."""
+        db = build_db(
+            stat_registry,
+            stat_background,
+            "mixed",
+            {"oncology": 1, "cardiology": 1, "nutrition": 1, "genetics": 1},
+            size=900,
+            seed=82,
+        )
+        lifts = []
+        for a, b in (("cancer", "tumor"), ("heart", "cardiac"),
+                     ("gene", "genome")):
+            lift = cooccurrence_lift(db.index, a, b)
+            if lift is not None:
+                lifts.append(lift)
+        assert lifts, "need at least one measurable pair"
+        assert np.mean(lifts) > 1.5
+
+    def test_lift_scales_with_breadth(self, stat_registry, stat_background):
+        """The broader the mixture, the larger the same-topic lift —
+        the source of database-specific estimator bias."""
+        focused = build_db(
+            stat_registry,
+            stat_background,
+            "focused",
+            {"oncology": 8, "cardiology": 1, "nutrition": 1},
+            size=900,
+            seed=83,
+        )
+        broad = build_db(
+            stat_registry,
+            stat_background,
+            "broad",
+            {
+                "oncology": 1, "cardiology": 1, "nutrition": 1,
+                "genetics": 1, "neurology": 1, "infectious": 1,
+            },
+            size=900,
+            seed=84,
+        )
+        lift_focused = cooccurrence_lift(focused.index, "cancer", "tumor")
+        lift_broad = cooccurrence_lift(broad.index, "cancer", "tumor")
+        assert lift_focused is not None and lift_broad is not None
+        assert lift_broad > lift_focused
+
+
+class TestEstimatorErrorStructure:
+    def test_independence_underestimates_on_topic_queries(
+        self, stat_registry, stat_background
+    ):
+        """On a mixed database, the term-independence estimate of an
+        on-topic pair is systematically below the true count."""
+        db = build_db(
+            stat_registry,
+            stat_background,
+            "mixed2",
+            {"oncology": 1, "cardiology": 1, "nutrition": 1, "genetics": 1},
+            size=900,
+            seed=85,
+        )
+        summary = ExactSummaryBuilder().build(db)
+        estimator = TermIndependenceEstimator()
+        underestimates = 0
+        measured = 0
+        for pair in (("cancer", "tumor"), ("heart", "cardiac"),
+                     ("gene", "genome"), ("diet", "vitamin")):
+            query = Query(pair)
+            actual = db.relevancy(query)
+            estimate = estimator.estimate(summary, query)
+            if actual >= 3:
+                measured += 1
+                if actual > estimate:
+                    underestimates += 1
+        assert measured >= 2
+        assert underestimates == measured
+
+    def test_errors_differ_across_databases(
+        self, stat_registry, stat_background
+    ):
+        """The same query's relative error differs between a focused and
+        a broad database — the non-uniformity of Fig. 3(b)."""
+        focused = build_db(
+            stat_registry, stat_background, "f2",
+            {"oncology": 8, "cardiology": 1, "nutrition": 1},
+            size=900, seed=86,
+        )
+        broad = build_db(
+            stat_registry, stat_background, "b2",
+            {
+                "oncology": 1, "cardiology": 1, "nutrition": 1,
+                "genetics": 1, "neurology": 1, "infectious": 1,
+            },
+            size=900, seed=87,
+        )
+        estimator = TermIndependenceEstimator()
+        builder = ExactSummaryBuilder()
+        query = Query(("cancer", "tumor"))
+        ratios = []
+        for db in (focused, broad):
+            summary = builder.build(db)
+            actual = db.relevancy(query)
+            estimate = estimator.estimate(summary, query)
+            assert estimate > 0
+            ratios.append(actual / estimate)
+        # Broad database's underestimation factor must clearly exceed
+        # the focused one's.
+        assert ratios[1] > ratios[0] * 1.5

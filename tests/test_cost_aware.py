@@ -1,0 +1,115 @@
+"""Tests for the weighted probe-cost extension (paper §5.2)."""
+
+import pytest
+
+from repro.core.policies import CostAwareGreedyPolicy, GreedyUsefulnessPolicy
+from repro.core.probing import APro, ProbeRecord, ProbeSession
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.exceptions import ProbingError
+from repro.stats.distribution import DiscreteDistribution as D
+from repro.types import Query
+
+
+def twin_rds():
+    """Two databases with *identical* uncertainty.
+
+    Under uniform costs the greedy tie goes to index 0; a cost-aware
+    policy must prefer whichever is cheaper.
+    """
+    atoms = [(1.0, 0.5), (4.0, 0.5)]
+    return [D.from_pairs(atoms), D.from_pairs(list(atoms))]
+
+
+class TestCostAwareGreedyPolicy:
+    def test_prefers_cheaper_equivalent_probe(self):
+        computer = TopKComputer(twin_rds(), k=1)
+        expensive_first = CostAwareGreedyPolicy(costs=[10.0, 1.0])
+        assert expensive_first.choose(
+            computer, [0, 1], CorrectnessMetric.ABSOLUTE, 0.9
+        ) == 1
+        cheap_first = CostAwareGreedyPolicy(costs=[1.0, 10.0])
+        assert cheap_first.choose(
+            computer, [0, 1], CorrectnessMetric.ABSOLUTE, 0.9
+        ) == 0
+
+    def test_uniform_costs_match_plain_greedy(self):
+        rds = [
+            D.from_pairs([(1.0, 0.3), (5.0, 0.7)]),
+            D.from_pairs([(2.0, 0.6), (4.0, 0.4)]),
+            D.impulse(0.0),
+        ]
+        computer = TopKComputer(rds, k=1)
+        plain = GreedyUsefulnessPolicy()
+        uniform = CostAwareGreedyPolicy(costs=[1.0, 1.0, 1.0])
+        candidates = [0, 1]
+        assert plain.choose(
+            computer, candidates, CorrectnessMetric.ABSOLUTE, 0.9
+        ) == uniform.choose(
+            computer, candidates, CorrectnessMetric.ABSOLUTE, 0.9
+        )
+
+    def test_invalid_costs(self):
+        with pytest.raises(ProbingError):
+            CostAwareGreedyPolicy(costs=[])
+        with pytest.raises(ProbingError):
+            CostAwareGreedyPolicy(costs=[1.0, 0.0])
+
+    def test_cost_vector_too_short(self):
+        computer = TopKComputer(twin_rds(), k=1)
+        policy = CostAwareGreedyPolicy(costs=[1.0])
+        with pytest.raises(ProbingError):
+            policy.choose(computer, [0, 1], CorrectnessMetric.ABSOLUTE, 0.9)
+
+    def test_empty_candidates(self):
+        computer = TopKComputer(twin_rds(), k=1)
+        policy = CostAwareGreedyPolicy(costs=[1.0, 1.0])
+        with pytest.raises(ProbingError):
+            policy.choose(computer, [], CorrectnessMetric.ABSOLUTE, 0.9)
+
+
+class TestSessionCost:
+    def _session(self, indices):
+        session = ProbeSession(
+            query=Query(("a",)),
+            k=1,
+            metric=CorrectnessMetric.ABSOLUTE,
+            threshold=0.9,
+        )
+        for i in indices:
+            session.records.append(
+                ProbeRecord(database=f"db{i}", index=i, observed=1.0)
+            )
+        return session
+
+    def test_uniform_cost_counts_probes(self):
+        assert self._session([0, 2, 1]).total_cost() == 3.0
+
+    def test_weighted_cost(self):
+        session = self._session([0, 2])
+        assert session.total_cost([1.0, 5.0, 2.5]) == pytest.approx(3.5)
+
+    def test_empty_session(self):
+        assert self._session([]).total_cost([1.0]) == 0.0
+
+
+class TestCostAwareAPro:
+    def test_cost_aware_apro_spends_less_weighted_cost(self, trained_pipeline):
+        """On a testbed with one very expensive database, the cost-aware
+        policy should not accumulate more weighted cost than plain greedy."""
+        mediator = trained_pipeline["mediator"]
+        costs = [1.0] * len(mediator)
+        costs[0] = 25.0  # make the first database expensive to probe
+        plain = APro(trained_pipeline["selector"], GreedyUsefulnessPolicy())
+        aware = APro(
+            trained_pipeline["selector"], CostAwareGreedyPolicy(costs)
+        )
+        queries = trained_pipeline["test_queries"][:12]
+        plain_cost = sum(
+            plain.run(q, k=1, threshold=0.9).total_cost(costs)
+            for q in queries
+        )
+        aware_cost = sum(
+            aware.run(q, k=1, threshold=0.9).total_cost(costs)
+            for q in queries
+        )
+        assert aware_cost <= plain_cost + 1.0

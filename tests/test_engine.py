@@ -1,0 +1,209 @@
+"""Unit tests for the search-engine substrate."""
+
+import math
+
+import pytest
+
+from repro.engine.index import InvertedIndex
+from repro.engine.postings import PostingList, intersect_many
+from repro.engine.searcher import Searcher
+from repro.engine.vectorspace import VectorSpaceScorer
+from repro.text.analyzer import Analyzer
+from repro.types import Document, Query
+
+
+def build_index(documents, stem=False):
+    index = InvertedIndex(Analyzer(stem=stem))
+    index.add_all(documents)
+    return index.freeze()
+
+
+class TestPostingList:
+    def test_add_and_lookup(self):
+        plist = PostingList()
+        plist.add(1, 2)
+        plist.add(5, 1)
+        assert plist.document_frequency == 2
+        assert plist.collection_frequency == 3
+        assert plist.freq(1) == 2
+        assert plist.freq(5) == 1
+        assert plist.freq(3) == 0
+
+    def test_contains(self):
+        plist = PostingList()
+        plist.add(2, 1)
+        assert 2 in plist
+        assert 3 not in plist
+
+    def test_requires_increasing_ids(self):
+        plist = PostingList()
+        plist.add(4, 1)
+        with pytest.raises(ValueError):
+            plist.add(4, 1)
+        with pytest.raises(ValueError):
+            plist.add(2, 1)
+
+    def test_rejects_nonpositive_freq(self):
+        plist = PostingList()
+        with pytest.raises(ValueError):
+            plist.add(0, 0)
+
+    def test_iteration_order(self):
+        plist = PostingList()
+        for doc_id in (1, 3, 7):
+            plist.add(doc_id, doc_id)
+        assert list(plist) == [(1, 1), (3, 3), (7, 7)]
+
+
+class TestIntersectMany:
+    def _plist(self, ids):
+        plist = PostingList()
+        for doc_id in ids:
+            plist.add(doc_id, 1)
+        return plist
+
+    def test_two_lists(self):
+        a = self._plist([1, 2, 3, 5])
+        b = self._plist([2, 3, 4])
+        assert intersect_many([a, b]) == [2, 3]
+
+    def test_three_lists(self):
+        lists = [
+            self._plist([1, 2, 3, 4, 5]),
+            self._plist([2, 4, 5]),
+            self._plist([4, 5, 6]),
+        ]
+        assert intersect_many(lists) == [4, 5]
+
+    def test_empty_input(self):
+        assert intersect_many([]) == []
+
+    def test_empty_list_short_circuits(self):
+        assert intersect_many([self._plist([1]), self._plist([])]) == []
+
+    def test_disjoint(self):
+        assert intersect_many([self._plist([1]), self._plist([2])]) == []
+
+
+class TestInvertedIndex:
+    def test_document_frequency(self, sample_documents):
+        index = build_index(sample_documents)
+        assert index.document_frequency("cancer") == 3
+        assert index.document_frequency("breast") == 2
+        assert index.document_frequency("absentterm") == 0
+
+    def test_num_documents_and_vocabulary(self, sample_documents):
+        index = build_index(sample_documents)
+        assert index.num_documents == 5
+        assert index.vocabulary_size > 5
+
+    def test_match_count_conjunctive(self, sample_documents):
+        index = build_index(sample_documents)
+        assert index.match_count(Query(("breast", "cancer"))) == 2
+        assert index.match_count(Query(("cancer",))) == 3
+        assert index.match_count(Query(("cancer", "absent"))) == 0
+
+    def test_matching_ids_sorted(self, sample_documents):
+        index = build_index(sample_documents)
+        ids = index.matching_doc_ids(Query(("cancer",)))
+        assert ids == sorted(ids)
+
+    def test_duplicate_doc_id_rejected(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(Document(0, "a b"))
+        with pytest.raises(ValueError):
+            index.add(Document(0, "c d"))
+
+    def test_frozen_rejects_add(self, sample_documents):
+        index = build_index(sample_documents)
+        with pytest.raises(RuntimeError):
+            index.add(Document(99, "late document"))
+
+    def test_idf_monotone_in_rarity(self, sample_documents):
+        index = build_index(sample_documents)
+        # "breast" (df=2) is rarer than "cancer" (df=3).
+        assert index.idf("breast") > index.idf("cancer")
+        assert index.idf("absent") == 0.0
+
+    def test_stemming_affects_matching(self):
+        docs = [Document(0, "cancer treatments"), Document(1, "cancer treatment")]
+        index = InvertedIndex(Analyzer(stem=True))
+        index.add_all(docs)
+        index.freeze()
+        assert index.document_frequency("treatment") == 2
+
+    def test_document_lookup(self, sample_documents):
+        index = build_index(sample_documents)
+        assert index.document(3).text.startswith("the sports")
+
+    def test_norms_require_freeze(self):
+        index = InvertedIndex(Analyzer(stem=False))
+        index.add(Document(0, "a b"))
+        with pytest.raises(RuntimeError):
+            index.document_norm(0)
+
+
+class TestVectorSpaceScorer:
+    def test_exact_match_scores_highest(self, sample_documents):
+        index = build_index(sample_documents)
+        scorer = VectorSpaceScorer(index)
+        hits = scorer.top_k(Query(("breast", "cancer")), k=5)
+        assert hits, "expected hits for present terms"
+        top_ids = {hit.doc_id for hit in hits[:2]}
+        assert top_ids == {0, 2}
+
+    def test_scores_in_unit_interval(self, sample_documents):
+        index = build_index(sample_documents)
+        scorer = VectorSpaceScorer(index)
+        for hit in scorer.top_k(Query(("cancer", "research")), k=10):
+            assert 0.0 <= hit.score <= 1.0 + 1e-9
+
+    def test_absent_terms_score_empty(self, sample_documents):
+        index = build_index(sample_documents)
+        scorer = VectorSpaceScorer(index)
+        assert scorer.top_k(Query(("zebra",)), k=3) == []
+
+    def test_scores_sorted_descending(self, sample_documents):
+        index = build_index(sample_documents)
+        scorer = VectorSpaceScorer(index)
+        hits = scorer.top_k(Query(("cancer",)), k=10)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_single_doc_full_match_is_near_one(self):
+        # One document that IS the query should have cosine close to 1.
+        docs = [Document(0, "alpha beta"), Document(1, "gamma delta")]
+        index = build_index(docs)
+        scorer = VectorSpaceScorer(index)
+        hits = scorer.top_k(Query(("alpha", "beta")), k=1)
+        assert hits[0].doc_id == 0
+        assert hits[0].score == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSearcher:
+    def test_search_result_fields(self, sample_documents):
+        searcher = Searcher(build_index(sample_documents), page_size=2)
+        result = searcher.search(Query(("cancer",)))
+        assert result.num_matches == 3
+        assert len(result.top_documents) == 2
+
+    def test_zero_matches(self, sample_documents):
+        searcher = Searcher(build_index(sample_documents))
+        result = searcher.search(Query(("cancer", "zebra")))
+        assert result.num_matches == 0
+        assert result.top_documents == ()
+
+    def test_page_restricted_to_conjunctive_matches(self, sample_documents):
+        searcher = Searcher(build_index(sample_documents), page_size=10)
+        result = searcher.search(Query(("breast", "cancer")))
+        assert {hit.doc_id for hit in result.top_documents} == {0, 2}
+
+    def test_negative_page_size_rejected(self, sample_documents):
+        with pytest.raises(ValueError):
+            Searcher(build_index(sample_documents), page_size=-1)
+
+    def test_deterministic(self, sample_documents):
+        searcher = Searcher(build_index(sample_documents))
+        first = searcher.search(Query(("cancer",)))
+        second = searcher.search(Query(("cancer",)))
+        assert first == second

@@ -1,0 +1,208 @@
+"""Tests for the experiment harness (small-scale runs of each driver)."""
+
+import pytest
+
+from repro.core.topk import CorrectnessMetric
+from repro.corpus.newsgroups import build_newsgroup_testbed
+from repro.exceptions import ConfigurationError
+from repro.experiments.ablations import (
+    compare_probing_policies,
+    query_type_ablation,
+    training_size_ablation,
+)
+from repro.experiments.harness import (
+    evaluate_selection_quality,
+    train_pipeline,
+)
+from repro.experiments.probing_curves import probing_curves
+from repro.experiments.reporting import (
+    format_error_distribution,
+    format_probing_curve,
+    format_sampling_goodness,
+    format_selection_quality,
+    format_table,
+    format_threshold_probes,
+)
+from repro.experiments.sampling_size import sampling_size_goodness
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+from repro.experiments.threshold_probes import probes_per_threshold
+from repro.hiddenweb.mediator import Mediator
+from repro.querylog.generator import QueryTraceGenerator
+from repro.corpus.topics import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+
+
+@pytest.fixture(scope="module")
+def small_context():
+    return build_paper_context(
+        PaperSetupConfig(scale=0.05, n_train=120, n_test=30)
+    )
+
+
+@pytest.fixture(scope="module")
+def small_pipeline(small_context):
+    return train_pipeline(small_context, samples_per_type=20)
+
+
+class TestSetup:
+    def test_context_shape(self, small_context):
+        assert small_context.num_databases == 20
+        assert len(small_context.train_queries) == 120
+        assert len(small_context.test_queries) == 30
+
+    def test_train_test_disjoint(self, small_context):
+        assert not set(small_context.train_queries) & set(
+            small_context.test_queries
+        )
+
+    def test_test_queries_match_enough_databases(self, small_context):
+        min_match = small_context.config.min_matching_databases
+        for query in small_context.test_queries:
+            matching = sum(
+                1 for r in small_context.golden.relevancies(query) if r > 0
+            )
+            assert matching >= min_match
+
+    def test_deterministic(self):
+        config = PaperSetupConfig(scale=0.03, n_train=20, n_test=5)
+        a = build_paper_context(config)
+        b = build_paper_context(config)
+        assert a.train_queries == b.train_queries
+        assert a.test_queries == b.test_queries
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            PaperSetupConfig(n_train=0)
+        with pytest.raises(ConfigurationError):
+            PaperSetupConfig(min_matching_databases=-1)
+
+
+class TestSelectionQuality:
+    def test_fig15_rows(self, small_context, small_pipeline):
+        results = evaluate_selection_quality(
+            small_context, small_pipeline, k_values=(1, 3)
+        )
+        assert len(results) == 4
+        methods = {r.method for r in results}
+        assert len(methods) == 2
+        for result in results:
+            assert 0.0 <= result.avg_absolute <= 1.0
+            assert result.avg_absolute <= result.avg_partial + 1e-12
+
+    def test_formatting(self, small_context, small_pipeline):
+        results = evaluate_selection_quality(
+            small_context, small_pipeline, k_values=(1,)
+        )
+        text = format_selection_quality(results)
+        assert "Avg(Cor_a)" in text
+        assert "baseline" in text
+
+
+class TestProbingCurves:
+    def test_curve_reaches_high_correctness(self, small_context, small_pipeline):
+        result = probing_curves(
+            small_context,
+            small_pipeline,
+            k=1,
+            max_probes=4,
+            num_queries=15,
+        )
+        assert len(result.apro_curve) == 5
+        # After probing, correctness must be at least the zero-probe level.
+        assert result.apro_curve[-1] >= result.apro_curve[0] - 1e-9
+        text = format_probing_curve(result)
+        assert "# probes" in text
+
+    def test_baseline_constant_reported(self, small_context, small_pipeline):
+        result = probing_curves(
+            small_context, small_pipeline, k=1, max_probes=2, num_queries=10
+        )
+        assert 0.0 <= result.baseline_absolute <= 1.0
+
+
+class TestThresholdProbes:
+    def test_probes_monotone_in_threshold(self, small_context, small_pipeline):
+        result = probes_per_threshold(
+            small_context,
+            small_pipeline,
+            k=1,
+            thresholds=(0.5, 0.9),
+            num_queries=15,
+        )
+        assert result.avg_probes[0] <= result.avg_probes[1] + 1e-9
+        text = format_threshold_probes(result)
+        assert "threshold" in text
+
+
+class TestSamplingSize:
+    def test_goodness_experiment(self):
+        corpora = build_newsgroup_testbed(scale=0.25, seed=51)
+        mediator = Mediator.from_documents(corpora)
+        registry = default_topic_registry(seed=51)
+        background = ZipfVocabulary(4000, seed=52)
+        trace = QueryTraceGenerator(
+            registry,
+            background,
+            seed=53,
+        )
+        pool = trace.generate(600)
+        result = sampling_size_goodness(
+            mediator,
+            pool,
+            sampling_sizes=(10, 20),
+            repetitions=3,
+            num_terms=2,
+            band=0,  # lowest band has plentiful queries
+        )
+        assert len(result.per_database) == 20
+        assert len(result.average) == 2
+        assert all(0.0 <= g <= 1.0 for g in result.average)
+        text = format_sampling_goodness(result)
+        assert "AVERAGE" in text
+
+
+class TestAblations:
+    def test_policy_comparison(self, small_context, small_pipeline):
+        results = compare_probing_policies(
+            small_context,
+            small_pipeline,
+            k=1,
+            threshold=0.8,
+            num_queries=10,
+        )
+        assert {r.policy for r in results} == {
+            "greedy-usefulness",
+            "random",
+            "max-uncertainty",
+        }
+        for result in results:
+            assert result.avg_probes >= 0.0
+
+    def test_query_type_ablation(self, small_context):
+        results = query_type_ablation(small_context, k_values=(1,))
+        assert len(results) == 3
+        variants = {r.variant for r in results}
+        assert "no estimate split" in variants
+
+    def test_training_size_ablation(self, small_context):
+        results = training_size_ablation(
+            small_context, sample_caps=(5, 20), k=1
+        )
+        assert len(results) == 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[1].startswith("-")
+
+    def test_format_error_distribution(self):
+        from repro.core.errors import ErrorDistribution
+
+        ed = ErrorDistribution()
+        ed.observe_all([-1.0, -0.5, 0.0, 0.0, 2.0])
+        text = format_error_distribution(ed)
+        assert "samples: 5" in text
+        assert "#" in text

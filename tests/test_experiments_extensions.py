@@ -1,0 +1,122 @@
+"""Tests for the extension experiment drivers."""
+
+import pytest
+
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.calibration import calibration_curve
+from repro.experiments.efficiency import cost_efficiency
+from repro.experiments.harness import train_pipeline
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+from repro.experiments.similarity import similarity_selection_quality
+
+
+@pytest.fixture(scope="module")
+def ext_context():
+    return build_paper_context(
+        PaperSetupConfig(scale=0.05, n_train=150, n_test=40)
+    )
+
+
+@pytest.fixture(scope="module")
+def ext_pipeline(ext_context):
+    return train_pipeline(ext_context, samples_per_type=25)
+
+
+class TestCalibration:
+    def test_buckets_partition_queries(self, ext_context, ext_pipeline):
+        result = calibration_curve(ext_context, ext_pipeline, k=1)
+        assert sum(b.count for b in result.buckets) == result.num_queries
+        for bucket in result.buckets:
+            assert 0.0 <= bucket.mean_claimed <= 1.0
+            assert 0.0 <= bucket.mean_realized <= 1.0
+            assert bucket.lower <= bucket.mean_claimed <= bucket.upper + 1e-9
+
+    def test_ece_bounded(self, ext_context, ext_pipeline):
+        result = calibration_curve(ext_context, ext_pipeline, k=1)
+        assert 0.0 <= result.expected_calibration_error <= 1.0
+
+    def test_partial_metric(self, ext_context, ext_pipeline):
+        result = calibration_curve(
+            ext_context, ext_pipeline, k=2, metric=CorrectnessMetric.PARTIAL
+        )
+        assert result.metric is CorrectnessMetric.PARTIAL
+        assert result.num_queries == 40
+
+    def test_num_queries_limit(self, ext_context, ext_pipeline):
+        result = calibration_curve(
+            ext_context, ext_pipeline, k=1, num_queries=10
+        )
+        assert result.num_queries == 10
+
+
+class TestCostEfficiency:
+    def test_three_strategies(self, ext_context, ext_pipeline):
+        rows = cost_efficiency(
+            ext_context, ext_pipeline, k=2, certainty=0.7, num_queries=15
+        )
+        assert len(rows) == 3
+        everywhere, baseline, apro = rows
+        assert everywhere.avg_remote_queries == ext_context.num_databases
+        assert everywhere.avg_partial_correctness == 1.0
+        assert baseline.avg_remote_queries == 2.0
+        # APro pays at least the k forwards, at most probes for all dbs.
+        assert 2.0 <= apro.avg_remote_queries <= ext_context.num_databases + 2
+
+    def test_apro_quality_not_below_baseline(self, ext_context, ext_pipeline):
+        rows = cost_efficiency(
+            ext_context, ext_pipeline, k=2, certainty=0.8, num_queries=15
+        )
+        _everywhere, baseline, apro = rows
+        assert (
+            apro.avg_partial_correctness
+            >= baseline.avg_partial_correctness - 0.05
+        )
+
+
+class TestSimilarityTrack:
+    def test_table_shape(self, ext_context):
+        results = similarity_selection_quality(
+            ext_context, k_values=(1,), samples_per_type=20, num_queries=20
+        )
+        assert len(results) == 2
+        for result in results:
+            assert 0.0 <= result.avg_absolute <= result.avg_partial <= 1.0
+            assert result.num_queries == 20
+
+    def test_methods_labelled(self, ext_context):
+        results = similarity_selection_quality(
+            ext_context, k_values=(1,), samples_per_type=20, num_queries=10
+        )
+        methods = {r.method for r in results}
+        assert "max-similarity estimator (baseline)" in methods
+        assert "RD-based, no probing" in methods
+
+
+class TestDriftRobustness:
+    def test_three_configurations(self, ext_context, ext_pipeline):
+        from repro.experiments.drift import drift_robustness
+
+        rows = drift_robustness(
+            ext_context, ext_pipeline, k=1, certainty=0.7, num_queries=12
+        )
+        assert [r.configuration for r in rows][0] == "stale baseline"
+        assert len(rows) == 3
+        stale_baseline, stale_rd, stale_apro = rows
+        assert stale_baseline.avg_probes == 0.0
+        assert stale_rd.avg_probes == 0.0
+        assert stale_apro.avg_probes > 0.0
+        for row in rows:
+            assert 0.0 <= row.avg_absolute <= row.avg_partial <= 1.0
+
+    def test_drifted_content_differs(self, ext_context):
+        from repro.experiments.drift import _drifted_mediator
+
+        drifted = _drifted_mediator(ext_context, drift_seed=10_000)
+        assert drifted.names == ext_context.mediator.names
+        assert [db.size for db in drifted] == [
+            db.size for db in ext_context.mediator
+        ]
+        # Same recipes, different content.
+        original_doc = ext_context.mediator[0].index.document(0).text
+        drifted_doc = drifted[0].index.document(0).text
+        assert original_doc != drifted_doc

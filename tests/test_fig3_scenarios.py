@@ -1,0 +1,154 @@
+"""Deterministic reconstructions of the paper's Fig. 3 scenarios.
+
+Fig. 3 is the paper's motivating observation: *uniform* estimator errors
+leave the selection ranking intact, while *non-uniform* errors flip it.
+These tests build the scenarios directly from synthetic EDs (no corpora)
+and confirm that RD-based selection fixes exactly the non-uniform case.
+"""
+
+import pytest
+
+from repro.core.errors import ErrorDistribution
+from repro.core.relevancy import derive_rd
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.hiddenweb.database import HiddenWebDatabase
+from repro.types import Document, Query
+
+
+def ed_of(errors):
+    ed = ErrorDistribution()
+    ed.observe_all(errors)
+    return ed
+
+
+class TestUniformErrors:
+    """Fig. 3(a): both databases underestimated by the same factor."""
+
+    def test_estimate_ranking_survives_uniform_error(self):
+        # db1: r̂=1000, actual 2000; db2: r̂=650, actual 1300 — both
+        # underestimated by exactly 100 %: ranking by r̂ is still right.
+        estimates = [1000.0, 650.0]
+        actuals = [2000.0, 1300.0]
+        baseline_pick = max(range(2), key=lambda i: estimates[i])
+        true_best = max(range(2), key=lambda i: actuals[i])
+        assert baseline_pick == true_best
+
+    def test_rd_selection_agrees_under_uniform_errors(self):
+        shared_ed = ed_of([1.0] * 20)  # +100 % every time
+        rds = [derive_rd(1000.0, shared_ed), derive_rd(650.0, shared_ed)]
+        computer = TopKComputer(rds, 1)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (0,)
+        assert score == pytest.approx(1.0)
+
+
+class TestNonUniformErrors:
+    """Fig. 3(b): only db2 is underestimated; ranking by r̂ flips."""
+
+    def test_estimate_ranking_breaks(self):
+        estimates = [1000.0, 650.0]
+        actuals = [1000.0, 1300.0]  # db2 underestimated by 100 %
+        baseline_pick = max(range(2), key=lambda i: estimates[i])
+        true_best = max(range(2), key=lambda i: actuals[i])
+        assert baseline_pick != true_best
+
+    def test_rd_selection_fixes_the_flip(self):
+        db1_ed = ed_of([0.0] * 20)       # db1: estimator is accurate
+        db2_ed = ed_of([1.0] * 18 + [0.0] * 2)  # db2: +100 % with 0.9
+        rds = [derive_rd(1000.0, db1_ed), derive_rd(650.0, db2_ed)]
+        computer = TopKComputer(rds, 1)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (1,)  # RD-based correctly prefers db2
+        assert score == pytest.approx(0.9)
+
+    def test_paper_example4_probabilities(self):
+        """The exact Fig. 5(d) setup ends at 0.85 certainty for db2."""
+        db1_ed = ed_of([-0.5] * 4 + [0.0] * 5 + [0.5] * 1)
+        db2_ed = ed_of([1.0] * 9 + [0.0] * 1)
+        rds = [derive_rd(1000.0, db1_ed), derive_rd(650.0, db2_ed)]
+        computer = TopKComputer(rds, 1)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (1,)
+        assert score == pytest.approx(0.85)
+
+
+class TestRoundedCounts:
+    """Robustness extension: engines reporting 'about N results'."""
+
+    def _database(self, digits):
+        documents = [
+            Document(i, "cancer research paper") for i in range(1234)
+        ]
+        return HiddenWebDatabase(
+            "rounded",
+            documents,
+            count_significant_digits=digits,
+        )
+
+    def test_rounding_applies_to_reported_count(self):
+        database = self._database(digits=2)
+        result = database.probe(Query(("cancer",)))
+        assert result.num_matches == 1200
+
+    def test_exact_by_default(self):
+        database = self._database(digits=None)
+        assert database.probe(Query(("cancer",))).num_matches == 1234
+
+    def test_oracle_stays_exact(self):
+        database = self._database(digits=1)
+        assert database.relevancy(Query(("cancer",))) == 1234.0
+
+    def test_zero_count_unaffected(self):
+        database = self._database(digits=2)
+        assert database.probe(Query(("zebra",))).num_matches == 0
+
+    def test_small_counts_unaffected(self):
+        documents = [Document(i, "rare term here") for i in range(7)]
+        database = HiddenWebDatabase(
+            "small", documents, count_significant_digits=2
+        )
+        assert database.probe(Query(("rare",))).num_matches == 7
+
+    def test_invalid_digits(self):
+        with pytest.raises(ValueError):
+            HiddenWebDatabase(
+                "x", [Document(0, "a b")], count_significant_digits=0
+            )
+
+    def test_pipeline_survives_rounded_counts(self, registry, background_vocab):
+        """Training and APro run end-to-end on rounding databases."""
+        from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+        from repro.hiddenweb.mediator import Mediator
+        from repro.metasearch.metasearcher import (
+            Metasearcher,
+            MetasearcherConfig,
+        )
+        from repro.querylog.generator import QueryTraceGenerator
+        from repro.text.analyzer import Analyzer
+
+        analyzer = Analyzer()
+        generator = DocumentGenerator(registry, background_vocab)
+        specs = [
+            DatabaseSpec("a", 200, {"oncology": 4, "cardiology": 1}, seed=61),
+            DatabaseSpec("b", 300, {"cardiology": 4, "nutrition": 1}, seed=62),
+            DatabaseSpec("c", 250, {"nutrition": 4, "oncology": 1}, seed=63),
+        ]
+        databases = [
+            HiddenWebDatabase(
+                spec.name,
+                generator.generate(spec),
+                analyzer,
+                count_significant_digits=1,
+            )
+            for spec in specs
+        ]
+        mediator = Mediator(databases)
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=64
+        )
+        searcher = Metasearcher(
+            mediator, MetasearcherConfig(samples_per_type=10), analyzer=analyzer
+        )
+        searcher.train(trace.generate(40))
+        session = searcher.select(trace.generate(50)[45], k=1, certainty=0.9)
+        assert session.final.expected_correctness >= 0.9

@@ -1,0 +1,156 @@
+"""Unit tests for the Hidden-Web layer: databases, accounting, mediator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, UnknownDatabaseError
+from repro.hiddenweb.accounting import ProbeAccounting, ProbeSnapshot
+from repro.hiddenweb.database import HiddenWebDatabase, RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.text.analyzer import Analyzer
+from repro.types import Document, Query
+
+
+@pytest.fixture()
+def small_db():
+    documents = [
+        Document(0, "breast cancer treatment"),
+        Document(1, "cancer research trials"),
+        Document(2, "heart disease study"),
+    ]
+    return HiddenWebDatabase(
+        "test-db", documents, Analyzer(stem=False), page_size=2
+    )
+
+
+class TestProbeAccounting:
+    def test_starts_at_zero(self):
+        acc = ProbeAccounting()
+        assert acc.probes == 0
+        assert acc.documents_downloaded == 0
+
+    def test_record_probe(self):
+        acc = ProbeAccounting()
+        acc.record_probe(documents_downloaded=3)
+        acc.record_probe()
+        assert acc.probes == 2
+        assert acc.documents_downloaded == 3
+
+    def test_record_download(self):
+        acc = ProbeAccounting()
+        acc.record_download(2)
+        assert acc.probes == 0
+        assert acc.documents_downloaded == 2
+
+    def test_negative_rejected(self):
+        acc = ProbeAccounting()
+        with pytest.raises(ValueError):
+            acc.record_probe(documents_downloaded=-1)
+        with pytest.raises(ValueError):
+            acc.record_download(-1)
+
+    def test_snapshot_subtraction(self):
+        acc = ProbeAccounting()
+        acc.record_probe(1)
+        before = acc.snapshot()
+        acc.record_probe(2)
+        delta = acc.snapshot() - before
+        assert delta == ProbeSnapshot(probes=1, documents_downloaded=2)
+
+    def test_reset(self):
+        acc = ProbeAccounting()
+        acc.record_probe(5)
+        acc.reset()
+        assert acc.probes == 0
+        assert acc.documents_downloaded == 0
+
+
+class TestHiddenWebDatabase:
+    def test_size(self, small_db):
+        assert small_db.size == 3
+
+    def test_probe_returns_result_and_charges(self, small_db):
+        result = small_db.probe(Query(("cancer",)))
+        assert result.num_matches == 2
+        assert small_db.accounting.probes == 1
+
+    def test_probe_relevancy_frequency(self, small_db):
+        value = small_db.probe_relevancy(Query(("cancer",)))
+        assert value == 2.0
+
+    def test_probe_relevancy_similarity(self, small_db):
+        value = small_db.probe_relevancy(
+            Query(("cancer",)), RelevancyDefinition.DOCUMENT_SIMILARITY
+        )
+        assert 0.0 < value <= 1.0
+
+    def test_oracle_relevancy_is_free(self, small_db):
+        before = small_db.accounting.probes
+        value = small_db.relevancy(Query(("cancer", "research")))
+        assert value == 1.0
+        assert small_db.accounting.probes == before
+
+    def test_oracle_matches_probe(self, small_db):
+        query = Query(("cancer", "treatment"))
+        assert small_db.relevancy(query) == float(
+            small_db.probe(query).num_matches
+        )
+
+    def test_similarity_zero_for_absent_terms(self, small_db):
+        value = small_db.relevancy(
+            Query(("zebra",)), RelevancyDefinition.DOCUMENT_SIMILARITY
+        )
+        assert value == 0.0
+
+    def test_fetch_document_counts_download(self, small_db):
+        doc = small_db.fetch_document(1)
+        assert doc.doc_id == 1
+        assert small_db.accounting.documents_downloaded >= 1
+
+
+class TestMediator:
+    def test_from_documents(self, tiny_corpora, analyzer):
+        mediator = Mediator.from_documents(tiny_corpora, analyzer=analyzer)
+        assert len(mediator) == len(tiny_corpora)
+        assert set(mediator.names) == set(tiny_corpora)
+
+    def test_lookup_by_name_and_index(self, tiny_mediator):
+        first = tiny_mediator[0]
+        assert tiny_mediator[first.name] is first
+
+    def test_position_round_trip(self, tiny_mediator):
+        for idx, db in enumerate(tiny_mediator):
+            assert tiny_mediator.position(db.name) == idx
+
+    def test_unknown_name(self, tiny_mediator):
+        with pytest.raises(UnknownDatabaseError):
+            tiny_mediator["missing-db"]
+        with pytest.raises(UnknownDatabaseError):
+            tiny_mediator.position("missing-db")
+
+    def test_contains(self, tiny_mediator):
+        assert tiny_mediator.names[0] in tiny_mediator
+        assert "missing-db" not in tiny_mediator
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Mediator([])
+
+    def test_duplicate_names_rejected(self):
+        documents = [Document(0, "a b")]
+        db_a = HiddenWebDatabase("same", documents)
+        db_b = HiddenWebDatabase("same", documents)
+        with pytest.raises(ConfigurationError):
+            Mediator([db_a, db_b])
+
+    def test_total_probes_and_reset(self, tiny_corpora, analyzer):
+        mediator = Mediator.from_documents(tiny_corpora, analyzer=analyzer)
+        query = Query(("cancer",))
+        mediator[0].probe(query)
+        mediator[1].probe(query)
+        assert mediator.total_probes() == 2
+        mediator.reset_accounting()
+        assert mediator.total_probes() == 0
+
+    def test_snapshot_keys(self, tiny_mediator):
+        snapshot = tiny_mediator.snapshot()
+        assert set(snapshot) == set(tiny_mediator.names)

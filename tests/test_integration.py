@@ -1,0 +1,165 @@
+"""Integration tests: the whole pipeline, end to end, on realistic flows.
+
+These exercise the same paths a downstream user would: build a testbed,
+train a metasearcher, ask for databases at a certainty level, fetch and
+fuse results — plus cross-cutting invariants (probe accounting, headline
+result direction, calibration sanity).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.correctness import GoldenStandard
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import evaluate_selection_quality, train_pipeline
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+
+
+@pytest.fixture(scope="module")
+def context():
+    return build_paper_context(
+        PaperSetupConfig(scale=0.1, n_train=400, n_test=80)
+    )
+
+
+@pytest.fixture(scope="module")
+def pipeline(context):
+    return train_pipeline(context)
+
+
+class TestHeadlineResult:
+    """The paper's §6.2 claim must hold in direction: RD-based beats the
+    term-independence baseline on absolute correctness at k = 1."""
+
+    def test_rd_based_beats_baseline_at_k1(self, context, pipeline):
+        results = evaluate_selection_quality(
+            context, pipeline, k_values=(1,)
+        )
+        by_method = {r.method: r for r in results}
+        baseline = by_method["term-independence estimator (baseline)"]
+        rd_based = by_method["RD-based, no probing"]
+        assert rd_based.avg_absolute > baseline.avg_absolute
+
+    def test_probing_improves_over_rd_based(self, context, pipeline):
+        golden = context.golden
+        apro = APro(pipeline.rd_selector)
+        no_probe = 0.0
+        with_probes = 0.0
+        queries = context.test_queries[:40]
+        for query in queries:
+            session = apro.run(
+                query, k=1, threshold=0.9, metric=CorrectnessMetric.ABSOLUTE
+            )
+            start, _ = golden.score(query, session.trajectory[0].names, 1)
+            end, _ = golden.score(query, session.final.names, 1)
+            no_probe += start
+            with_probes += end
+        assert with_probes >= no_probe
+
+    def test_certainty_claims_are_roughly_calibrated(self, context, pipeline):
+        """Claimed E[Cor] should correlate with realized correctness."""
+        golden = context.golden
+        claimed, realized = [], []
+        for query in context.test_queries:
+            result = pipeline.rd_selector.select(
+                query, 1, CorrectnessMetric.ABSOLUTE
+            )
+            claimed.append(result.expected_correctness)
+            cor_a, _ = golden.score(query, result.names, 1)
+            realized.append(cor_a)
+        claimed = np.array(claimed)
+        realized = np.array(realized)
+        high = claimed >= np.median(claimed)
+        # High-confidence answers must be right more often than
+        # low-confidence ones.
+        assert realized[high].mean() > realized[~high].mean()
+
+
+class TestMetasearcherEndToEnd:
+    def test_full_flow_with_probing(self, context):
+        searcher = Metasearcher(
+            context.mediator,
+            MetasearcherConfig(samples_per_type=30),
+            analyzer=context.analyzer,
+        )
+        searcher.train(context.train_queries[:200])
+        context.mediator.reset_accounting()
+        answer = searcher.search(
+            context.test_queries[0], k=3, certainty=0.7, limit=5
+        )
+        assert len(answer.selected) == 3
+        assert answer.certainty >= 0.7
+        assert len(answer.hits) <= 5
+        # Accounting: probes for selection + one search per selected db.
+        assert context.mediator.total_probes() == answer.probes_used + 3
+
+    def test_probe_budget_only_on_uncertain_queries(self, context):
+        searcher = Metasearcher(
+            context.mediator,
+            MetasearcherConfig(samples_per_type=30),
+            analyzer=context.analyzer,
+        )
+        searcher.train(context.train_queries[:200])
+        sessions = [
+            searcher.select(query, k=1, certainty=0.85)
+            for query in context.test_queries[:25]
+        ]
+        assert all(
+            s.final.expected_correctness >= 0.85 or not s.satisfied
+            for s in sessions
+        )
+        # The budget should adapt per query (not a constant) and stay
+        # well below probing all 20 databases.
+        probe_counts = [s.num_probes for s in sessions]
+        assert min(probe_counts) < max(probe_counts)
+        assert float(np.mean(probe_counts)) < len(context.mediator) / 2
+
+
+class TestSimilarityDefinitionPipeline:
+    def test_end_to_end_under_similarity(self, context):
+        config = MetasearcherConfig(
+            definition=RelevancyDefinition.DOCUMENT_SIMILARITY,
+            samples_per_type=20,
+        )
+        from repro.summaries.estimators import MaxSimilarityEstimator
+
+        searcher = Metasearcher(
+            context.mediator,
+            config,
+            estimator=MaxSimilarityEstimator(),
+            analyzer=context.analyzer,
+        )
+        searcher.train(context.train_queries[:150])
+        session = searcher.select(
+            context.test_queries[0], k=1, certainty=0.9
+        )
+        assert session.final.expected_correctness >= 0.9
+        golden = GoldenStandard(
+            context.mediator, RelevancyDefinition.DOCUMENT_SIMILARITY
+        )
+        # After enough probing the selected database should be among the
+        # truly most-similar ones.
+        relevancies = golden.relevancies(context.test_queries[0])
+        chosen = context.mediator.position(session.final.names[0])
+        assert relevancies[chosen] >= np.percentile(relevancies, 50)
+
+
+class TestSampledSummaryPipeline:
+    def test_training_and_selection_with_sampled_summaries(self, context):
+        searcher = Metasearcher(
+            context.mediator,
+            MetasearcherConfig(summary_sampling=40, samples_per_type=15),
+            analyzer=context.analyzer,
+        )
+        searcher.train(context.train_queries[:120])
+        session = searcher.select(context.test_queries[1], k=1, certainty=0.5)
+        assert session.final.names
+        # With sampled (inexact) summaries the certain-zero shortcut must
+        # not fire: zero-estimate databases keep uncertain RDs.
+        assert not all(
+            searcher.selector.build_rd(name, context.test_queries[1]).is_impulse
+            for name in context.mediator.names
+        )

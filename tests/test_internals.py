@@ -1,0 +1,123 @@
+"""Targeted tests for internal helpers and less-travelled branches."""
+
+import numpy as np
+import pytest
+
+from repro.core.query_types import QueryType
+from repro.core.training import ErrorModel
+from repro.exceptions import DistributionError, TrainingError
+from repro.experiments.sampling_size import sampling_size_goodness
+from repro.hiddenweb.mediator import Mediator
+from repro.hiddenweb.database import HiddenWebDatabase
+from repro.stats.distribution import DiscreteDistribution
+from repro.text.porter import PorterStemmer
+from repro.text.analyzer import Analyzer
+from repro.types import Document
+
+
+class TestPorterInternals:
+    def test_measure(self):
+        # m counts VC sequences: tr|ee -> m=0, tr|oubl|e -> m=1, etc.
+        assert PorterStemmer._measure("tr") == 0
+        assert PorterStemmer._measure("ee") == 0
+        assert PorterStemmer._measure("tree") == 0
+        assert PorterStemmer._measure("trouble") == 1
+        assert PorterStemmer._measure("oats") == 1
+        assert PorterStemmer._measure("oaten") == 2  # Porter 1980 example
+        assert PorterStemmer._measure("private") == 2
+
+    def test_contains_vowel(self):
+        assert PorterStemmer._contains_vowel("crab")
+        assert not PorterStemmer._contains_vowel("crt")
+        # 'y' after a consonant counts as a vowel position.
+        assert PorterStemmer._contains_vowel("cry")
+
+    def test_double_consonant(self):
+        assert PorterStemmer._ends_double_consonant("hopp")
+        assert not PorterStemmer._ends_double_consonant("hoop")
+        assert not PorterStemmer._ends_double_consonant("x")
+
+    def test_cvc(self):
+        assert PorterStemmer._ends_cvc("hop")
+        assert not PorterStemmer._ends_cvc("how")  # ends w
+        assert not PorterStemmer._ends_cvc("hoop")
+        assert not PorterStemmer._ends_cvc("ax")
+
+    def test_consonant_y_rules(self):
+        # Leading y is a consonant; y after a vowel is a consonant.
+        assert PorterStemmer._is_consonant("yes", 0)
+        assert PorterStemmer._is_consonant("boy", 2)
+        # y after a consonant acts as a vowel.
+        assert not PorterStemmer._is_consonant("cry", 2)
+
+
+class TestDistributionConstructorValidation:
+    def test_direct_constructor_checks_order(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(
+                np.array([2.0, 1.0]), np.array([0.5, 0.5])
+            )
+
+    def test_direct_constructor_checks_normalization(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(
+                np.array([1.0, 2.0]), np.array([0.5, 0.9])
+            )
+
+    def test_direct_constructor_checks_shapes(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DistributionError):
+            DiscreteDistribution(np.array([]), np.array([]))
+
+
+class TestErrorModelExactAccessor:
+    def test_exact_returns_none_for_unknown(self):
+        model = ErrorModel()
+        assert model.exact("db", QueryType(2, 0)) is None
+
+    def test_exact_ignores_min_samples(self):
+        model = ErrorModel(min_samples=100)
+        model.observe("db", QueryType(2, 0), 0.5)
+        # lookup refuses (too few samples) but exact() returns the slice.
+        assert model.lookup("db", QueryType(2, 0)) is None
+        assert model.exact("db", QueryType(2, 0)).sample_count == 1
+
+
+class TestSamplingSizeGuards:
+    def test_insufficient_pool_raises(self, analyzer):
+        documents = [Document(i, "cancer study report") for i in range(30)]
+        mediator = Mediator(
+            [HiddenWebDatabase("only", documents, analyzer)]
+        )
+        from repro.querylog.generator import QueryTraceGenerator
+        from repro.corpus.topics import default_topic_registry
+        from repro.corpus.zipf import ZipfVocabulary
+
+        trace = QueryTraceGenerator(
+            default_topic_registry(seed=91),
+            ZipfVocabulary(200, seed=92),
+            analyzer=analyzer,
+            seed=93,
+        )
+        tiny_pool = trace.generate(20)
+        with pytest.raises(TrainingError):
+            sampling_size_goodness(
+                mediator,
+                tiny_pool,
+                sampling_sizes=(10, 200),  # 200 >> qualifying queries
+                repetitions=2,
+            )
+
+
+class TestAnalyzerCacheIsolation:
+    def test_separate_instances_separate_caches(self):
+        a = Analyzer(stem=True)
+        b = Analyzer(stem=False)
+        assert a.analyze("running") == ["run"]
+        assert b.analyze("running") == ["running"]
+        # Re-query after both populated their caches.
+        assert a.analyze("running") == ["run"]
+        assert b.analyze("running") == ["running"]

@@ -1,0 +1,172 @@
+"""Tests for the metasearcher façade, baselines and result fusion."""
+
+import pytest
+
+from repro.core.topk import CorrectnessMetric
+from repro.exceptions import ReproError, SelectionError
+from repro.metasearch.baselines import EstimationBasedSelector
+from repro.metasearch.fusion import merge_results
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.summaries.estimators import TermIndependenceEstimator
+from repro.types import Query, ScoredDocument, SearchResult
+
+
+class TestEstimationBasedSelector:
+    def test_selects_by_estimate_rank(self, trained_pipeline):
+        selector = EstimationBasedSelector(
+            trained_pipeline["mediator"],
+            trained_pipeline["summaries"],
+            trained_pipeline["estimator"],
+        )
+        query = trained_pipeline["test_queries"][0]
+        names = selector.select(query, 2)
+        assert len(names) == 2
+        estimates = dict(
+            zip(trained_pipeline["mediator"].names, selector.estimates(query))
+        )
+        worst_selected = min(estimates[name] for name in names)
+        best_unselected = max(
+            est for name, est in estimates.items() if name not in names
+        )
+        assert worst_selected >= best_unselected
+
+    def test_missing_summaries_rejected(self, trained_pipeline):
+        with pytest.raises(SelectionError):
+            EstimationBasedSelector(
+                trained_pipeline["mediator"], {}, TermIndependenceEstimator()
+            )
+
+
+class TestFusion:
+    def _result(self, terms, hits):
+        return SearchResult(
+            query=Query(terms),
+            num_matches=len(hits),
+            top_documents=tuple(ScoredDocument(d, s) for d, s in hits),
+        )
+
+    def test_merges_and_ranks(self):
+        results = {
+            "a": self._result(("q",), [(1, 0.9), (2, 0.1)]),
+            "b": self._result(("q",), [(7, 0.5), (8, 0.4)]),
+        }
+        fused = merge_results(results, limit=10)
+        assert len(fused) == 4
+        scores = [hit.score for hit in fused]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_normalization_per_database(self):
+        # Database "weak" has low raw scores but its best hit should
+        # normalize to 1.0, competing fairly with "strong".
+        results = {
+            "strong": self._result(("q",), [(1, 0.9), (2, 0.8)]),
+            "weak": self._result(("q",), [(5, 0.09), (6, 0.01)]),
+        }
+        fused = merge_results(results, limit=2)
+        assert {hit.database for hit in fused} == {"strong", "weak"}
+
+    def test_limit(self):
+        results = {"a": self._result(("q",), [(i, 1.0 - i * 0.1) for i in range(8)])}
+        assert len(merge_results(results, limit=3)) == 3
+
+    def test_empty_results(self):
+        assert merge_results({}, limit=5) == []
+        assert merge_results({"a": self._result(("q",), [])}) == []
+
+    def test_deterministic_tiebreak(self):
+        results = {
+            "b": self._result(("q",), [(2, 0.5)]),
+            "a": self._result(("q",), [(1, 0.5)]),
+        }
+        fused = merge_results(results)
+        # Single-hit pages normalize to 1.0 each; ties break by db name.
+        assert [hit.database for hit in fused] == ["a", "b"]
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            merge_results({}, limit=-1)
+
+
+class TestMetasearcher:
+    @pytest.fixture(scope="class")
+    def metasearcher(self, tiny_mediator, health_queries, analyzer):
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=20),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:60])
+        return searcher
+
+    def test_requires_training(self, tiny_mediator, analyzer):
+        searcher = Metasearcher(tiny_mediator, analyzer=analyzer)
+        with pytest.raises(ReproError):
+            searcher.select("breast cancer", k=1)
+
+    def test_training_requires_queries(self, tiny_mediator, analyzer):
+        searcher = Metasearcher(tiny_mediator, analyzer=analyzer)
+        with pytest.raises(Exception):
+            searcher.train([])
+
+    def test_select_accepts_text(self, metasearcher):
+        session = metasearcher.select("cancer treatment", k=2)
+        assert len(session.final.names) == 2
+
+    def test_select_accepts_query(self, metasearcher, analyzer):
+        query = analyzer.query("heart cholesterol")
+        session = metasearcher.select(query, k=1)
+        assert len(session.final.names) == 1
+
+    def test_certainty_controls_probing(self, metasearcher):
+        low = metasearcher.select("cancer treatment", k=1, certainty=0.0)
+        high = metasearcher.select("cancer treatment", k=1, certainty=1.0)
+        assert low.num_probes == 0
+        assert high.final.expected_correctness == pytest.approx(1.0)
+
+    def test_select_without_probing(self, metasearcher):
+        result = metasearcher.select_without_probing("cancer trials", k=2)
+        assert len(result.names) == 2
+
+    def test_search_end_to_end(self, metasearcher):
+        answer = metasearcher.search("cancer treatment", k=2, certainty=0.5)
+        assert len(answer.selected) == 2
+        assert answer.certainty >= 0.5 or answer.probes_used > 0
+        assert all(hit.database in answer.selected for hit in answer.hits)
+
+    def test_search_empty_query_rejected(self, metasearcher):
+        from repro.exceptions import EmptyQueryError
+
+        with pytest.raises(EmptyQueryError):
+            metasearcher.search("the of and", k=1)
+
+    def test_is_trained_flag(self, metasearcher, tiny_mediator):
+        assert metasearcher.is_trained
+        assert not Metasearcher(tiny_mediator).is_trained
+
+    def test_summaries_exposed(self, metasearcher, tiny_mediator):
+        assert set(metasearcher.summaries) == set(tiny_mediator.names)
+
+    def test_metric_config(self, tiny_mediator, health_queries, analyzer):
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(
+                metric=CorrectnessMetric.PARTIAL, samples_per_type=10
+            ),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:40])
+        session = searcher.select("cancer drug", k=2, certainty=0.3)
+        assert session.metric is CorrectnessMetric.PARTIAL
+
+    def test_sampled_summaries_config(
+        self, tiny_mediator, health_queries, analyzer
+    ):
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(summary_sampling=30, samples_per_type=5),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:20])
+        assert all(
+            not summary.is_exact for summary in searcher.summaries.values()
+        )

@@ -1,0 +1,124 @@
+"""Additional coverage: statistical calibration, integration variants."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.policies import CostAwareGreedyPolicy
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.stats.chisquare import pearson_chi2_test
+from repro.stats.distribution import DiscreteDistribution as D
+
+
+class TestChiSquareCalibration:
+    """Under the null hypothesis, the test's p-values must be roughly
+    uniform — the statistical property the goodness experiment rests on."""
+
+    def test_null_p_values_roughly_uniform(self):
+        rng = np.random.default_rng(123)
+        proportions = np.array([0.1, 0.2, 0.3, 0.25, 0.15])
+        p_values = []
+        for _ in range(400):
+            sample = rng.multinomial(200, proportions)
+            p_values.append(
+                pearson_chi2_test(sample.astype(float), proportions).p_value
+            )
+        p_values = np.array(p_values)
+        # Mean of uniform(0,1) is 0.5; chi-square approximation keeps us
+        # within a comfortable band at n=200.
+        assert 0.40 <= p_values.mean() <= 0.60
+        # Roughly 5 % of null samples should fall below 0.05.
+        rejection_rate = (p_values < 0.05).mean()
+        assert 0.01 <= rejection_rate <= 0.12
+
+    def test_power_against_shifted_distribution(self):
+        rng = np.random.default_rng(124)
+        null = np.array([0.25, 0.25, 0.25, 0.25])
+        shifted = np.array([0.4, 0.3, 0.2, 0.1])
+        rejections = 0
+        for _ in range(100):
+            sample = rng.multinomial(300, shifted)
+            result = pearson_chi2_test(sample.astype(float), null)
+            if not result.accepted():
+                rejections += 1
+        assert rejections > 90  # strong power at this effect size
+
+
+class TestExpectedCorrectnessWithMarginals:
+    def test_supplied_marginals_reused(self):
+        rds = [
+            D.from_pairs([(1.0, 0.5), (3.0, 0.5)]),
+            D.from_pairs([(2.0, 0.5), (4.0, 0.5)]),
+            D.impulse(0.0),
+        ]
+        computer = TopKComputer(rds, 2)
+        marginals = computer.marginals()
+        direct = computer.expected_correctness(
+            [0, 1], CorrectnessMetric.PARTIAL
+        )
+        reused = computer.expected_correctness(
+            [0, 1], CorrectnessMetric.PARTIAL, marginals=marginals
+        )
+        assert direct == pytest.approx(reused)
+
+
+class TestMetasearcherWithCostAwarePolicy:
+    def test_end_to_end_with_costs(self, tiny_mediator, health_queries, analyzer):
+        costs = [1.0] * len(tiny_mediator)
+        costs[-1] = 50.0
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=10),
+            policy=CostAwareGreedyPolicy(costs),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:40])
+        session = searcher.select(health_queries[50], k=1, certainty=0.9)
+        assert session.final.expected_correctness >= 0.9
+
+
+class TestCliFig16:
+    def test_fig16_runs(self, capsys):
+        code = cli_main(
+            [
+                "--scale", "0.03",
+                "--train-queries", "50",
+                "--test-queries", "6",
+                "fig", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# probes" in out
+
+    def test_fig_policies_runs(self, capsys):
+        code = cli_main(
+            [
+                "--scale", "0.03",
+                "--train-queries", "50",
+                "--test-queries", "6",
+                "fig", "policies",
+            ]
+        )
+        assert code == 0
+        assert "greedy" in capsys.readouterr().out
+
+
+class TestMetasearcherAnswerInvariants:
+    def test_hits_come_only_from_selected(
+        self, tiny_mediator, health_queries, analyzer
+    ):
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=10),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:40])
+        for query in health_queries[40:50]:
+            answer = searcher.search(query, k=2, certainty=0.5, limit=4)
+            assert len(answer.selected) == 2
+            assert all(hit.database in answer.selected for hit in answer.hits)
+            assert len(answer.hits) <= 4
+            scores = [hit.score for hit in answer.hits]
+            assert scores == sorted(scores, reverse=True)

@@ -1,0 +1,177 @@
+"""Tests for trained-state persistence (save → load → identical answers)."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ErrorDistribution
+from repro.core.query_types import QueryType
+from repro.core.topk import CorrectnessMetric
+from repro.core.training import ErrorModel
+from repro.exceptions import ConfigurationError
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.persistence import (
+    TrainedState,
+    load_trained_state,
+    save_trained_state,
+)
+from repro.summaries.summary import ContentSummary
+
+
+class TestErrorDistributionState:
+    def test_round_trip(self):
+        ed = ErrorDistribution()
+        ed.observe_all([-1.0, -0.4, 0.1, 2.3, 17.0])
+        restored = ErrorDistribution.from_state(ed.state())
+        assert restored.sample_count == ed.sample_count
+        assert restored.to_distribution().allclose(ed.to_distribution())
+
+    def test_state_is_json_serializable(self):
+        ed = ErrorDistribution()
+        ed.observe_all([0.5, -0.5])
+        text = json.dumps(ed.state())
+        restored = ErrorDistribution.from_state(json.loads(text))
+        assert restored.sample_count == 2
+
+
+class TestErrorModelState:
+    def test_round_trip_preserves_lookups(self):
+        model = ErrorModel(min_samples=2)
+        for _ in range(5):
+            model.observe("db-a", QueryType(2, 0), -0.8)
+            model.observe("db-a", QueryType(2, 1), 1.5)
+            model.observe("db-b", QueryType(3, 0), 0.0)
+        restored = ErrorModel.from_state_dict(
+            json.loads(json.dumps(model.state_dict()))
+        )
+        for name in ("db-a", "db-b"):
+            for query_type in (QueryType(2, 0), QueryType(2, 1), QueryType(3, 0)):
+                original = model.lookup(name, query_type)
+                loaded = restored.lookup(name, query_type)
+                assert (original is None) == (loaded is None)
+                if original is not None:
+                    assert loaded.to_distribution().allclose(
+                        original.to_distribution()
+                    )
+
+    def test_round_trip_preserves_config(self):
+        model = ErrorModel(min_samples=7, estimate_floor=0.25)
+        model.observe("db", QueryType(2, 0), 0.0)
+        restored = ErrorModel.from_state_dict(model.state_dict())
+        assert restored.estimate_floor == 0.25
+
+
+class TestSummaryDict:
+    def test_round_trip(self):
+        summary = ContentSummary(
+            "db", 500, {"cancer": 40, "heart": 3}, sampled_documents=90
+        )
+        restored = ContentSummary.from_dict(
+            json.loads(json.dumps(summary.to_dict()))
+        )
+        assert restored.database_name == "db"
+        assert restored.size == 500
+        assert restored.sampled_documents == 90
+        assert restored.document_frequency("cancer") == 40
+
+    def test_exact_summary_round_trip(self):
+        summary = ContentSummary("db", 10, {"a": 1})
+        restored = ContentSummary.from_dict(summary.to_dict())
+        assert restored.is_exact
+
+
+class TestMetasearcherSaveLoad:
+    def test_save_then_load_gives_identical_selections(
+        self, tiny_mediator, health_queries, analyzer, tmp_path
+    ):
+        path = tmp_path / "trained.json"
+        original = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=20),
+            analyzer=analyzer,
+        )
+        original.train(health_queries[:60])
+        original.save(path)
+
+        restored = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=20),
+            analyzer=analyzer,
+        )
+        restored.load(path)
+        assert restored.is_trained
+        for query in health_queries[60:75]:
+            a = original.select_without_probing(query, 2)
+            b = restored.select_without_probing(query, 2)
+            assert a.names == b.names
+            assert a.expected_correctness == pytest.approx(
+                b.expected_correctness
+            )
+
+    def test_save_before_training_rejected(self, tiny_mediator, tmp_path):
+        searcher = Metasearcher(tiny_mediator)
+        with pytest.raises(Exception):
+            searcher.save(tmp_path / "x.json")
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ConfigurationError):
+            load_trained_state(path)
+
+    def test_missing_summary_on_attach(
+        self, tiny_mediator, health_queries, analyzer, tmp_path
+    ):
+        from repro.summaries.estimators import TermIndependenceEstimator
+
+        path = tmp_path / "trained.json"
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=10),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:30])
+        searcher.save(path)
+        state = load_trained_state(path)
+        incomplete = TrainedState(
+            summaries={
+                k: v
+                for k, v in state.summaries.items()
+                if k != tiny_mediator.names[0]
+            },
+            error_model=state.error_model,
+            estimate_thresholds=state.estimate_thresholds,
+            term_counts=state.term_counts,
+            definition=state.definition,
+        )
+        with pytest.raises(ConfigurationError):
+            incomplete.selector(tiny_mediator, TermIndependenceEstimator())
+
+    def test_state_file_round_trip_standalone(
+        self, trained_pipeline, tmp_path
+    ):
+        from repro.hiddenweb.database import RelevancyDefinition
+
+        from repro.core.query_types import QueryTypeClassifier
+
+        state = TrainedState(
+            summaries=trained_pipeline["summaries"],
+            error_model=trained_pipeline["error_model"],
+            estimate_thresholds=QueryTypeClassifier.DEFAULT_THRESHOLDS,
+            term_counts=(2, 3),
+            definition=RelevancyDefinition.DOCUMENT_FREQUENCY,
+        )
+        path = tmp_path / "state.json"
+        save_trained_state(state, path)
+        loaded = load_trained_state(path)
+        assert set(loaded.summaries) == set(state.summaries)
+        assert loaded.estimate_thresholds == QueryTypeClassifier.DEFAULT_THRESHOLDS
+        selector = loaded.selector(
+            trained_pipeline["mediator"], trained_pipeline["estimator"]
+        )
+        query = trained_pipeline["test_queries"][0]
+        fresh = trained_pipeline["selector"].select(
+            query, 1, CorrectnessMetric.ABSOLUTE
+        )
+        restored = selector.select(query, 1, CorrectnessMetric.ABSOLUTE)
+        assert fresh.names == restored.names

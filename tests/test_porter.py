@@ -1,0 +1,117 @@
+"""Porter stemmer tests against the reference algorithm's known outputs."""
+
+import pytest
+
+from repro.text.porter import PorterStemmer, stem
+
+# (word, expected stem) pairs from Porter's 1980 paper and the reference
+# implementation's vocabulary test set.
+REFERENCE_CASES = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("ties", "ti"),
+    ("caress", "caress"),
+    ("cats", "cat"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("bled", "bled"),
+    ("motoring", "motor"),
+    ("sing", "sing"),
+    ("conflated", "conflat"),
+    ("troubled", "troubl"),
+    ("sized", "size"),
+    ("hopping", "hop"),
+    ("tanned", "tan"),
+    ("falling", "fall"),
+    ("hissing", "hiss"),
+    ("fizzed", "fizz"),
+    ("failing", "fail"),
+    ("filing", "file"),
+    ("happy", "happi"),
+    ("sky", "sky"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("rational", "ration"),
+    ("valenci", "valenc"),
+    ("hesitanci", "hesit"),
+    ("digitizer", "digit"),
+    ("conformabli", "conform"),
+    ("radicalli", "radic"),
+    ("differentli", "differ"),
+    ("vileli", "vile"),
+    ("analogousli", "analog"),
+    ("vietnamization", "vietnam"),
+    ("predication", "predic"),
+    ("operator", "oper"),
+    ("feudalism", "feudal"),
+    ("decisiveness", "decis"),
+    ("hopefulness", "hope"),
+    ("callousness", "callous"),
+    ("formaliti", "formal"),
+    ("sensitiviti", "sensit"),
+    ("sensibiliti", "sensibl"),
+    ("triplicate", "triplic"),
+    ("formative", "form"),
+    ("formalize", "formal"),
+    ("electriciti", "electr"),
+    ("electrical", "electr"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("revival", "reviv"),
+    ("allowance", "allow"),
+    ("inference", "infer"),
+    ("airliner", "airlin"),
+    ("gyroscopic", "gyroscop"),
+    ("adjustable", "adjust"),
+    ("defensible", "defens"),
+    ("irritant", "irrit"),
+    ("replacement", "replac"),
+    ("adjustment", "adjust"),
+    ("dependent", "depend"),
+    ("adoption", "adopt"),
+    ("homologou", "homolog"),
+    ("communism", "commun"),
+    ("activate", "activ"),
+    ("angulariti", "angular"),
+    ("homologous", "homolog"),
+    ("effective", "effect"),
+    ("bowdlerize", "bowdler"),
+    ("probate", "probat"),
+    ("rate", "rate"),
+    ("cease", "ceas"),
+    ("controll", "control"),
+    ("roll", "roll"),
+]
+
+
+@pytest.mark.parametrize("word,expected", REFERENCE_CASES)
+def test_reference_cases(word, expected):
+    assert stem(word) == expected
+
+
+class TestPorterBasics:
+    def test_short_words_unchanged(self):
+        for word in ("a", "is", "be", "ox"):
+            assert stem(word) == word
+
+    def test_idempotent_on_common_medical_terms(self):
+        stemmer = PorterStemmer()
+        for word in ("cancer", "cancers", "cancerous"):
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) in (once, stemmer.stem(once))
+
+    def test_plural_family_collapses(self):
+        assert stem("cancers") == stem("cancer")
+        assert stem("vaccines") == stem("vaccine")
+
+    def test_ing_family_collapses(self):
+        assert stem("screening") == stem("screenings")
+
+    def test_callable_interface(self):
+        stemmer = PorterStemmer()
+        assert stemmer("running") == "run"
+
+    def test_deterministic(self):
+        stemmer = PorterStemmer()
+        assert stemmer.stem("generalization") == stemmer.stem("generalization")

@@ -1,0 +1,302 @@
+"""Property-based tests (hypothesis) on cross-cutting invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.correctness import rank_by_relevancy, tie_tolerant_scores
+from repro.core.errors import ErrorDistribution, relative_error
+from repro.core.relevancy import derive_rd
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.engine.index import InvertedIndex
+from repro.stats.distribution import DiscreteDistribution
+from repro.stats.special import chi2_sf, regularized_gamma_p
+from repro.text.analyzer import Analyzer
+from repro.text.porter import stem
+from repro.types import Document, Query
+
+# -- strategies ---------------------------------------------------------------
+
+words = st.text(alphabet="abcdefghij", min_size=3, max_size=8)
+
+distributions = st.builds(
+    lambda pairs: DiscreteDistribution.from_pairs(pairs),
+    st.dictionaries(
+        st.integers(min_value=0, max_value=50),
+        st.floats(min_value=0.01, max_value=1.0),
+        min_size=1,
+        max_size=6,
+    ).map(lambda d: [(float(v), w) for v, w in d.items()]),
+)
+
+
+class TestPorterProperties:
+    @given(words)
+    @settings(max_examples=200, deadline=None)
+    def test_stem_never_longer(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(words)
+    @settings(max_examples=200, deadline=None)
+    def test_stem_nonempty_and_lowercase(self, word):
+        result = stem(word)
+        assert result
+        assert result == result.lower()
+
+    @given(words)
+    @settings(max_examples=100, deadline=None)
+    def test_plural_collapses_to_singular(self, word):
+        # Step 1a strips a final "s" whenever the remainder does not end
+        # in "s"/"e" special cases, after which both forms take the same
+        # path. (Vowel-final words like "aie"/"aies" genuinely diverge
+        # in the reference algorithm, so they are excluded.)
+        assume(len(word) >= 3)
+        assume(word[-1] not in "se")
+        assert stem(word + "s") == stem(word)
+
+
+class TestAnalyzerProperties:
+    @given(st.lists(words, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_reanalysis_is_stable_without_stemming(self, tokens):
+        # Note: the stemming pipeline is deliberately NOT idempotent
+        # (Porter re-stems e.g. "agre" -> "agr"); the invariant holds for
+        # the tokenize + stopword pipeline, which is what gets re-applied
+        # in practice (documents and queries are stemmed exactly once).
+        analyzer = Analyzer(stem=False)
+        once = analyzer.analyze(" ".join(tokens))
+        assume(once)
+        twice = analyzer.analyze(" ".join(once))
+        assert twice == once
+
+    @given(st.lists(words, min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_analysis_deterministic(self, tokens):
+        text = " ".join(tokens)
+        assert Analyzer().analyze(text) == Analyzer().analyze(text)
+
+    @given(st.lists(words, min_size=1, max_size=6))
+    @settings(max_examples=100, deadline=None)
+    def test_query_terms_unique(self, tokens):
+        analyzer = Analyzer()
+        try:
+            query = analyzer.query(" ".join(tokens))
+        except Exception:
+            assume(False)
+        assert len(set(query.terms)) == len(query.terms)
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.lists(words, min_size=1, max_size=10),
+            min_size=1,
+            max_size=12,
+        ),
+        st.lists(words, min_size=1, max_size=3, unique=True),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_match_count_equals_naive(self, docs_tokens, query_terms):
+        analyzer = Analyzer(stem=False, stopwords=set(), min_length=1)
+        index = InvertedIndex(analyzer)
+        for i, tokens in enumerate(docs_tokens):
+            index.add(Document(i, " ".join(tokens)))
+        index.freeze()
+        query = Query(tuple(query_terms))
+        naive = sum(
+            1
+            for tokens in docs_tokens
+            if all(term in tokens for term in query_terms)
+        )
+        assert index.match_count(query) == naive
+
+
+class TestDistributionProperties:
+    @given(distributions, st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_scales_linearly(self, dist, factor):
+        scaled = dist.map(lambda v: v * factor)
+        assert scaled.mean() == pytest.approx(dist.mean() * factor, rel=1e-9)
+
+    @given(distributions)
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_monotone_and_bounded(self, dist):
+        values = sorted(dist.values.tolist())
+        previous = 0.0
+        for value in values:
+            current = dist.cdf(value)
+            assert previous - 1e-12 <= current <= 1.0 + 1e-12
+            previous = current
+        assert dist.cdf(values[-1]) == pytest.approx(1.0)
+
+    @given(distributions)
+    @settings(max_examples=100, deadline=None)
+    def test_entropy_bounds(self, dist):
+        entropy = dist.entropy()
+        assert -1e-12 <= entropy <= np.log(dist.support_size) + 1e-9
+
+    @given(distributions, st.floats(min_value=-10, max_value=60))
+    @settings(max_examples=100, deadline=None)
+    def test_cdf_plus_sf_is_one(self, dist, x):
+        assert dist.cdf(x) + dist.sf(x) == pytest.approx(1.0)
+
+
+class TestErrorModelProperties:
+    @given(
+        st.floats(min_value=0.0, max_value=1e4),
+        st.floats(min_value=0.0, max_value=1e4),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_relative_error_bounded_below(self, actual, estimated):
+        error = relative_error(actual, estimated, estimate_floor=0.05)
+        assert error >= -1.0 - 1e-9
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1.0, max_value=50.0),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_derived_rd_is_valid_distribution(self, errors, estimate):
+        ed = ErrorDistribution()
+        ed.observe_all(errors)
+        rd = derive_rd(estimate, ed)
+        total = sum(p for _v, p in rd.atoms())
+        assert total == pytest.approx(1.0)
+        assert all(v >= 0 for v, _p in rd.atoms())
+        assert all(v == round(v) for v, _p in rd.atoms())
+
+
+class TestCorrectnessProperties:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=2, max_size=8
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_deterministic_topk_is_tie_tolerant_correct(self, rels, k):
+        assume(k <= len(rels))
+        winners = rank_by_relevancy([float(r) for r in rels], k)
+        selected = [float(rels[i]) for i in winners]
+        cor_a, cor_p = tie_tolerant_scores(
+            selected, [float(r) for r in rels], k
+        )
+        assert cor_a == 1.0
+        assert cor_p == 1.0
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=3, max_size=8
+        ),
+        st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_absolute_one_implies_partial_one(self, rels, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(rels)))
+        subset = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(rels) - 1),
+                min_size=k,
+                max_size=k,
+                unique=True,
+            )
+        )
+        selected = [float(rels[i]) for i in subset]
+        cor_a, cor_p = tie_tolerant_scores(
+            selected, [float(r) for r in rels], k
+        )
+        assert 0.0 <= cor_p <= 1.0
+        if cor_a == 1.0:
+            assert cor_p == 1.0
+
+
+class TestTopKInvariances:
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=8),
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=4,
+        ),
+        st.floats(min_value=0.5, max_value=4.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_invariant_under_value_scaling(
+        self, raw, factor
+    ):
+        rds = [
+            DiscreteDistribution.from_pairs(
+                (float(v), w) for v, w in atoms.items()
+            )
+            for atoms in raw
+        ]
+        scaled = [rd.map(lambda v: v * factor) for rd in rds]
+        original = TopKComputer(rds, 1).marginals()
+        rescaled = TopKComputer(scaled, 1).marginals()
+        assert np.allclose(original, rescaled, atol=1e-10)
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=8),
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partial_best_at_least_absolute_best(self, raw):
+        rds = [
+            DiscreteDistribution.from_pairs(
+                (float(v), w) for v, w in atoms.items()
+            )
+            for atoms in raw
+        ]
+        k = min(2, len(rds))
+        computer = TopKComputer(rds, k)
+        _sa, absolute = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        _sp, partial = computer.best_set(CorrectnessMetric.PARTIAL)
+        assert partial >= absolute - 1e-9
+
+
+class TestSpecialFunctionProperties:
+    @given(
+        st.floats(min_value=0.2, max_value=30.0),
+        st.floats(min_value=0.0, max_value=60.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_gamma_p_in_unit_interval(self, a, x):
+        value = regularized_gamma_p(a, x)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        st.floats(min_value=0.2, max_value=30.0),
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gamma_p_monotone_in_x(self, a, x, delta):
+        assert regularized_gamma_p(a, x + delta) >= regularized_gamma_p(
+            a, x
+        ) - 1e-12
+
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.floats(min_value=0.0, max_value=50.0),
+        st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_chi2_sf_decreasing_in_statistic(self, dof, x, delta):
+        assert chi2_sf(x + delta, dof) <= chi2_sf(x, dof) + 1e-12

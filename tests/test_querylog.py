@@ -1,0 +1,149 @@
+"""Unit tests for query-trace generation and domain filtering."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.querylog.generator import QueryTraceGenerator, TraceConfig
+from repro.querylog.vocabulary import domain_vocabulary, is_domain_query
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+
+class TestTraceConfig:
+    def test_defaults_valid(self):
+        config = TraceConfig()
+        assert set(config.term_count_mix) == {2, 3}
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(term_count_mix={})
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(term_count_mix={2: 0.0})
+
+    def test_negative_prob_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(term_count_mix={2: -1.0})
+
+    def test_invalid_probability_knobs(self):
+        with pytest.raises(ConfigurationError):
+            TraceConfig(background_term_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            TraceConfig(cross_topic_prob=-0.1)
+
+
+class TestQueryTraceGenerator:
+    def test_term_counts_exact(self, registry, background_vocab, analyzer):
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=1
+        )
+        for query in trace.generate(60):
+            assert query.num_terms in (2, 3)
+
+    def test_unique_generation(self, registry, background_vocab, analyzer):
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=2
+        )
+        queries = trace.generate(80, unique=True)
+        assert len(set(queries)) == 80
+
+    def test_deterministic_by_seed(self, registry, background_vocab, analyzer):
+        a = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=3
+        ).generate(30)
+        b = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=3
+        ).generate(30)
+        assert a == b
+
+    def test_seeds_differ(self, registry, background_vocab, analyzer):
+        a = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=4
+        ).generate(30)
+        b = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=5
+        ).generate(30)
+        assert a != b
+
+    def test_train_test_disjoint(self, registry, background_vocab, analyzer):
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=6
+        )
+        train, test = trace.train_test_split(50, 20)
+        assert len(train) == 50 and len(test) == 20
+        assert not set(train) & set(test)
+
+    def test_domain_weights_respected(
+        self, registry, background_vocab, analyzer
+    ):
+        config = TraceConfig(
+            domain_weights={"news": 1.0},
+            background_term_prob=0.0,
+            cross_topic_prob=0.0,
+        )
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, config=config,
+            seed=7,
+        )
+        news_terms = set()
+        for topic in registry.in_domain("news"):
+            for word in topic.words:
+                news_terms.update(analyzer.analyze(word))
+        for query in trace.generate(40):
+            assert all(term in news_terms for term in query.terms)
+
+    def test_unknown_domain_rejected(self, registry, background_vocab):
+        config = TraceConfig(domain_weights={"nonexistent": 1.0})
+        with pytest.raises(ConfigurationError):
+            QueryTraceGenerator(registry, background_vocab, config=config)
+
+    def test_negative_count_rejected(
+        self, registry, background_vocab, analyzer
+    ):
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, seed=8
+        )
+        with pytest.raises(ConfigurationError):
+            trace.generate(-1)
+
+    def test_single_term_queries_supported(
+        self, registry, background_vocab, analyzer
+    ):
+        config = TraceConfig(term_count_mix={1: 1.0})
+        trace = QueryTraceGenerator(
+            registry, background_vocab, analyzer=analyzer, config=config,
+            seed=9,
+        )
+        assert all(q.num_terms == 1 for q in trace.generate(20))
+
+
+class TestDomainVocabulary:
+    def test_contains_anchor_stems(self, registry, analyzer):
+        vocab = domain_vocabulary(registry, "health", analyzer)
+        assert analyzer.analyze("cancer")[0] in vocab
+        assert analyzer.analyze("vaccine")[0] in vocab
+
+    def test_excludes_other_domains(self, registry, analyzer):
+        health = domain_vocabulary(registry, "health", analyzer)
+        election_stem = analyzer.analyze("election")[0]
+        assert election_stem not in health
+
+    def test_empty_domain(self, registry, analyzer):
+        assert domain_vocabulary(registry, "nonexistent", analyzer) == frozenset()
+
+
+class TestIsDomainQuery:
+    def test_two_domain_terms_pass(self):
+        vocab = frozenset({"cancer", "heart"})
+        assert is_domain_query(Query(("cancer", "heart")), vocab)
+
+    def test_one_domain_term_fails_default(self):
+        vocab = frozenset({"cancer"})
+        assert not is_domain_query(Query(("cancer", "zebra")), vocab)
+
+    def test_min_terms_configurable(self):
+        vocab = frozenset({"cancer"})
+        assert is_domain_query(
+            Query(("cancer", "zebra")), vocab, min_domain_terms=1
+        )

@@ -1,0 +1,65 @@
+"""Regression snapshot: headline numbers at a fixed miniature scale.
+
+Everything in the library is deterministic, so the key experiment
+outputs at a pinned configuration act as a change detector: if an
+algorithmic edit shifts these numbers, this test makes the shift visible
+(update the expectations deliberately, with EXPERIMENTS.md, if the
+change is intended). Tolerances are wide enough to survive harmless
+floating-point reordering but tight enough to catch behavioural change.
+"""
+
+import pytest
+
+from repro.core.topk import CorrectnessMetric
+from repro.experiments.harness import evaluate_selection_quality, train_pipeline
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+
+PINNED = PaperSetupConfig(scale=0.06, seed=2004, n_train=200, n_test=40)
+
+
+@pytest.fixture(scope="module")
+def pinned_context():
+    return build_paper_context(PINNED)
+
+
+@pytest.fixture(scope="module")
+def pinned_pipeline(pinned_context):
+    return train_pipeline(pinned_context, samples_per_type=30)
+
+
+class TestPinnedNumbers:
+    def test_setup_statistics(self, pinned_context):
+        sizes = [db.size for db in pinned_context.mediator]
+        assert sum(sizes) == 2671
+        assert len(pinned_context.train_queries) == 200
+        assert len(pinned_context.test_queries) == 40
+
+    def test_selection_quality_snapshot(self, pinned_context, pinned_pipeline):
+        results = evaluate_selection_quality(
+            pinned_context, pinned_pipeline, k_values=(1,)
+        )
+        by_method = {r.method: r for r in results}
+        baseline = by_method["term-independence estimator (baseline)"]
+        rd_based = by_method["RD-based, no probing"]
+        # Exact values at this pinned configuration (40 test queries →
+        # correctness is a multiple of 0.025).
+        assert baseline.avg_absolute == pytest.approx(0.425, abs=1e-9)
+        assert rd_based.avg_absolute == pytest.approx(0.575, abs=1e-9)
+
+    def test_rd_selection_deterministic(self, pinned_context, pinned_pipeline):
+        query = pinned_context.test_queries[0]
+        first = pinned_pipeline.rd_selector.select(
+            query, 1, CorrectnessMetric.ABSOLUTE
+        )
+        second = pinned_pipeline.rd_selector.select(
+            query, 1, CorrectnessMetric.ABSOLUTE
+        )
+        assert first.names == second.names
+        assert first.expected_correctness == second.expected_correctness
+
+    def test_error_model_sample_total(self, pinned_context, pinned_pipeline):
+        # Total training samples is a sensitive fingerprint of the
+        # training loop (caps, skips, classification).
+        model = pinned_pipeline.error_model
+        assert model._global.sample_count > 0
+        assert repr(model).startswith("ErrorModel(")

@@ -1,0 +1,101 @@
+"""Unit tests for the text substrate: tokenizer, stopwords, analyzer."""
+
+import pytest
+
+from repro.exceptions import EmptyQueryError
+from repro.text.analyzer import Analyzer
+from repro.text.stopwords import DEFAULT_STOPWORDS, is_stopword
+from repro.text.tokenize import iter_tokens, tokenize
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Breast CANCER") == ["breast", "cancer"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("cancer, trials!") == ["cancer", "trials"]
+
+    def test_collapses_hyphens_and_apostrophes(self):
+        assert tokenize("tf-idf don't") == ["tfidf", "dont"]
+
+    def test_keeps_digits(self):
+        assert tokenize("phase 2 trial") == ["phase", "2", "trial"]
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert tokenize("  \n\t ") == []
+
+    def test_iter_tokens_lazy(self):
+        iterator = iter_tokens("a b c")
+        assert next(iterator) == "a"
+        assert list(iterator) == ["b", "c"]
+
+    def test_unicode_outside_ascii_dropped(self):
+        # The tokenizer targets ASCII word characters.
+        assert tokenize("café") == ["caf"]
+
+
+class TestStopwords:
+    def test_common_function_words(self):
+        for word in ("the", "and", "of", "is", "with"):
+            assert is_stopword(word)
+
+    def test_content_words_kept(self):
+        for word in ("cancer", "heart", "vaccine"):
+            assert not is_stopword(word)
+
+    def test_list_is_lowercase(self):
+        assert all(w == w.lower() for w in DEFAULT_STOPWORDS)
+
+
+class TestAnalyzer:
+    def test_drops_stopwords(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("the cancer of the heart") == [
+            "cancer",
+            "heart",
+        ]
+
+    def test_stems_by_default(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("running runs") == ["run", "run"]
+
+    def test_no_stem_option(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("running") == ["running"]
+
+    def test_min_length_filter(self):
+        analyzer = Analyzer(stem=False, min_length=3)
+        assert analyzer.analyze("do an mri scan") == ["mri", "scan"]
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stem=False, stopwords={"cancer"})
+        assert analyzer.analyze("the cancer study") == ["the", "study"]
+
+    def test_duplicates_kept_in_analyze(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("cancer cancer") == ["cancer", "cancer"]
+
+    def test_query_dedupes_preserving_order(self):
+        analyzer = Analyzer(stem=False)
+        query = analyzer.query("heart cancer heart")
+        assert query.terms == ("heart", "cancer")
+
+    def test_query_raises_on_empty(self):
+        analyzer = Analyzer()
+        with pytest.raises(EmptyQueryError):
+            analyzer.query("the of and")
+
+    def test_query_dedupes_after_stemming(self):
+        analyzer = Analyzer()
+        query = analyzer.query("run running")
+        assert query.terms == ("run",)
+
+    def test_cache_consistency(self):
+        analyzer = Analyzer()
+        first = analyzer.analyze("chemotherapy treatments")
+        second = analyzer.analyze("chemotherapy treatments")
+        assert first == second
+
+    def test_repr(self):
+        assert "Analyzer" in repr(Analyzer())

@@ -1,0 +1,298 @@
+"""Tests for the probabilistic top-k machinery.
+
+Includes exact hand-computed cases (the paper's Example 4), Monte-Carlo
+cross-validation, and hypothesis property tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.exceptions import SelectionError
+from repro.stats.distribution import DiscreteDistribution as D
+
+
+def paper_example4_rds():
+    """The RDs of the paper's Example 4 / Fig. 5(d).
+
+    db1: 500 w.p. 0.4, 1000 w.p. 0.5, 1500 w.p. 0.1
+    db2: 650 w.p. 0.1, 1300 w.p. 0.9
+    The paper concludes P(db2 is top-1) = 0.85.
+    """
+    db1 = D.from_pairs([(500.0, 0.4), (1000.0, 0.5), (1500.0, 0.1)])
+    db2 = D.from_pairs([(650.0, 0.1), (1300.0, 0.9)])
+    return [db1, db2]
+
+
+class TestPaperExamples:
+    def test_example4_certainty(self):
+        computer = TopKComputer(paper_example4_rds(), k=1)
+        # P(db2 beats db1): db2=1300 (0.9) beats 500 and 1000 (0.9) ->
+        # 0.81; db2=650 (0.1) beats 500 (0.4) -> 0.04. Total 0.85.
+        assert computer.prob_set_is_topk([1]) == pytest.approx(0.85)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (1,)
+        assert score == pytest.approx(0.85)
+
+    def test_example4_after_probe(self):
+        # Fig. 5(e): probing db1 observes 500; db2 is now certainly ahead.
+        rds = paper_example4_rds()
+        rds[0] = D.impulse(500.0)
+        computer = TopKComputer(rds, k=1)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (1,)
+        assert score == pytest.approx(1.0)
+
+    def test_example4_override_matches_probe(self):
+        computer = TopKComputer(paper_example4_rds(), k=1)
+        atoms = computer.atoms_of(0)
+        atom_500 = next(t for t, v, _p in atoms if v == 500.0)
+        _best, score = computer.best_set(
+            CorrectnessMetric.ABSOLUTE, override=(0, atom_500)
+        )
+        assert score == pytest.approx(1.0)
+
+
+class TestBasicProperties:
+    def test_all_impulses_certain(self):
+        rds = [D.impulse(v) for v in (10.0, 5.0, 1.0)]
+        computer = TopKComputer(rds, k=2)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (0, 1)
+        assert score == pytest.approx(1.0)
+
+    def test_k_equals_n(self):
+        rds = [D.impulse(1.0), D.impulse(2.0)]
+        computer = TopKComputer(rds, k=2)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (0, 1)
+        assert score == 1.0
+
+    def test_marginals_sum_to_k(self):
+        rng = np.random.default_rng(0)
+        rds = [
+            D.from_pairs(
+                (float(v), float(p))
+                for v, p in zip(
+                    rng.choice(20, size=4, replace=False), rng.random(4) + 0.1
+                )
+            )
+            for _ in range(6)
+        ]
+        for k in (1, 2, 4):
+            marginals = TopKComputer(rds, k).marginals()
+            assert marginals.sum() == pytest.approx(k, abs=1e-9)
+
+    def test_tie_break_lower_index_wins(self):
+        rds = [D.impulse(5.0), D.impulse(5.0)]
+        computer = TopKComputer(rds, k=1)
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert best == (0,)
+        assert score == pytest.approx(1.0)
+        # And the marginals agree: db0 wins the tie with certainty.
+        marginals = computer.marginals()
+        assert marginals[0] == pytest.approx(1.0)
+        assert marginals[1] == pytest.approx(0.0)
+
+    def test_partial_expectation_is_mean_of_marginals(self):
+        rds = paper_example4_rds() + [D.impulse(700.0)]
+        computer = TopKComputer(rds, k=2)
+        marginals = computer.marginals()
+        value = computer.expected_correctness(
+            [0, 2], CorrectnessMetric.PARTIAL
+        )
+        assert value == pytest.approx((marginals[0] + marginals[2]) / 2)
+
+    def test_absolute_leq_partial(self):
+        rds = paper_example4_rds() + [
+            D.from_pairs([(100.0, 0.5), (900.0, 0.5)])
+        ]
+        computer = TopKComputer(rds, k=2)
+        for subset in ([0, 1], [0, 2], [1, 2]):
+            absolute = computer.expected_correctness(
+                subset, CorrectnessMetric.ABSOLUTE
+            )
+            partial = computer.expected_correctness(
+                subset, CorrectnessMetric.PARTIAL
+            )
+            assert absolute <= partial + 1e-12
+
+    def test_set_probabilities_sum_to_one(self):
+        rds = paper_example4_rds() + [
+            D.from_pairs([(100.0, 0.5), (900.0, 0.5)])
+        ]
+        computer = TopKComputer(rds, k=2)
+        from itertools import combinations
+
+        total = sum(
+            computer.prob_set_is_topk(list(subset))
+            for subset in combinations(range(3), 2)
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        rds = [D.impulse(1.0)]
+        with pytest.raises(SelectionError):
+            TopKComputer(rds, k=0)
+        with pytest.raises(SelectionError):
+            TopKComputer(rds, k=2)
+
+    def test_invalid_subset(self):
+        computer = TopKComputer(paper_example4_rds(), k=1)
+        with pytest.raises(SelectionError):
+            computer.prob_set_is_topk([0, 1])
+        with pytest.raises(SelectionError):
+            computer.prob_set_is_topk([7])
+
+    def test_invalid_override(self):
+        computer = TopKComputer(paper_example4_rds(), k=1)
+        atom_of_db1 = computer.atoms_of(1)[0][0]
+        with pytest.raises(SelectionError):
+            computer.prob_set_is_topk([0], override=(0, atom_of_db1))
+
+    def test_exhaustive_vs_hillclimb(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            rds = [
+                D.from_pairs(
+                    (float(v), float(p))
+                    for v, p in zip(
+                        rng.choice(15, size=3, replace=False),
+                        rng.random(3) + 0.05,
+                    )
+                )
+                for _ in range(7)
+            ]
+            exact = TopKComputer(rds, k=3, exact_set_limit=100)
+            climber = TopKComputer(rds, k=3, exact_set_limit=1, swap_width=4)
+            _eset, evalue = exact.best_set(CorrectnessMetric.ABSOLUTE)
+            _hset, hvalue = climber.best_set(CorrectnessMetric.ABSOLUTE)
+            # Hill climbing may miss the global optimum but must be close.
+            assert hvalue <= evalue + 1e-12
+            assert hvalue >= 0.8 * evalue
+
+
+class TestMonteCarloAgreement:
+    @staticmethod
+    def _mc_topk(rds, k, n_samples, seed):
+        rng = np.random.default_rng(seed)
+        n = len(rds)
+        samples = np.stack([rd.sample(rng, n_samples) for rd in rds])
+        # Tie-break: lower index wins, encoded as a tiny index penalty.
+        keys = samples - np.arange(n)[:, None] * 1e-9
+        order = np.argsort(-keys, axis=0, kind="stable")
+        return order[:k, :]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_marginals_match_simulation(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = 5
+        rds = []
+        for _ in range(n):
+            size = int(rng.integers(1, 4))
+            values = rng.choice(8, size=size, replace=False)
+            probs = rng.random(size) + 0.1
+            rds.append(
+                D.from_pairs(
+                    (float(v), float(p)) for v, p in zip(values, probs)
+                )
+            )
+        computer = TopKComputer(rds, k)
+        marginals = computer.marginals()
+        topk = self._mc_topk(rds, k, 150_000, seed + 100)
+        mc = np.array([(topk == i).any(axis=0).mean() for i in range(n)])
+        assert np.abs(marginals - mc).max() < 0.01
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_set_probability_matches_simulation(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k = 5, 2
+        rds = [
+            D.from_pairs(
+                (float(v), float(p))
+                for v, p in zip(
+                    rng.choice(8, size=3, replace=False), rng.random(3) + 0.1
+                )
+            )
+            for _ in range(n)
+        ]
+        computer = TopKComputer(rds, k)
+        best, claimed = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        topk = self._mc_topk(rds, k, 150_000, seed + 100)
+        hit = np.isin(topk, list(best)).all(axis=0).mean()
+        assert claimed == pytest.approx(hit, abs=0.01)
+
+
+@st.composite
+def random_rds(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    rds = []
+    for _ in range(n):
+        size = draw(st.integers(min_value=1, max_value=3))
+        values = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        rds.append(
+            D.from_pairs(
+                (float(v), float(w)) for v, w in zip(values, weights)
+            )
+        )
+    return rds
+
+
+class TestHypothesisProperties:
+    @given(random_rds(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_marginals_are_probabilities_summing_to_k(self, rds, k):
+        k = min(k, len(rds))
+        marginals = TopKComputer(rds, k).marginals()
+        assert np.all(marginals >= -1e-12)
+        assert np.all(marginals <= 1 + 1e-12)
+        assert marginals.sum() == pytest.approx(k, abs=1e-8)
+
+    @given(random_rds())
+    @settings(max_examples=40, deadline=None)
+    def test_best_set_score_is_max_marginal_for_k1(self, rds):
+        computer = TopKComputer(rds, k=1)
+        marginals = computer.marginals()
+        best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert score == pytest.approx(float(marginals.max()), abs=1e-9)
+        assert marginals[best[0]] == pytest.approx(score, abs=1e-9)
+
+    @given(random_rds())
+    @settings(max_examples=40, deadline=None)
+    def test_usefulness_at_least_current_best(self, rds):
+        """E[max after probe] >= max E (the greedy policy's soundness)."""
+        from repro.core.policies import GreedyUsefulnessPolicy
+
+        computer = TopKComputer(rds, k=1)
+        _best, current = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        policy = GreedyUsefulnessPolicy()
+        for database in range(len(rds)):
+            usefulness = policy.usefulness(
+                computer, database, CorrectnessMetric.ABSOLUTE
+            )
+            assert usefulness >= current - 1e-9
+
+    @given(random_rds())
+    @settings(max_examples=40, deadline=None)
+    def test_probing_every_database_reaches_certainty(self, rds):
+        impulses = [D.impulse(rd.mean()) for rd in rds]
+        computer = TopKComputer(impulses, k=1)
+        _best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
+        assert score == pytest.approx(1.0)

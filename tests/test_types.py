@@ -1,0 +1,63 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import Document, Query, ScoredDocument, SearchResult
+
+
+class TestQuery:
+    def test_terms_and_str(self):
+        query = Query(("breast", "cancer"))
+        assert query.num_terms == 2
+        assert str(query) == "breast cancer"
+
+    def test_single_term(self):
+        assert Query(("cancer",)).num_terms == 1
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            Query(())
+
+    def test_hashable_and_equal(self):
+        assert Query(("a", "b")) == Query(("a", "b"))
+        assert hash(Query(("a", "b"))) == hash(Query(("a", "b")))
+        assert Query(("a", "b")) != Query(("b", "a"))
+
+    def test_usable_as_dict_key(self):
+        cache = {Query(("x", "y")): 1}
+        assert cache[Query(("x", "y"))] == 1
+
+
+class TestDocument:
+    def test_fields(self):
+        doc = Document(3, "some text", topic="oncology")
+        assert doc.doc_id == 3
+        assert doc.text == "some text"
+        assert doc.topic == "oncology"
+
+    def test_topic_optional(self):
+        assert Document(0, "text").topic is None
+
+    def test_frozen(self):
+        doc = Document(0, "text")
+        with pytest.raises(AttributeError):
+            doc.text = "other"
+
+
+class TestSearchResult:
+    def test_best_score_empty(self):
+        result = SearchResult(query=Query(("a",)), num_matches=0)
+        assert result.best_score == 0.0
+        assert result.top_documents == ()
+
+    def test_best_score_is_first(self):
+        result = SearchResult(
+            query=Query(("a",)),
+            num_matches=2,
+            top_documents=(
+                ScoredDocument(5, 0.9),
+                ScoredDocument(2, 0.4),
+            ),
+        )
+        assert result.best_score == pytest.approx(0.9)
+        assert result.num_matches == 2
