@@ -32,7 +32,7 @@ from repro.core.policies import (
     MaxUncertaintyPolicy,
     RandomPolicy,
 )
-from repro.core.probing import APro, ProbeSession
+from repro.core.probing import APro, BatchProber, MediatorProber, ProbeSession
 from repro.core.query_types import QueryType, QueryTypeClassifier
 from repro.core.relevancy import RelevancyDistribution, derive_rd
 from repro.core.selection import RDBasedSelector, SelectionResult
@@ -49,6 +49,12 @@ from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
 from repro.metasearch.redde import ReddeSelector
 from repro.persistence import load_trained_state, save_trained_state
 from repro.querylog.generator import QueryTraceGenerator
+from repro.service.cache import SelectionCache
+from repro.service.executor import ProbeExecutor
+from repro.service.faults import FaultInjector
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import ResilientDatabase, RetryPolicy
+from repro.service.server import MetasearchService, ServiceConfig
 from repro.summaries.builder import ExactSummaryBuilder, SampledSummaryBuilder
 from repro.summaries.estimators import (
     CoriEstimator,
@@ -65,6 +71,16 @@ __version__ = "1.0.0"
 __all__ = [
     "APro",
     "Analyzer",
+    "BatchProber",
+    "FaultInjector",
+    "MediatorProber",
+    "MetasearchService",
+    "MetricsRegistry",
+    "ProbeExecutor",
+    "ResilientDatabase",
+    "RetryPolicy",
+    "SelectionCache",
+    "ServiceConfig",
     "ContentSummary",
     "CoriEstimator",
     "CostAwareGreedyPolicy",

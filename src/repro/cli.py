@@ -1,12 +1,20 @@
 """Command-line interface: ``repro-metasearch``.
 
-Three commands:
+Five commands:
 
-* ``demo``   — build a testbed, train, and answer one query end-to-end;
-* ``fig``    — regenerate one of the paper's figures/tables on the spot;
-* ``train``  — run the offline phase and save the trained state to JSON.
+* ``demo``        — build a testbed, train, and answer one query
+  end-to-end;
+* ``fig``         — regenerate one of the paper's figures/tables on the
+  spot;
+* ``train``       — run the offline phase and save the trained state to
+  JSON;
+* ``serve``       — run a query stream through the concurrent serving
+  layer (optionally fault-injected) and dump metrics JSON;
+* ``bench-serve`` — benchmark the serving layer: serial vs concurrent
+  executor over a fault-injected testbed (see ``docs/SERVING.md``).
 
-All commands are deterministic for a given ``--seed``.
+All commands are deterministic for a given ``--seed`` (wall-clock
+metrics excepted).
 """
 
 from __future__ import annotations
@@ -24,6 +32,7 @@ from repro.experiments.reporting import (
     format_table,
     format_threshold_probes,
 )
+from repro.exceptions import ReproError
 from repro.experiments.setup import PaperSetupConfig, build_paper_context
 from repro.experiments.threshold_probes import probes_per_threshold
 
@@ -75,6 +84,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.8,
         help="required expected correctness",
     )
+    demo.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="probes issued per APro round (default 1 = sequential)",
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a query stream through the concurrent serving layer",
+    )
+    serve.add_argument(
+        "queries",
+        nargs="?",
+        default=None,
+        help="file with one query per line (default: stdin)",
+    )
+    serve.add_argument("--k", type=int, default=3, help="databases to select")
+    serve.add_argument(
+        "--certainty",
+        type=float,
+        default=0.8,
+        help="required expected correctness",
+    )
+    serve.add_argument(
+        "--batch", type=int, default=4, help="probes per APro round"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=8, help="probe thread-pool width"
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=300.0,
+        help="selection-cache TTL in seconds (0 disables the cache)",
+    )
+    serve.add_argument(
+        "--latency-ms",
+        type=float,
+        default=0.0,
+        help="injected mean probe latency (0 = none)",
+    )
+    serve.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="injected probe failure probability",
+    )
+    serve.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics snapshot JSON to this path",
+    )
+
+    bench = subparsers.add_parser(
+        "bench-serve",
+        help="benchmark serial vs concurrent probe execution",
+    )
+    bench.add_argument(
+        "--queries", type=int, default=100, help="stream length"
+    )
+    bench.add_argument(
+        "--unique", type=int, default=60, help="unique queries in the stream"
+    )
+    bench.add_argument("--k", type=int, default=3)
+    bench.add_argument("--certainty", type=float, default=0.95)
+    bench.add_argument(
+        "--batch", type=int, default=16, help="probes per APro round"
+    )
+    bench.add_argument(
+        "--workers", type=int, default=16, help="concurrent executor width"
+    )
+    bench.add_argument(
+        "--latency-ms",
+        type=float,
+        default=50.0,
+        help="injected mean probe latency",
+    )
+    bench.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.02,
+        help="injected probe failure probability",
+    )
+    bench.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=150.0,
+        help="per-probe deadline",
+    )
+    bench.add_argument(
+        "--retries", type=int, default=2, help="retries per probe"
+    )
+    bench.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics snapshot JSON to this path",
+    )
 
     fig = subparsers.add_parser(
         "fig", help="regenerate one paper figure/table"
@@ -114,7 +221,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     context = _context(args)
     searcher = Metasearcher(
-        context.mediator, MetasearcherConfig(), analyzer=context.analyzer
+        context.mediator,
+        MetasearcherConfig(probe_batch_size=args.batch),
+        analyzer=context.analyzer,
     )
     print("Training (offline sampling)...", flush=True)
     searcher.train(context.train_queries)
@@ -153,6 +262,108 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_queries(path: str | None) -> list[str]:
+    if path is None:
+        return [line.strip() for line in sys.stdin if line.strip()]
+    with open(path, encoding="utf-8") as handle:
+        return [line.strip() for line in handle if line.strip()]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+    from repro.service.faults import FaultInjector
+    from repro.service.server import MetasearchService, ServiceConfig
+
+    queries = _read_queries(args.queries)
+    if not queries:
+        print("no queries to serve", file=sys.stderr)
+        return 1
+    context = _context(args)
+    searcher = Metasearcher(
+        context.mediator,
+        MetasearcherConfig(probe_batch_size=args.batch),
+        analyzer=context.analyzer,
+    )
+    print("Training (offline sampling)...", flush=True)
+    searcher.train(context.train_queries)
+    injector = None
+    if args.latency_ms > 0 or args.error_rate > 0:
+        injector = FaultInjector(
+            seed=args.seed,
+            mean_latency_s=args.latency_ms / 1000.0,
+            error_rate=args.error_rate,
+        )
+    config = ServiceConfig(
+        max_workers=args.workers,
+        batch_size=args.batch,
+        cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+        cache_enabled=args.cache_ttl > 0,
+    )
+    with MetasearchService(
+        searcher, config=config, injector=injector
+    ) as service:
+        for text in queries:
+            answer = service.serve(text, k=args.k, certainty=args.certainty)
+            hit = " (cache)" if answer.cache_hit else ""
+            print(
+                f"{text!r} -> {', '.join(answer.selected)}  "
+                f"certainty={answer.certainty:.3f} "
+                f"probes={answer.probes} "
+                f"{answer.wall_ms:.1f} ms{hit}"
+            )
+        snapshot = service.snapshot()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+        print(f"Metrics written to {args.metrics_out}")
+    else:
+        print("\nmetrics:")
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.bench import (
+        BenchServeConfig,
+        format_bench_serve,
+        run_bench_serve,
+    )
+
+    print(
+        f"Benchmarking serving layer (scale={args.scale}, "
+        f"{args.queries} queries, {args.workers} workers)...",
+        flush=True,
+    )
+    report = run_bench_serve(
+        BenchServeConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            queries=args.queries,
+            unique_queries=args.unique,
+            k=args.k,
+            certainty=args.certainty,
+            batch_size=args.batch,
+            workers=args.workers,
+            mean_latency_ms=args.latency_ms,
+            error_rate=args.error_rate,
+            timeout_ms=args.timeout_ms,
+            max_retries=args.retries,
+        )
+    )
+    print(format_bench_serve(report))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(report.metrics, handle, indent=2, sort_keys=True)
+        print(f"Metrics written to {args.metrics_out}")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
 
@@ -171,8 +382,18 @@ def _cmd_train(args: argparse.Namespace) -> int:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"demo": _cmd_demo, "fig": _cmd_fig, "train": _cmd_train}
-    return handlers[args.command](args)
+    handlers = {
+        "demo": _cmd_demo,
+        "fig": _cmd_fig,
+        "train": _cmd_train,
+        "serve": _cmd_serve,
+        "bench-serve": _cmd_bench_serve,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -16,15 +16,61 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 from repro.core.policies import GreedyUsefulnessPolicy, ProbePolicy
 from repro.core.relevancy import RelevancyDistribution
 from repro.core.selection import RDBasedSelector
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.exceptions import ProbingError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
 from repro.types import Query
 
-__all__ = ["ProbeRecord", "ProbeSession", "APro"]
+__all__ = [
+    "ProbeRecord",
+    "ProbeSession",
+    "BatchProber",
+    "MediatorProber",
+    "APro",
+]
+
+
+@runtime_checkable
+class BatchProber(Protocol):
+    """Dispatches one round of probes and returns the observations.
+
+    APro decides *which* databases to probe; the prober decides *how*
+    the probes are executed (inline, via a thread pool, with retries,
+    against fault-injected backends, ...). Observations must be returned
+    in the same order as *indices* — APro applies them in that order, so
+    belief updates stay deterministic regardless of execution order.
+    """
+
+    def probe_batch(
+        self, query: Query, indices: Sequence[int]
+    ) -> Sequence[float]:
+        """Probe the given mediation-order indices for *query*."""
+        ...
+
+
+class MediatorProber:
+    """The default prober: synchronous, in-process, fault-free probes."""
+
+    def __init__(
+        self, mediator: Mediator, definition: RelevancyDefinition
+    ) -> None:
+        self._mediator = mediator
+        self._definition = definition
+
+    def probe_batch(
+        self, query: Query, indices: Sequence[int]
+    ) -> list[float]:
+        """Probe each database in order, one at a time."""
+        return [
+            self._mediator[i].probe_relevancy(query, self._definition)
+            for i in indices
+        ]
 
 
 @dataclass(frozen=True, slots=True)
@@ -102,15 +148,24 @@ class APro:
         Provides RDs, the mediator and the relevancy definition.
     policy:
         Probe-order strategy (defaults to the paper's greedy policy).
+    prober:
+        Probe-execution strategy (defaults to synchronous in-process
+        probes through the selector's mediator). The serving layer
+        plugs a concurrent, fault-tolerant
+        :class:`~repro.service.executor.ProbeExecutor` in here.
     """
 
     def __init__(
         self,
         selector: RDBasedSelector,
         policy: ProbePolicy | None = None,
+        prober: BatchProber | None = None,
     ) -> None:
         self._selector = selector
         self._policy = policy or GreedyUsefulnessPolicy()
+        self._prober = prober or MediatorProber(
+            selector.mediator, selector.definition
+        )
 
     def run(
         self,
@@ -199,10 +254,13 @@ class APro:
                     )
                 batch.append(choice)
                 remaining.remove(choice)
-            for choice in batch:
-                observed = mediator[choice].probe_relevancy(
-                    query, self._selector.definition
+            observations = self._prober.probe_batch(query, batch)
+            if len(observations) != len(batch):
+                raise ProbingError(
+                    f"prober returned {len(observations)} observations "
+                    f"for a batch of {len(batch)}"
                 )
+            for choice, observed in zip(batch, observations):
                 session.records.append(
                     ProbeRecord(
                         database=mediator[choice].name,

@@ -85,6 +85,24 @@ class TopKComputer:
         self._exact_set_limit = exact_set_limit
         self._swap_width = max(1, swap_width)
         self._build_atoms()
+        # Per-instance memos (instances are not thread-safe, like most
+        # of numpy-backed Python; the serving layer builds one per query
+        # in the APro thread). ``best_set`` probes the same override a
+        # dozen-plus times in a row, and the hill climber revisits the
+        # same member sets across overrides.
+        self._override_memo: tuple | None = None
+        self._subset_memo: dict[
+            tuple[int, ...],
+            tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        ] = {}
+        # RDs are fixed at construction, so every query below is a pure
+        # function of its arguments: cache probability and answer-set
+        # results outright. APro's batch rounds re-ask best_set for the
+        # same overrides once per pick, and the hill climber re-tries
+        # sets across improvement passes — both now hit these memos.
+        self._prob_memo: dict[tuple, float] = {}
+        self._marginals_memo: dict[tuple[int, int] | None, np.ndarray] = {}
+        self._best_set_memo: dict[tuple, tuple[tuple[int, ...], float]] = {}
 
     # -- construction of the rank structure ---------------------------------
 
@@ -95,6 +113,12 @@ class TopKComputer:
             [np.full(rd.support_size, i) for i, rd in enumerate(self._rds)]
         )
         m = len(values)
+        # Concatenation order gives every database a contiguous atom span.
+        bounds = np.concatenate(
+            ([0], np.cumsum([rd.support_size for rd in self._rds]))
+        )
+        self._db_atom_start = bounds[:-1]
+        self._db_atom_stop = bounds[1:]
         # Strict total order: ascending value; on equal value the later
         # database sorts lower (so the earlier database outranks it).
         order = np.lexsort((-dbs, values))
@@ -133,8 +157,22 @@ class TopKComputer:
             left = np.searchsorted(sorted_ranks, ranks, side="left")
             greater[j] = cum[-1] - cum[right]
             less[j] = cum[left]
-        self._greater = greater
+        # Masked variant: each atom's own database carries no weight in
+        # the outrank counts (it is conditioned on, not competing). Both
+        # the marginal DP and the member product neutralize those entries
+        # anyway, so precomputing the mask removes a copy per call.
+        greater_masked = greater.copy()
+        greater_masked[dbs, np.arange(m)] = 0.0
+        self._greater = greater_masked
         self._less = less
+        self._db_atom_triples: list[list[tuple[int, float, float]]] = [
+            [
+                (int(t), float(values[t]), float(probs[t]))
+                for t in range(int(self._db_atom_start[i]),
+                               int(self._db_atom_stop[i]))
+            ]
+            for i in range(self._n)
+        ]
 
     # -- basic accessors -----------------------------------------------------
 
@@ -154,11 +192,7 @@ class TopKComputer:
 
     def atoms_of(self, i: int) -> list[tuple[int, float, float]]:
         """(atom_index, value, probability) triples of database *i*."""
-        indices = np.nonzero(self._atom_dbs == i)[0]
-        return [
-            (int(t), float(self._atom_values[t]), float(self._atom_probs[t]))
-            for t in indices
-        ]
+        return list(self._db_atom_triples[i])
 
     # -- override plumbing -----------------------------------------------------
 
@@ -167,9 +201,10 @@ class TopKComputer:
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(greater, less, atom_probs) with the override applied.
 
-        ``override=(i, t0)`` collapses database i onto its support atom
-        t0 (a hypothetical probe outcome). Rows are copied lazily — only
-        the overridden row is materialized anew.
+        ``greater`` is the own-database-masked matrix (see
+        :meth:`_build_atoms`). ``override=(i, t0)`` collapses database i
+        onto its support atom t0 (a hypothetical probe outcome). Rows
+        are copied lazily — only the overridden row is materialized anew.
         """
         if override is None:
             return self._greater, self._less, self._atom_probs
@@ -180,14 +215,21 @@ class TopKComputer:
             raise SelectionError(
                 f"override atom {t0} does not belong to database {i}"
             )
+        if self._override_memo is not None:
+            key, rows = self._override_memo
+            if key == (i, t0):
+                return rows
         rank0 = self._atom_ranks[t0]
         greater = self._greater.copy()
         less = self._less.copy()
-        greater[i] = (rank0 > self._atom_ranks).astype(np.float64)
+        row = (rank0 > self._atom_ranks).astype(np.float64)
+        row[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
+        greater[i] = row
         less[i] = (rank0 < self._atom_ranks).astype(np.float64)
         probs = self._atom_probs.copy()
-        probs[self._atom_dbs == i] = 0.0
+        probs[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
         probs[t0] = 1.0
+        self._override_memo = ((i, t0), (greater, less, probs))
         return greater, less, probs
 
     # -- marginal top-k membership ----------------------------------------------
@@ -201,6 +243,9 @@ class TopKComputer:
         iff at most k − 1 others outrank it. The DP below tracks the
         count distribution truncated at k for every atom simultaneously.
         """
+        cached = self._marginals_memo.get(override)
+        if cached is not None:
+            return cached.copy()
         greater, _, probs = self._effective_rows(override)
         if self._k >= self._n:
             return np.ones(self._n)
@@ -211,17 +256,17 @@ class TopKComputer:
         dp[:, 0] = 1.0
         own = self._atom_dbs
         for j in range(self._n):
-            p = greater[j].copy()
-            p[own == j] = 0.0
-            keep = dp * (1.0 - p)[:, None]
-            shifted = np.zeros_like(dp)
-            shifted[:, 1:] = dp[:, :-1] * p[:, None]
-            dp = keep + shifted
+            p = greater[j][:, None]  # own-database entries pre-masked to 0
+            keep = dp * (1.0 - p)
+            keep[:, 1:] += dp[:, :-1] * p
+            dp = keep
         membership = dp.sum(axis=1)  # P(count <= k-1) per atom
         weighted = probs * membership
         marginals = np.zeros(self._n)
         np.add.at(marginals, own, weighted)
-        return np.clip(marginals, 0.0, 1.0)
+        result = np.clip(marginals, 0.0, 1.0)
+        self._marginals_memo[override] = result
+        return result.copy()
 
     # -- set-level expected correctness ------------------------------------------
 
@@ -240,26 +285,49 @@ class TopKComputer:
         members = self._validated_subset(subset)
         if len(members) == self._n:
             return 1.0
+        key = tuple(sorted(members))
+        result = self._prob_memo.get((key, override))
+        if result is not None:
+            return result
         greater, less, probs = self._effective_rows(override)
-        member_list = sorted(members)
-        outside_list = [j for j in range(self._n) if j not in members]
+        memo = self._subset_memo.get(key)
+        if memo is None:
+            # Member atoms occupy contiguous spans, so the candidate
+            # atom index list is a cheap concatenation (ascending, as
+            # the key is sorted) instead of an isin() scan over all
+            # atoms. Zero-probability atoms (an overridden member's
+            # off-outcome atoms) are kept: their terms are exactly 0.
+            atom_idx = np.concatenate(
+                [
+                    np.arange(self._db_atom_start[i], self._db_atom_stop[i])
+                    for i in key
+                ]
+            )
+            member_rows = np.asarray(key)[:, None]
+            row_of = np.empty(self._n, dtype=np.intp)
+            row_of[np.asarray(key)] = np.arange(self._k)
+            own_rows = row_of[self._atom_dbs[atom_idx]]
+            outside_rows = np.asarray(
+                [j for j in range(self._n) if j not in members]
+            )[:, None]
+            cols = np.arange(len(atom_idx))
+            memo = (atom_idx, member_rows, own_rows, outside_rows, cols)
+            self._subset_memo[key] = memo
+        atom_idx, member_rows, own_rows, outside_rows, cols = memo
 
-        atom_mask = np.isin(self._atom_dbs, member_list) & (probs > 0.0)
-        atom_idx = np.nonzero(atom_mask)[0]
-        if len(atom_idx) == 0:
-            return 0.0
-        inside = greater[np.ix_(member_list, atom_idx)].copy()
-        # Neutralize each atom's own database in the member product.
-        pos_of = {db: row for row, db in enumerate(member_list)}
-        own_rows = np.array([pos_of[int(d)] for d in self._atom_dbs[atom_idx]])
-        inside[own_rows, np.arange(len(atom_idx))] = 1.0
+        inside = greater[member_rows, atom_idx[None, :]]
+        # Each atom's own database is pre-masked to 0 in ``greater``;
+        # neutralize it to 1 so it drops out of the member product.
+        inside[own_rows, cols] = 1.0
         inside_prod = inside.prod(axis=0)
-        if outside_list:
-            outside_prod = less[np.ix_(outside_list, atom_idx)].prod(axis=0)
+        if len(outside_rows):
+            outside_prod = less[outside_rows, atom_idx[None, :]].prod(axis=0)
         else:
             outside_prod = np.ones(len(atom_idx))
         total = float((probs[atom_idx] * inside_prod * outside_prod).sum())
-        return min(1.0, max(0.0, total))
+        result = min(1.0, max(0.0, total))
+        self._prob_memo[(key, override)] = result
+        return result
 
     def expected_correctness(
         self,
@@ -307,17 +375,23 @@ class TopKComputer:
         """
         if self._k == self._n:
             return tuple(range(self._n)), 1.0
+        memo_key = (metric, override)
+        cached = self._best_set_memo.get(memo_key)
+        if cached is not None:
+            return cached
         marginals = self.marginals(override)
         ranked = sorted(range(self._n), key=lambda i: (-marginals[i], i))
         if metric is CorrectnessMetric.PARTIAL or self._k == 1:
             # For k = 1 the marginal IS the set probability, so the
             # partial-optimal singleton is also the absolute optimum.
             chosen = tuple(sorted(ranked[: self._k]))
-            value = float(np.mean([marginals[i] for i in chosen]))
-            return chosen, min(1.0, value)
-        if comb(self._n, self._k) <= self._exact_set_limit:
-            return self._best_absolute_exact(override)
-        return self._best_absolute_hillclimb(ranked, override)
+            result = chosen, min(1.0, float(np.mean([marginals[i] for i in chosen])))
+        elif comb(self._n, self._k) <= self._exact_set_limit:
+            result = self._best_absolute_exact(override)
+        else:
+            result = self._best_absolute_hillclimb(ranked, override)
+        self._best_set_memo[memo_key] = result
+        return result
 
     def _best_absolute_exact(
         self, override: tuple[int, int] | None

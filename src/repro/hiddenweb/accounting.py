@@ -5,10 +5,15 @@ remote processing. The paper's efficiency claims are stated in number of
 probes, so the accounting tracks probe counts (and downloaded result
 pages) per database, with snapshot/reset support so training-phase and
 query-phase costs can be reported separately.
+
+Counters are updated under a lock: the serving layer probes databases
+from executor worker threads, and totals must stay exact under
+concurrency.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 __all__ = ["ProbeAccounting", "ProbeSnapshot"]
@@ -31,43 +36,50 @@ class ProbeSnapshot:
 
 
 class ProbeAccounting:
-    """Mutable probe-cost meter attached to one database."""
+    """Mutable, thread-safe probe-cost meter attached to one database."""
 
     def __init__(self) -> None:
         self._probes = 0
         self._documents = 0
+        self._lock = threading.Lock()
 
     def record_probe(self, documents_downloaded: int = 0) -> None:
         """Record one live query (plus any result documents fetched)."""
         if documents_downloaded < 0:
             raise ValueError("documents_downloaded must be non-negative")
-        self._probes += 1
-        self._documents += documents_downloaded
+        with self._lock:
+            self._probes += 1
+            self._documents += documents_downloaded
 
     def record_download(self, documents: int = 1) -> None:
         """Record document fetches that are not tied to a new query."""
         if documents < 0:
             raise ValueError("documents must be non-negative")
-        self._documents += documents
+        with self._lock:
+            self._documents += documents
 
     @property
     def probes(self) -> int:
         """Total live queries issued so far."""
-        return self._probes
+        with self._lock:
+            return self._probes
 
     @property
     def documents_downloaded(self) -> int:
         """Total result documents fetched so far."""
-        return self._documents
+        with self._lock:
+            return self._documents
 
     def snapshot(self) -> ProbeSnapshot:
         """Capture current totals (for phase-relative accounting)."""
-        return ProbeSnapshot(self._probes, self._documents)
+        with self._lock:
+            return ProbeSnapshot(self._probes, self._documents)
 
     def reset(self) -> None:
         """Zero all counters."""
-        self._probes = 0
-        self._documents = 0
+        with self._lock:
+            self._probes = 0
+            self._documents = 0
 
     def __repr__(self) -> str:
         return (

@@ -67,6 +67,8 @@ class HiddenWebDatabase:
     ) -> None:
         if count_significant_digits is not None and count_significant_digits < 1:
             raise ValueError("count_significant_digits must be >= 1 or None")
+        if page_size < 1:
+            raise ValueError(f"page_size must be >= 1, got {page_size}")
         self.name = name
         index = InvertedIndex(analyzer or Analyzer())
         index.add_all(documents)

@@ -46,7 +46,18 @@ class Mediator:
         """Index a name -> documents mapping into a mediator.
 
         All databases share one analyzer instance (and its term cache).
+
+        Mediation order — and with it the deterministic tie-breaking
+        order of the top-k machinery — is the **iteration order of**
+        ``corpora``. For a plain ``dict`` that is insertion order
+        (guaranteed since Python 3.7), so build the mapping in the
+        order you want ties broken; this contract is covered by tests
+        and callers may rely on it.
         """
+        if page_size < 1:
+            raise ConfigurationError(
+                f"page_size must be >= 1, got {page_size}"
+            )
         analyzer = analyzer or Analyzer()
         databases = [
             HiddenWebDatabase(name, documents, analyzer, page_size=page_size)

@@ -62,6 +62,13 @@ class MetasearcherConfig:
         gets a foothold on any topical database.
     max_probes:
         Optional hard probe budget per query.
+    probe_batch_size:
+        Probes issued concurrently per APro decision round (the
+        latency extension of :meth:`repro.core.probing.APro.run`).
+        ``1`` is the paper's strictly sequential loop; widths above 1
+        trade a little probe efficiency for wall-clock latency and are
+        what the serving layer's executor overlaps (``--batch`` on the
+        CLI).
     """
 
     DEFAULT_SEED_TERMS: tuple[str, ...] = (
@@ -78,6 +85,17 @@ class MetasearcherConfig:
     summary_sampling: int | None = None
     summary_seed_terms: tuple[str, ...] = DEFAULT_SEED_TERMS
     max_probes: int | None = None
+    probe_batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.probe_batch_size < 1:
+            raise ConfigurationError(
+                f"probe_batch_size must be >= 1, got {self.probe_batch_size}"
+            )
+        if self.max_probes is not None and self.max_probes < 0:
+            raise ConfigurationError(
+                f"max_probes must be >= 0, got {self.max_probes}"
+            )
 
 
 @dataclass(frozen=True)
@@ -180,6 +198,21 @@ class Metasearcher:
         return self._apro is not None
 
     @property
+    def config(self) -> MetasearcherConfig:
+        """The pipeline configuration."""
+        return self._config
+
+    @property
+    def policy(self) -> ProbePolicy:
+        """The probe-order policy."""
+        return self._policy
+
+    @property
+    def mediator(self) -> Mediator:
+        """The mediated databases."""
+        return self._mediator
+
+    @property
     def selector(self) -> RDBasedSelector:
         """The trained RD-based selector (raises before training)."""
         self._require_trained()
@@ -241,20 +274,31 @@ class Metasearcher:
 
     # -- querying -------------------------------------------------------------
 
-    def _as_query(self, query: Query | str) -> Query:
+    def analyze(self, query: Query | str) -> Query:
+        """Normalize free text into a :class:`~repro.types.Query`.
+
+        Already-analyzed queries pass through unchanged; the serving
+        layer uses this to build cache keys.
+        """
         if isinstance(query, Query):
             return query
         return self._analyzer.query(query)
+
+    # Backwards-compatible private alias.
+    _as_query = analyze
 
     def select(
         self,
         query: Query | str,
         k: int,
         certainty: float = 0.0,
+        batch_size: int | None = None,
     ) -> ProbeSession:
         """Select k databases, probing until *certainty* is reached.
 
         ``certainty=0`` yields pure RD-based selection (zero probes).
+        *batch_size* overrides the configured ``probe_batch_size`` for
+        this call.
         """
         self._require_trained()
         assert self._apro is not None
@@ -264,6 +308,11 @@ class Metasearcher:
             threshold=certainty,
             metric=self._config.metric,
             max_probes=self._config.max_probes,
+            batch_size=(
+                self._config.probe_batch_size
+                if batch_size is None
+                else batch_size
+            ),
         )
 
     def select_without_probing(

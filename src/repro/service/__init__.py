@@ -1,0 +1,54 @@
+"""The serving layer: concurrent, fault-tolerant metasearch.
+
+The paper's APro loop treats probes as instant and infallible; this
+package wraps the synchronous pipeline in the machinery a production
+deployment needs when remote Hidden-Web databases are slow, flaky and
+probed concurrently:
+
+* :class:`~repro.service.executor.ProbeExecutor` — dispatches each APro
+  probe round through a thread pool, overlapping network round-trips;
+* :class:`~repro.service.resilience.ResilientDatabase` — per-probe
+  timeouts, bounded retries with exponential backoff and deterministic
+  jitter, graceful degradation to the RD point estimate;
+* :class:`~repro.service.faults.FaultInjector` — seedable latency /
+  error / blackout injection so robustness is testable;
+* :class:`~repro.service.metrics.MetricsRegistry` — counters and
+  histograms exported as JSON;
+* :class:`~repro.service.cache.SelectionCache` — TTL-keyed memoization
+  of selection results for repeated-query traffic;
+* :class:`~repro.service.server.MetasearchService` — the facade tying
+  the above together behind ``serve()``.
+
+See ``docs/SERVING.md`` for the architecture tour.
+"""
+
+from repro.service.cache import CacheStats, SelectionCache
+from repro.service.executor import ProbeExecutor
+from repro.service.faults import FaultInjector, FaultPlan, InjectedFault
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.resilience import (
+    ProbeFailedError,
+    ProbeTimeoutError,
+    ResilientDatabase,
+    RetryPolicy,
+)
+from repro.service.server import MetasearchService, ServedAnswer, ServiceConfig
+
+__all__ = [
+    "CacheStats",
+    "Counter",
+    "FaultInjector",
+    "FaultPlan",
+    "Histogram",
+    "InjectedFault",
+    "MetasearchService",
+    "MetricsRegistry",
+    "ProbeExecutor",
+    "ProbeFailedError",
+    "ProbeTimeoutError",
+    "ResilientDatabase",
+    "RetryPolicy",
+    "SelectionCache",
+    "ServedAnswer",
+    "ServiceConfig",
+]

@@ -1,0 +1,223 @@
+"""`repro-metasearch bench-serve`: the serving-layer benchmark.
+
+Builds the paper testbed, trains a metasearcher, then replays the same
+deterministic query stream twice against fault-injected databases —
+once through a single-worker (serial) executor and once through a wide
+one — and reports wall-clock speedup, whether the two paths returned
+byte-identical selections, and the concurrent run's metrics snapshot.
+
+The fault schedules are pure functions of ``(seed, database, attempt)``
+(see :mod:`repro.service.faults`), so both paths experience exactly the
+same latencies and failures; any selection difference would be a real
+concurrency bug, which is why the benchmark doubles as an end-to-end
+determinism check.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.service.faults import FaultInjector
+from repro.service.resilience import RetryPolicy
+from repro.service.server import (
+    MetasearchService,
+    ServedAnswer,
+    ServiceConfig,
+)
+from repro.types import Query
+
+__all__ = [
+    "BenchServeConfig",
+    "BenchServeReport",
+    "run_bench_serve",
+    "format_bench_serve",
+]
+
+
+@dataclass(frozen=True)
+class BenchServeConfig:
+    """Knobs of the serving benchmark (defaults meet the PR's demo)."""
+
+    scale: float = 0.05
+    seed: int = 2004
+    n_train: int = 200
+    n_test: int = 80
+    queries: int = 100
+    unique_queries: int = 60
+    k: int = 3
+    certainty: float = 0.95
+    batch_size: int = 16
+    workers: int = 16
+    mean_latency_ms: float = 50.0
+    latency_jitter: float = 0.5
+    error_rate: float = 0.02
+    timeout_ms: float = 150.0
+    max_retries: int = 2
+    backoff_base_ms: float = 5.0
+    cache_ttl_s: float | None = 300.0
+    train_queries_cap: int | None = None
+    context: object | None = field(default=None, compare=False)
+    metasearcher: Metasearcher | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.queries < 1 or self.unique_queries < 1:
+            raise ConfigurationError("query counts must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchServeReport:
+    """What the benchmark measured."""
+
+    databases: int
+    queries: int
+    unique_queries: int
+    workers: int
+    batch_size: int
+    serial_s: float
+    concurrent_s: float
+    identical_selections: bool
+    serial_selections: list[tuple[str, ...]]
+    concurrent_selections: list[tuple[str, ...]]
+    metrics: dict[str, object]
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall-clock over concurrent wall-clock."""
+        if self.concurrent_s <= 0:
+            return float("inf")
+        return self.serial_s / self.concurrent_s
+
+
+def _build_stream(
+    test_queries: list[Query], config: BenchServeConfig
+) -> list[Query]:
+    unique = test_queries[: config.unique_queries]
+    if not unique:
+        raise ConfigurationError("testbed produced no test queries")
+    rng = random.Random(config.seed + 77)
+    return [rng.choice(unique) for _ in range(config.queries)]
+
+
+def _service(
+    metasearcher: Metasearcher, config: BenchServeConfig, workers: int
+) -> MetasearchService:
+    injector = FaultInjector(
+        seed=config.seed,
+        mean_latency_s=config.mean_latency_ms / 1000.0,
+        latency_jitter=config.latency_jitter,
+        error_rate=config.error_rate,
+    )
+    service_config = ServiceConfig(
+        max_workers=workers,
+        batch_size=config.batch_size,
+        retry=RetryPolicy(
+            timeout_s=config.timeout_ms / 1000.0,
+            max_retries=config.max_retries,
+            backoff_base_s=config.backoff_base_ms / 1000.0,
+        ),
+        cache_ttl_s=config.cache_ttl_s,
+    )
+    return MetasearchService(
+        metasearcher, config=service_config, injector=injector
+    )
+
+
+def _replay(
+    service: MetasearchService,
+    stream: list[Query],
+    config: BenchServeConfig,
+) -> tuple[list[ServedAnswer], float]:
+    started = time.perf_counter()
+    answers = service.serve_stream(stream, k=config.k, certainty=config.certainty)
+    return answers, time.perf_counter() - started
+
+
+def run_bench_serve(
+    config: BenchServeConfig | None = None,
+) -> BenchServeReport:
+    """Run the serial-vs-concurrent serving benchmark."""
+    config = config or BenchServeConfig()
+    context = config.context
+    if context is None:
+        context = build_paper_context(
+            PaperSetupConfig(
+                scale=config.scale,
+                seed=config.seed,
+                n_train=config.n_train,
+                n_test=config.n_test,
+            )
+        )
+    metasearcher = config.metasearcher
+    if metasearcher is None:
+        metasearcher = Metasearcher(
+            context.mediator,
+            MetasearcherConfig(probe_batch_size=config.batch_size),
+            analyzer=context.analyzer,
+        )
+    if not metasearcher.is_trained:
+        cap = config.train_queries_cap
+        train = context.train_queries if cap is None else (
+            context.train_queries[:cap]
+        )
+        metasearcher.train(train)
+    stream = _build_stream(context.test_queries, config)
+
+    with _service(metasearcher, config, workers=1) as serial_service:
+        serial_answers, serial_s = _replay(serial_service, stream, config)
+    with _service(
+        metasearcher, config, workers=config.workers
+    ) as concurrent_service:
+        concurrent_answers, concurrent_s = _replay(
+            concurrent_service, stream, config
+        )
+        metrics = concurrent_service.snapshot()
+
+    serial_selections = [answer.selected for answer in serial_answers]
+    concurrent_selections = [
+        answer.selected for answer in concurrent_answers
+    ]
+    return BenchServeReport(
+        databases=len(context.mediator),
+        queries=config.queries,
+        unique_queries=min(
+            config.unique_queries, len(context.test_queries)
+        ),
+        workers=config.workers,
+        batch_size=config.batch_size,
+        serial_s=serial_s,
+        concurrent_s=concurrent_s,
+        identical_selections=(
+            serial_selections == concurrent_selections
+        ),
+        serial_selections=serial_selections,
+        concurrent_selections=concurrent_selections,
+        metrics=metrics,
+    )
+
+
+def format_bench_serve(report: BenchServeReport) -> str:
+    """Human-readable benchmark summary (metrics stay JSON)."""
+    import json
+
+    lines = [
+        f"databases            : {report.databases}",
+        f"queries              : {report.queries} "
+        f"({report.unique_queries} unique)",
+        f"batch size           : {report.batch_size}",
+        f"serial (1 worker)    : {report.serial_s:.2f} s",
+        f"concurrent ({report.workers:>2} wkrs) : "
+        f"{report.concurrent_s:.2f} s",
+        f"speedup              : {report.speedup:.2f}x",
+        f"identical selections : {report.identical_selections}",
+        "",
+        "metrics:",
+        json.dumps(report.metrics, indent=2, sort_keys=True),
+    ]
+    return "\n".join(lines)

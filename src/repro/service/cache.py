@@ -1,0 +1,136 @@
+"""TTL-keyed memoization of selection results.
+
+Real query traffic is heavy-tailed: a small set of popular queries
+accounts for a large share of requests. Probing for a query whose
+selection was just computed wastes remote round-trips, so the serving
+layer memoizes ``(query, k, certainty, metric)`` → selection for a
+configurable time-to-live, with LRU eviction bounding memory.
+
+The clock is injectable (defaults to :func:`time.monotonic`) so expiry
+is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["CacheStats", "SelectionCache"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Hit/miss/eviction totals of one cache."""
+
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0 when never queried)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+
+class SelectionCache:
+    """A thread-safe TTL + LRU cache.
+
+    Parameters
+    ----------
+    ttl_s:
+        Entry time-to-live in seconds. ``None`` means entries never
+        expire (pure LRU).
+    max_entries:
+        Capacity; the least recently used entry is evicted beyond it.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        ttl_s: float | None = 60.0,
+        max_entries: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError(f"ttl_s must be > 0, got {ttl_s}")
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self._ttl = ttl_s
+        self._max_entries = max_entries
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[float, Any]] = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, or ``None`` on miss/expiry."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            stored_at, value = entry
+            if self._ttl is not None and now - stored_at >= self._ttl:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store *value*, refreshing its TTL and LRU position."""
+        now = self._clock()
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (now, value)
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Current counters and size."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"SelectionCache(size={stats.size}, hits={stats.hits}, "
+            f"misses={stats.misses})"
+        )

@@ -1,0 +1,213 @@
+"""Service metrics: thread-safe counters and histograms with JSON export.
+
+Two kinds of instruments, both safe to update from executor worker
+threads:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Histogram` — a value series reduced to count / sum / min /
+  max / percentiles on snapshot.
+
+Instruments are registered lazily through :class:`MetricsRegistry`,
+which is the only object handed around. A histogram may be marked
+non-deterministic (``deterministic=False``) when it records wall-clock
+measurements; :meth:`MetricsRegistry.deterministic_snapshot` excludes
+those, giving a view that must be bit-identical across runs with the
+same seed — regardless of thread count — which is what the concurrency
+determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+class Counter:
+    """A thread-safe monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter increment must be >= 0, got {amount}"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+def _percentile(ordered: list[float], pct: float) -> float:
+    """Nearest-rank percentile of an already sorted, non-empty series."""
+    rank = max(1, round(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Histogram:
+    """A thread-safe value series summarized on snapshot.
+
+    Stores raw observations (bounded by ``max_samples``, keeping the
+    most recent) and reduces to count / sum / min / max / p50 / p90 /
+    p99 when snapshotted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        deterministic: bool = True,
+        max_samples: int = 100_000,
+    ) -> None:
+        if max_samples < 1:
+            raise ConfigurationError(
+                f"max_samples must be >= 1, got {max_samples}"
+            )
+        self.name = name
+        self.deterministic = deterministic
+        self._max_samples = max_samples
+        self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            self._values.append(float(value))
+            if len(self._values) > self._max_samples:
+                del self._values[0]
+
+    @property
+    def count(self) -> int:
+        """Number of observations recorded."""
+        with self._lock:
+            return self._count
+
+    def summary(self) -> dict[str, float | int]:
+        """Reduce the series to its summary statistics."""
+        with self._lock:
+            count, total = self._count, self._sum
+            ordered = sorted(self._values)
+        if not count:
+            return {"count": 0, "sum": 0.0}
+        out: dict[str, float | int] = {
+            "count": count,
+            "sum": round(total, 9),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "mean": round(total / count, 9),
+        }
+        for pct in _PERCENTILES:
+            out[f"p{pct:g}"] = _percentile(ordered, pct)
+        return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named counters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """The counter called *name*, created on first use."""
+        with self._lock:
+            if name in self._histograms:
+                raise ConfigurationError(
+                    f"{name!r} is already registered as a histogram"
+                )
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def histogram(
+        self, name: str, deterministic: bool = True
+    ) -> Histogram:
+        """The histogram called *name*, created on first use.
+
+        The ``deterministic`` flag is fixed at creation; later calls
+        with a conflicting flag raise.
+        """
+        with self._lock:
+            if name in self._counters:
+                raise ConfigurationError(
+                    f"{name!r} is already registered as a counter"
+                )
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    name, deterministic=deterministic
+                )
+            histogram = self._histograms[name]
+        if histogram.deterministic != deterministic:
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with "
+                f"deterministic={histogram.deterministic}"
+            )
+        return histogram
+
+    def snapshot(self) -> dict[str, object]:
+        """All instruments as one JSON-able mapping."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(histograms.items())
+            },
+        }
+
+    def deterministic_snapshot(self) -> dict[str, object]:
+        """Like :meth:`snapshot`, excluding wall-clock histograms."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(counters.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(histograms.items())
+                if histogram.deterministic
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize :meth:`snapshot` to a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)}, "
+                f"histograms={len(self._histograms)})"
+            )

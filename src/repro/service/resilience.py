@@ -1,0 +1,310 @@
+"""Fault-tolerant probe execution around a single database.
+
+:class:`ResilientDatabase` decorates a
+:class:`~repro.hiddenweb.database.HiddenWebDatabase` with the failure
+handling a remote backend needs: a per-probe timeout, bounded retries
+with exponential backoff and *deterministic* jitter, and structured
+failure reporting so the executor above it can degrade gracefully
+(fall back to the RD point estimate) instead of aborting selection.
+
+When a :class:`~repro.service.faults.FaultInjector` is attached, probe
+latency and failures follow its deterministic schedule and the timeout
+is enforced against the *planned* latency: an answer that would arrive
+after the deadline is abandoned at the deadline, exactly like a real
+client hanging up. Without an injector, probes are local in-process
+calls; the timeout is then measured post-hoc (the call cannot be
+cancelled) and recorded as a slow probe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import random
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.hiddenweb.accounting import ProbeAccounting
+from repro.hiddenweb.database import HiddenWebDatabase, RelevancyDefinition
+from repro.service.faults import FaultInjector, InjectedFault
+from repro.service.metrics import MetricsRegistry
+from repro.types import Query, SearchResult
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ProbeFailedError",
+    "ProbeTimeoutError",
+    "RetryPolicy",
+    "ResilientDatabase",
+]
+
+
+class ProbeFailedError(ReproError):
+    """A probe exhausted its retry budget without an answer."""
+
+
+class ProbeTimeoutError(ProbeFailedError):
+    """A single probe attempt exceeded its deadline."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout and retry behaviour of one resilient database.
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-attempt deadline; an attempt whose (injected) latency
+        exceeds it is abandoned at the deadline.
+    max_retries:
+        Additional attempts after the first failure (0 = fail fast).
+    backoff_base_s:
+        Sleep before the first retry; doubles (times
+        ``backoff_multiplier``) per subsequent retry.
+    backoff_multiplier:
+        Exponential backoff growth factor.
+    jitter:
+        Relative jitter on each backoff sleep, drawn deterministically
+        from the (database, attempt) pair so retry schedules are
+        reproducible across runs and thread counts. In [0, 1].
+    """
+
+    timeout_s: float = 0.25
+    max_retries: int = 2
+    backoff_base_s: float = 0.01
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def backoff_s(self, database: str, attempt: int, retry: int) -> float:
+        """Backoff sleep before retry number *retry* (0-based).
+
+        Jitter is a pure function of ``(database, attempt)`` — no
+        shared RNG stream — so the schedule is identical under any
+        executor width.
+        """
+        base = self.backoff_base_s * self.backoff_multiplier**retry
+        if self.jitter == 0 or base == 0:
+            return base
+        rng = random.Random(f"backoff:{database}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())
+
+
+#: Inner-database exception types worth retrying. Deterministic library
+#: errors (empty query, bad configuration) propagate immediately.
+RETRIABLE_ERRORS: tuple[type[BaseException], ...] = (
+    ConnectionError,
+    TimeoutError,
+    InjectedFault,
+)
+
+
+class ResilientDatabase:
+    """Timeout + retry + fault-injection decorator for one database.
+
+    Exposes the same probing surface as
+    :class:`~repro.hiddenweb.database.HiddenWebDatabase` (``name``,
+    ``size``, ``accounting``, ``probe``, ``probe_relevancy``,
+    ``fetch_document``, ``relevancy``), so it can stand in anywhere a
+    plain database is probed.
+
+    Parameters
+    ----------
+    database:
+        The wrapped database.
+    policy:
+        Timeout/retry policy (defaults to :class:`RetryPolicy`).
+    injector:
+        Optional deterministic fault schedule. When present, latency
+        and failures are simulated and the timeout is enforced against
+        the planned latency.
+    metrics:
+        Registry receiving per-probe counters and latency histograms.
+    sleeper:
+        Injectable sleep function (tests pass a recorder; benchmarks
+        keep :func:`time.sleep` so wall-clock effects are real).
+    """
+
+    def __init__(
+        self,
+        database: HiddenWebDatabase,
+        policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._inner = database
+        self._policy = policy or RetryPolicy()
+        self._injector = injector
+        self._metrics = metrics or MetricsRegistry()
+        self._sleeper = sleeper
+        self._attempts = 0
+        self._lock = threading.Lock()
+        # Pre-register the headline counters so a clean run reports
+        # explicit zeros ("no timeouts" rather than "no data").
+        for counter in (
+            "probes_issued",
+            "probe_retries",
+            "probe_timeouts",
+            "probe_errors",
+            "probes_failed",
+        ):
+            self._metrics.counter(counter)
+
+    # -- delegated surface -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Wrapped database's name."""
+        return self._inner.name
+
+    @property
+    def size(self) -> int:
+        """Wrapped database's size."""
+        return self._inner.size
+
+    @property
+    def accounting(self) -> ProbeAccounting:
+        """Wrapped database's probe meter."""
+        return self._inner.accounting
+
+    @property
+    def inner(self) -> HiddenWebDatabase:
+        """The undecorated database."""
+        return self._inner
+
+    def probe(self, query: Query) -> SearchResult:
+        """Forward a full answer-page probe (no fault simulation)."""
+        return self._inner.probe(query)
+
+    def fetch_document(self, doc_id: int):
+        """Forward a document download."""
+        return self._inner.fetch_document(doc_id)
+
+    def relevancy(
+        self,
+        query: Query,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> float:
+        """Forward the oracle accessor (evaluation only)."""
+        return self._inner.relevancy(query, definition)
+
+    # -- resilient probing -------------------------------------------------
+
+    def _next_attempt(self) -> int:
+        with self._lock:
+            attempt = self._attempts
+            self._attempts += 1
+            return attempt
+
+    def probe_relevancy(
+        self,
+        query: Query,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+    ) -> float:
+        """Probe with timeout and bounded retries.
+
+        Raises
+        ------
+        ProbeFailedError
+            After ``1 + max_retries`` failed attempts. The executor
+            catches this and substitutes the RD point estimate.
+        """
+        policy = self._policy
+        issued = self._metrics.counter("probes_issued")
+        wall = self._metrics.histogram(
+            "probe_latency_wall_ms", deterministic=False
+        )
+        failure: Exception | None = None
+        for retry in range(1 + policy.max_retries):
+            attempt = self._next_attempt()
+            if retry:
+                self._metrics.counter("probe_retries").inc()
+                self._sleeper(self.backoff_s(attempt, retry - 1))
+            issued.inc()
+            started = time.perf_counter()
+            try:
+                value = self._attempt(query, definition, attempt)
+            except ProbeTimeoutError as error:
+                self._metrics.counter("probe_timeouts").inc()
+                failure = error
+            except InjectedFault as error:
+                failure = error
+            except RETRIABLE_ERRORS as error:
+                self._metrics.counter("probe_errors").inc()
+                failure = error
+            else:
+                wall.observe((time.perf_counter() - started) * 1000.0)
+                return value
+            wall.observe((time.perf_counter() - started) * 1000.0)
+        self._metrics.counter("probes_failed").inc()
+        raise ProbeFailedError(
+            f"probe of {self.name!r} failed after "
+            f"{1 + policy.max_retries} attempts"
+        ) from failure
+
+    def backoff_s(self, attempt: int, retry: int) -> float:
+        """Deterministic backoff for this database (see policy)."""
+        return self._policy.backoff_s(self.name, attempt, retry)
+
+    def _attempt(
+        self, query: Query, definition: RelevancyDefinition, attempt: int
+    ) -> float:
+        policy = self._policy
+        if self._injector is None:
+            started = time.perf_counter()
+            value = self._inner.probe_relevancy(query, definition)
+            if time.perf_counter() - started > policy.timeout_s:
+                # An in-process call cannot be cancelled; flag it but
+                # keep the answer (degraded, not lost).
+                self._metrics.counter("probe_slow").inc()
+            return value
+        plan = self._injector.plan(self.name, attempt)
+        simulated = self._metrics.histogram("probe_latency_sim_ms")
+        if plan.latency_s > policy.timeout_s:
+            # The answer would arrive after the deadline: hang up then.
+            self._sleeper(policy.timeout_s)
+            simulated.observe(policy.timeout_s * 1000.0)
+            raise ProbeTimeoutError(
+                f"probe of {self.name!r} exceeded "
+                f"{policy.timeout_s * 1000:.0f} ms deadline"
+            )
+        if plan.latency_s > 0:
+            self._sleeper(plan.latency_s)
+        simulated.observe(plan.latency_s * 1000.0)
+        if plan.blackout:
+            self._metrics.counter("probe_blackouts").inc()
+            raise InjectedFault(f"{self.name!r} is blacked out")
+        if plan.fail:
+            self._metrics.counter("probe_errors").inc()
+            raise InjectedFault(f"injected network error for {self.name!r}")
+        return self._inner.probe_relevancy(query, definition)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientDatabase({self.name!r}, "
+            f"injected={self._injector is not None})"
+        )

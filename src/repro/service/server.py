@@ -1,0 +1,267 @@
+"""`MetasearchService`: the serving facade.
+
+Ties the serving subsystem together around a trained
+:class:`~repro.metasearch.metasearcher.Metasearcher`:
+
+* probe rounds run through a :class:`ProbeExecutor` (concurrent,
+  fault-tolerant, metered);
+* a failed database degrades to its RD point estimate r̂ instead of
+  failing the query;
+* repeated ``(query, k, certainty)`` requests are answered from a
+  TTL-keyed :class:`SelectionCache`;
+* every request feeds the :class:`MetricsRegistry` (probes, retries,
+  timeouts, fallbacks, cache hits, per-query latency and probe counts).
+
+The service serves *selections* — which databases to route a query to
+and with what certainty — which is the expensive, probe-consuming part
+of metasearch. Result fusion stays on the caller's side.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field, replace
+
+from repro.core.probing import APro
+from repro.exceptions import ConfigurationError, ReproError
+from repro.metasearch.metasearcher import Metasearcher
+from repro.service.cache import SelectionCache
+from repro.service.executor import ProbeExecutor
+from repro.service.faults import FaultInjector
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import RetryPolicy
+from repro.types import Query
+
+__all__ = ["ServiceConfig", "ServedAnswer", "MetasearchService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the serving layer.
+
+    Parameters
+    ----------
+    max_workers:
+        Probe thread-pool width (1 = serial execution).
+    batch_size:
+        Probes issued per APro decision round. ``None`` inherits the
+        metasearcher's ``probe_batch_size``. Widths above 1 are what
+        give the executor probes to overlap.
+    retry:
+        Timeout/retry policy applied to every database.
+    cache_ttl_s:
+        Selection-cache TTL; ``None`` disables expiry.
+    cache_entries:
+        Selection-cache capacity (LRU beyond it).
+    cache_enabled:
+        Turn the selection cache off entirely (benchmarking the raw
+        probe path).
+    """
+
+    max_workers: int = 8
+    batch_size: int | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    cache_ttl_s: float | None = 300.0
+    cache_entries: int = 4096
+    cache_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+
+
+@dataclass(frozen=True)
+class ServedAnswer:
+    """One served selection."""
+
+    query: Query
+    k: int
+    certainty_required: float
+    selected: tuple[str, ...]
+    certainty: float
+    probes: int
+    cache_hit: bool
+    wall_ms: float
+
+
+class MetasearchService:
+    """Concurrent, fault-tolerant selection serving.
+
+    Parameters
+    ----------
+    metasearcher:
+        A *trained* metasearcher (raises otherwise).
+    config:
+        Serving tunables.
+    injector:
+        Optional deterministic fault schedule (benchmarks and tests).
+    metrics:
+        Registry to report into (created if omitted).
+    clock:
+        Monotonic clock for cache expiry (injectable for tests).
+    sleeper:
+        Forwarded to the resilient wrappers (tests inject a recorder).
+    """
+
+    def __init__(
+        self,
+        metasearcher: Metasearcher,
+        config: ServiceConfig | None = None,
+        injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] | None = None,
+    ) -> None:
+        if not metasearcher.is_trained:
+            raise ReproError(
+                "MetasearchService requires a trained Metasearcher"
+            )
+        self._metasearcher = metasearcher
+        self._config = config or ServiceConfig()
+        self._metrics = metrics or MetricsRegistry()
+        selector = metasearcher.selector
+        self._executor = ProbeExecutor(
+            selector.mediator,
+            definition=selector.definition,
+            max_workers=self._config.max_workers,
+            policy=self._config.retry,
+            injector=injector,
+            fallback=selector.estimate,
+            metrics=self._metrics,
+            sleeper=sleeper,
+        )
+        self._apro = APro(
+            selector, policy=metasearcher.policy, prober=self._executor
+        )
+        self._cache: SelectionCache | None = None
+        if self._config.cache_enabled:
+            self._cache = SelectionCache(
+                ttl_s=self._config.cache_ttl_s,
+                max_entries=self._config.cache_entries,
+                clock=clock,
+            )
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The service's metrics registry."""
+        return self._metrics
+
+    @property
+    def cache(self) -> SelectionCache | None:
+        """The selection cache (``None`` when disabled)."""
+        return self._cache
+
+    @property
+    def executor(self) -> ProbeExecutor:
+        """The probe executor."""
+        return self._executor
+
+    def _batch_size(self) -> int:
+        if self._config.batch_size is not None:
+            return self._config.batch_size
+        return self._metasearcher.config.probe_batch_size
+
+    def serve(
+        self, query: Query | str, k: int, certainty: float = 0.0
+    ) -> ServedAnswer:
+        """Answer one selection request (cache → probe → record)."""
+        started = time.perf_counter()
+        analyzed = self._metasearcher.analyze(query)
+        searcher_config = self._metasearcher.config
+        key = (analyzed, k, certainty, searcher_config.metric.name)
+        if self._cache is not None:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._metrics.counter("cache_hits").inc()
+                wall_ms = (time.perf_counter() - started) * 1000.0
+                self._observe_query(cached.probes, wall_ms, hit=True)
+                return replace(cached, cache_hit=True, wall_ms=wall_ms)
+            self._metrics.counter("cache_misses").inc()
+        session = self._apro.run(
+            analyzed,
+            k=k,
+            threshold=certainty,
+            metric=searcher_config.metric,
+            max_probes=searcher_config.max_probes,
+            batch_size=self._batch_size(),
+        )
+        wall_ms = (time.perf_counter() - started) * 1000.0
+        answer = ServedAnswer(
+            query=analyzed,
+            k=k,
+            certainty_required=certainty,
+            selected=session.final.names,
+            certainty=session.final.expected_correctness,
+            probes=session.num_probes,
+            cache_hit=False,
+            wall_ms=wall_ms,
+        )
+        if self._cache is not None:
+            self._cache.put(key, answer)
+        self._observe_query(answer.probes, wall_ms, hit=False)
+        return answer
+
+    def serve_stream(
+        self,
+        queries: Iterable[Query | str],
+        k: int,
+        certainty: float = 0.0,
+    ) -> list[ServedAnswer]:
+        """Serve a query stream in order."""
+        return [self.serve(query, k, certainty) for query in queries]
+
+    def _observe_query(
+        self, probes: int, wall_ms: float, hit: bool
+    ) -> None:
+        self._metrics.counter("queries_served").inc()
+        self._metrics.histogram("query_probes").observe(float(probes))
+        self._metrics.histogram(
+            "query_latency_wall_ms", deterministic=False
+        ).observe(wall_ms)
+        if not hit:
+            self._metrics.histogram("query_probes_uncached").observe(
+                float(probes)
+            )
+
+    def snapshot(self) -> dict[str, object]:
+        """Metrics plus cache stats, one JSON-able mapping."""
+        out = self._metrics.snapshot()
+        if self._cache is not None:
+            stats = self._cache.stats()
+            out["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "expirations": stats.expirations,
+                "size": stats.size,
+                "hit_rate": round(stats.hit_rate, 6),
+            }
+        return out
+
+    def shutdown(self) -> None:
+        """Release executor threads."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "MetasearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetasearchService(workers={self._config.max_workers}, "
+            f"cache={self._cache is not None})"
+        )
+
+    @staticmethod
+    def selections(answers: Sequence[ServedAnswer]) -> list[tuple[str, ...]]:
+        """The selected-name tuples of a stream (comparison helper)."""
+        return [answer.selected for answer in answers]

@@ -115,6 +115,20 @@ def trained_pipeline(tiny_mediator, health_queries):
     }
 
 
+@pytest.fixture(scope="session")
+def trained_metasearcher(tiny_mediator, health_queries, analyzer):
+    """A trained end-to-end metasearcher on the tiny testbed."""
+    from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+
+    searcher = Metasearcher(
+        tiny_mediator,
+        MetasearcherConfig(samples_per_type=10),
+        analyzer=analyzer,
+    )
+    searcher.train(health_queries[:40])
+    return searcher
+
+
 @pytest.fixture()
 def sample_documents():
     """A handful of hand-written documents for engine unit tests."""

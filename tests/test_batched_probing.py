@@ -62,3 +62,65 @@ class TestBatchedProbing:
         query = trained_pipeline["test_queries"][0]
         with pytest.raises(ProbingError):
             apro.run(query, k=1, threshold=0.5, batch_size=0)
+
+
+class RecordingProber:
+    """Wraps the default prober, recording every dispatched batch."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batches = []
+
+    def probe_batch(self, query, indices):
+        self.batches.append(list(indices))
+        return self.inner.probe_batch(query, indices)
+
+
+class TestProberHook:
+    def test_custom_prober_receives_rounds(self, trained_pipeline):
+        from repro.core.probing import MediatorProber
+        from repro.hiddenweb.database import RelevancyDefinition
+
+        selector = trained_pipeline["selector"]
+        prober = RecordingProber(
+            MediatorProber(
+                selector.mediator, RelevancyDefinition.DOCUMENT_FREQUENCY
+            )
+        )
+        apro = APro(selector, prober=prober)
+        query = trained_pipeline["test_queries"][0]
+        session = apro.run(query, k=1, threshold=1.0, batch_size=2)
+        assert sum(len(batch) for batch in prober.batches) == (
+            session.num_probes
+        )
+        assert all(len(batch) <= 2 for batch in prober.batches)
+
+    def test_custom_prober_matches_default(self, trained_pipeline):
+        from repro.core.probing import MediatorProber
+        from repro.hiddenweb.database import RelevancyDefinition
+
+        selector = trained_pipeline["selector"]
+        prober = RecordingProber(
+            MediatorProber(
+                selector.mediator, RelevancyDefinition.DOCUMENT_FREQUENCY
+            )
+        )
+        query = trained_pipeline["test_queries"][1]
+        default = APro(selector).run(query, k=1, threshold=0.95)
+        hooked = APro(selector, prober=prober).run(
+            query, k=1, threshold=0.95
+        )
+        assert [r.index for r in hooked.records] == [
+            r.index for r in default.records
+        ]
+        assert hooked.final == default.final
+
+    def test_short_observation_list_rejected(self, trained_pipeline):
+        class Broken:
+            def probe_batch(self, query, indices):
+                return []
+
+        apro = APro(trained_pipeline["selector"], prober=Broken())
+        query = trained_pipeline["test_queries"][2]
+        with pytest.raises(ProbingError):
+            apro.run(query, k=1, threshold=1.0)

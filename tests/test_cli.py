@@ -64,3 +64,99 @@ class TestCommands:
 
         state = load_trained_state(target)
         assert len(state.summaries) == 20
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.queries is None
+        assert args.workers == 8
+        assert args.batch == 4
+
+    def test_demo_batch_flag(self):
+        args = build_parser().parse_args(["demo", "--batch", "4"])
+        assert args.batch == 4
+
+    def test_invalid_config_is_a_clean_error(self, capsys):
+        code = main(["bench-serve", "--queries", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bench_serve_parser_defaults(self):
+        args = build_parser().parse_args(["bench-serve"])
+        assert args.command == "bench-serve"
+        assert args.workers == 16
+        assert args.batch == 16
+        assert args.latency_ms == 50.0
+
+    def test_serve_runs(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "breast cancer treatment\nheart disease\nbreast cancer treatment\n"
+        )
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            SMALL
+            + [
+                "serve",
+                str(queries),
+                "--k",
+                "1",
+                "--certainty",
+                "0.5",
+                "--workers",
+                "2",
+                "--batch",
+                "2",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "->" in out
+        assert "(cache)" in out  # repeated query served from cache
+        import json
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["queries_served"] == 3
+        assert snapshot["cache"]["hits"] == 1
+
+    def test_serve_empty_stream_errors(self, tmp_path, capsys):
+        queries = tmp_path / "queries.txt"
+        queries.write_text("\n")
+        assert main(SMALL + ["serve", str(queries)]) == 1
+
+    def test_bench_serve_runs(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            SMALL
+            + [
+                "bench-serve",
+                "--queries",
+                "8",
+                "--unique",
+                "5",
+                "--latency-ms",
+                "2",
+                "--timeout-ms",
+                "60",
+                "--workers",
+                "4",
+                "--batch",
+                "2",
+                "--error-rate",
+                "0",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical selections : True" in out
+        assert "speedup" in out
+        import json
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert "probes_issued" in snapshot["counters"]

@@ -154,3 +154,57 @@ class TestMediator:
     def test_snapshot_keys(self, tiny_mediator):
         snapshot = tiny_mediator.snapshot()
         assert set(snapshot) == set(tiny_mediator.names)
+
+
+class TestProbeAccountingThreadSafety:
+    def test_concurrent_recording_is_exact(self):
+        import threading
+
+        acc = ProbeAccounting()
+
+        def hammer():
+            for _ in range(5_000):
+                acc.record_probe(documents_downloaded=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert acc.probes == 40_000
+        assert acc.documents_downloaded == 40_000
+
+
+class TestMediatorOrderingContract:
+    """from_documents mediation order is the mapping's iteration order."""
+
+    def _corpora(self, names):
+        return {
+            name: [Document(0, "breast cancer treatment")]
+            for name in names
+        }
+
+    def test_order_follows_mapping_insertion_order(self):
+        names = ["zeta", "alpha", "mid"]
+        mediator = Mediator.from_documents(self._corpora(names))
+        assert mediator.names == names
+        assert [mediator.position(name) for name in names] == [0, 1, 2]
+
+    def test_reversed_insertion_reverses_tiebreak_order(self):
+        forward = Mediator.from_documents(self._corpora(["a", "b"]))
+        backward = Mediator.from_documents(self._corpora(["b", "a"]))
+        assert forward.names == ["a", "b"]
+        assert backward.names == ["b", "a"]
+        # Identical content: position, not name, breaks ties.
+        query = Query(("cancer",))
+        assert forward[0].relevancy(query) == backward[0].relevancy(query)
+
+    def test_page_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            Mediator.from_documents(self._corpora(["a"]), page_size=0)
+
+    def test_database_page_size_validated(self):
+        with pytest.raises(ValueError):
+            HiddenWebDatabase(
+                "bad", [Document(0, "text")], Analyzer(), page_size=0
+            )

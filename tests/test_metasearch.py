@@ -170,3 +170,54 @@ class TestMetasearcher:
         assert all(
             not summary.is_exact for summary in searcher.summaries.values()
         )
+
+
+class TestProbeBatchSizeConfig:
+    def test_invalid_batch_size_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MetasearcherConfig(probe_batch_size=0)
+
+    def test_invalid_max_probes_rejected(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            MetasearcherConfig(max_probes=-1)
+
+    def test_config_batch_size_drives_select(
+        self, trained_metasearcher, health_queries
+    ):
+        query = health_queries[58]
+        sequential = trained_metasearcher.select(
+            query, k=1, certainty=1.0, batch_size=1
+        )
+        batched = trained_metasearcher.select(
+            query, k=1, certainty=1.0, batch_size=3
+        )
+        # Same databases end up probed (threshold 1.0 probes all),
+        # possibly in a different per-round order.
+        assert sorted(r.index for r in batched.records) == sorted(
+            r.index for r in sequential.records
+        )
+
+    def test_select_override_beats_config(
+        self, tiny_mediator, health_queries, analyzer
+    ):
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=5, probe_batch_size=3),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:20])
+        session = searcher.select(
+            health_queries[59], k=1, certainty=1.0, batch_size=1
+        )
+        default_session = searcher.select(
+            health_queries[59], k=1, certainty=1.0
+        )
+        assert session.num_probes <= default_session.num_probes
+
+    def test_analyze_is_public(self, trained_metasearcher):
+        query = trained_metasearcher.analyze("breast cancer")
+        assert query == trained_metasearcher.analyze(query)

@@ -1,0 +1,112 @@
+"""Tests for the TTL + LRU selection cache."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.cache import SelectionCache
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = SelectionCache()
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+
+    def test_put_overwrites(self):
+        cache = SelectionCache()
+        cache.put("k", "old")
+        cache.put("k", "new")
+        assert cache.get("k") == "new"
+        assert len(cache) == 1
+
+    def test_stats(self):
+        cache = SelectionCache()
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.size == 1
+        assert stats.hit_rate == 0.5
+
+    def test_hit_rate_without_lookups(self):
+        assert SelectionCache().stats().hit_rate == 0.0
+
+    def test_clear(self):
+        cache = SelectionCache()
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(9.999)
+        assert cache.get("k") == "v"
+        clock.advance(0.001)
+        assert cache.get("k") is None
+        assert cache.stats().expirations == 1
+
+    def test_put_refreshes_ttl(self):
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=10.0, clock=clock)
+        cache.put("k", "v")
+        clock.advance(8.0)
+        cache.put("k", "v2")
+        clock.advance(8.0)
+        assert cache.get("k") == "v2"
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=None, clock=clock)
+        cache.put("k", "v")
+        clock.advance(1e9)
+        assert cache.get("k") == "v"
+
+
+class TestLRU:
+    def test_eviction_beyond_capacity(self):
+        cache = SelectionCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+        assert cache.stats().evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = SelectionCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+
+class TestValidation:
+    def test_invalid_ttl(self):
+        with pytest.raises(ConfigurationError):
+            SelectionCache(ttl_s=0.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SelectionCache(max_entries=0)

@@ -1,0 +1,102 @@
+"""Concurrency determinism: worker count must not change behaviour.
+
+The serving layer's contract is that thread scheduling is invisible:
+the same seed and query stream yield bit-identical selections and
+deterministic metrics whether probes run on 1, 4 or 16 workers. Fault
+schedules are pure functions of (seed, database, attempt) and APro
+applies observations in choice order, so any divergence here is a real
+concurrency bug.
+"""
+
+import pytest
+
+from repro.service.faults import FaultInjector
+from repro.service.resilience import RetryPolicy
+from repro.service.server import MetasearchService, ServiceConfig
+
+WORKER_COUNTS = (1, 4, 16)
+
+
+def replay(trained_metasearcher, stream, workers, error_rate=0.0):
+    injector = FaultInjector(
+        seed=97,
+        mean_latency_s=0.001,
+        error_rate=error_rate,
+    )
+    config = ServiceConfig(
+        max_workers=workers,
+        batch_size=3,
+        retry=RetryPolicy(
+            timeout_s=0.0015, max_retries=2, backoff_base_s=0.0
+        ),
+    )
+    with MetasearchService(
+        trained_metasearcher,
+        config=config,
+        injector=injector,
+        sleeper=lambda s: None,
+    ) as service:
+        answers = service.serve_stream(stream, k=2, certainty=0.95)
+        metrics = service.metrics.deterministic_snapshot()
+        cache_stats = service.cache.stats()
+    return answers, metrics, cache_stats
+
+
+@pytest.fixture(scope="module")
+def stream(health_queries):
+    # Repeats included: cache behaviour must be deterministic too.
+    return health_queries[80:100] + health_queries[80:85]
+
+
+class TestWorkerCountInvariance:
+    def test_identical_selections_and_metrics(
+        self, trained_metasearcher, stream
+    ):
+        runs = [
+            replay(trained_metasearcher, stream, workers)
+            for workers in WORKER_COUNTS
+        ]
+        baseline_answers, baseline_metrics, baseline_cache = runs[0]
+        baseline_selections = [a.selected for a in baseline_answers]
+        for answers, metrics, cache_stats in runs[1:]:
+            assert [a.selected for a in answers] == baseline_selections
+            assert [a.probes for a in answers] == [
+                a.probes for a in baseline_answers
+            ]
+            assert [a.certainty for a in answers] == [
+                a.certainty for a in baseline_answers
+            ]
+            assert [a.cache_hit for a in answers] == [
+                a.cache_hit for a in baseline_answers
+            ]
+            assert metrics == baseline_metrics
+            assert cache_stats == baseline_cache
+
+    def test_identical_under_injected_faults(
+        self, trained_metasearcher, stream
+    ):
+        # Timeouts and retries must not break the invariance either.
+        runs = [
+            replay(
+                trained_metasearcher, stream, workers, error_rate=0.15
+            )
+            for workers in WORKER_COUNTS
+        ]
+        baseline_answers, baseline_metrics, _ = runs[0]
+        for answers, metrics, _ in runs[1:]:
+            assert [a.selected for a in answers] == [
+                a.selected for a in baseline_answers
+            ]
+            assert metrics == baseline_metrics
+        # The fault schedule actually fired (retries happened).
+        assert baseline_metrics["counters"].get("probe_retries", 0) > 0
+
+    def test_repeated_run_is_reproducible(
+        self, trained_metasearcher, stream
+    ):
+        first = replay(trained_metasearcher, stream, workers=4)
+        second = replay(trained_metasearcher, stream, workers=4)
+        assert [a.selected for a in first[0]] == [
+            a.selected for a in second[0]
+        ]
+        assert first[1] == second[1]

@@ -1,0 +1,78 @@
+"""Tests for deterministic fault injection."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.faults import FaultInjector
+
+
+class TestFaultInjector:
+    def test_plans_are_deterministic(self):
+        a = FaultInjector(seed=7, mean_latency_s=0.05, error_rate=0.3)
+        b = FaultInjector(seed=7, mean_latency_s=0.05, error_rate=0.3)
+        plans_a = [a.plan("db", i) for i in range(50)]
+        plans_b = [b.plan("db", i) for i in range(50)]
+        assert plans_a == plans_b
+
+    def test_plans_independent_of_call_order(self):
+        injector = FaultInjector(seed=7, mean_latency_s=0.05)
+        forward = [injector.plan("db", i) for i in range(10)]
+        backward = [injector.plan("db", i) for i in reversed(range(10))]
+        assert forward == list(reversed(backward))
+
+    def test_seed_changes_schedule(self):
+        a = FaultInjector(seed=1, mean_latency_s=0.05)
+        b = FaultInjector(seed=2, mean_latency_s=0.05)
+        assert [a.plan("db", i) for i in range(20)] != [
+            b.plan("db", i) for i in range(20)
+        ]
+
+    def test_databases_get_distinct_schedules(self):
+        injector = FaultInjector(seed=7, mean_latency_s=0.05)
+        assert [injector.plan("x", i) for i in range(20)] != [
+            injector.plan("y", i) for i in range(20)
+        ]
+
+    def test_latency_within_jitter_band(self):
+        injector = FaultInjector(
+            seed=3, mean_latency_s=0.1, latency_jitter=0.5
+        )
+        for attempt in range(200):
+            latency = injector.plan("db", attempt).latency_s
+            assert 0.05 <= latency <= 0.15
+
+    def test_zero_latency_by_default(self):
+        plan = FaultInjector(seed=1).plan("db", 0)
+        assert plan.latency_s == 0.0
+        assert plan.healthy
+
+    def test_error_rate_extremes(self):
+        always = FaultInjector(seed=1, error_rate=1.0)
+        never = FaultInjector(seed=1, error_rate=0.0)
+        assert all(always.plan("db", i).fail for i in range(20))
+        assert not any(never.plan("db", i).fail for i in range(20))
+
+    def test_blackout_window(self):
+        injector = FaultInjector(seed=1, blackouts={"db": (2, 5)})
+        flags = [injector.plan("db", i).blackout for i in range(7)]
+        assert flags == [False, False, True, True, True, False, False]
+        assert not injector.plan("other", 3).blackout
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mean_latency_s": -1.0},
+            {"latency_jitter": 1.5},
+            {"error_rate": -0.1},
+            {"error_rate": 1.1},
+            {"blackouts": {"db": (3, 1)}},
+            {"blackouts": {"db": (-1, 2)}},
+        ],
+    )
+    def test_invalid_configuration(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(seed=1, **kwargs)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(seed=1).plan("db", -1)

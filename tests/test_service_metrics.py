@@ -1,0 +1,120 @@
+"""Tests for the service metrics instruments."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("probes")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ConfigurationError):
+            Counter("probes").inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("probes")
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestHistogram:
+    def test_empty_summary(self):
+        assert Histogram("lat").summary() == {"count": 0, "sum": 0.0}
+
+    def test_summary_statistics(self):
+        histogram = Histogram("lat")
+        for value in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["mean"] == 2.5
+        assert summary["p50"] == 2.0
+        assert summary["p99"] == 4.0
+
+    def test_summary_is_order_independent(self):
+        forward, backward = Histogram("a"), Histogram("b")
+        values = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.summary() == backward.summary()
+
+    def test_bounded_samples_keep_recent(self):
+        histogram = Histogram("lat", max_samples=3)
+        for value in [10.0, 1.0, 2.0, 3.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4  # total count survives the bound
+        assert summary["max"] == 3.0  # oldest sample dropped
+
+    def test_invalid_max_samples(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("lat", max_samples=0)
+
+
+class TestMetricsRegistry:
+    def test_create_or_get(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("b") is registry.histogram("b")
+
+    def test_name_collision_across_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ConfigurationError):
+            registry.counter("y")
+
+    def test_deterministic_flag_conflict(self):
+        registry = MetricsRegistry()
+        registry.histogram("wall", deterministic=False)
+        with pytest.raises(ConfigurationError):
+            registry.histogram("wall", deterministic=True)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("probes").inc(3)
+        registry.histogram("lat").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"probes": 3}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_deterministic_snapshot_excludes_wall_clock(self):
+        registry = MetricsRegistry()
+        registry.histogram("sim").observe(1.0)
+        registry.histogram("wall", deterministic=False).observe(123.0)
+        snapshot = registry.deterministic_snapshot()
+        assert "sim" in snapshot["histograms"]
+        assert "wall" not in snapshot["histograms"]
+        assert "wall" in registry.snapshot()["histograms"]
+
+    def test_to_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("probes").inc()
+        parsed = json.loads(registry.to_json())
+        assert parsed["counters"]["probes"] == 1

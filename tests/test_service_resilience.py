@@ -1,0 +1,241 @@
+"""Tests for ResilientDatabase: timeouts, retries, degradation."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.faults import FaultInjector
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import (
+    ProbeFailedError,
+    ResilientDatabase,
+    RetryPolicy,
+)
+
+
+class RecordingSleeper:
+    """Capture requested sleeps instead of sleeping."""
+
+    def __init__(self):
+        self.sleeps = []
+
+    def __call__(self, seconds):
+        self.sleeps.append(seconds)
+
+
+@pytest.fixture()
+def query(analyzer):
+    return analyzer.query("cancer treatment")
+
+
+@pytest.fixture()
+def inner(tiny_mediator):
+    return tiny_mediator["onco"]
+
+
+def wrap(inner, **kwargs):
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("sleeper", RecordingSleeper())
+    return ResilientDatabase(inner, **kwargs)
+
+
+class TestDelegation:
+    def test_surface(self, inner, query):
+        resilient = wrap(inner)
+        assert resilient.name == inner.name
+        assert resilient.size == inner.size
+        assert resilient.accounting is inner.accounting
+        assert resilient.inner is inner
+        assert resilient.relevancy(query) == inner.relevancy(query)
+        assert resilient.probe(query).num_matches == inner.probe(query).num_matches
+
+
+class TestHappyPath:
+    def test_matches_inner_probe(self, inner, query):
+        resilient = wrap(inner)
+        assert resilient.probe_relevancy(query) == inner.relevancy(query)
+
+    def test_counts_one_probe(self, inner, query):
+        metrics = MetricsRegistry()
+        wrap(inner, metrics=metrics).probe_relevancy(query)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"]["probes_issued"] == 1
+        # Headline counters are pre-registered so clean runs report
+        # explicit zeros instead of omitting the key.
+        assert snapshot["counters"]["probe_retries"] == 0
+        assert snapshot["counters"]["probe_timeouts"] == 0
+        assert snapshot["counters"]["probes_failed"] == 0
+
+
+class TestInjectedFaults:
+    def test_retry_after_blackout_recovers(self, inner, query):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(seed=1, blackouts={inner.name: (0, 1)})
+        resilient = wrap(
+            inner,
+            injector=injector,
+            metrics=metrics,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        )
+        value = resilient.probe_relevancy(query)
+        assert value == inner.relevancy(query)
+        counters = metrics.snapshot()["counters"]
+        assert counters["probes_issued"] == 2
+        assert counters["probe_retries"] == 1
+        assert counters["probe_blackouts"] == 1
+
+    def test_permanent_blackout_exhausts_retries(self, inner, query):
+        metrics = MetricsRegistry()
+        injector = FaultInjector(seed=1, blackouts={inner.name: (0, 99)})
+        resilient = wrap(
+            inner,
+            injector=injector,
+            metrics=metrics,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        )
+        with pytest.raises(ProbeFailedError):
+            resilient.probe_relevancy(query)
+        counters = metrics.snapshot()["counters"]
+        assert counters["probes_issued"] == 3
+        assert counters["probe_blackouts"] == 3
+        assert counters["probes_failed"] == 1
+
+    def test_timeout_abandons_at_deadline(self, inner, query):
+        metrics = MetricsRegistry()
+        sleeper = RecordingSleeper()
+        injector = FaultInjector(seed=1, mean_latency_s=1.0)
+        resilient = wrap(
+            inner,
+            injector=injector,
+            metrics=metrics,
+            sleeper=sleeper,
+            policy=RetryPolicy(
+                timeout_s=0.05, max_retries=1, backoff_base_s=0.0
+            ),
+        )
+        with pytest.raises(ProbeFailedError):
+            resilient.probe_relevancy(query)
+        counters = metrics.snapshot()["counters"]
+        assert counters["probe_timeouts"] == 2
+        # The client hangs up at the deadline, not after full latency.
+        assert all(s <= 0.05 for s in sleeper.sleeps)
+
+    def test_latency_sleeps_injected(self, inner, query):
+        sleeper = RecordingSleeper()
+        injector = FaultInjector(seed=1, mean_latency_s=0.01)
+        resilient = wrap(
+            inner,
+            injector=injector,
+            sleeper=sleeper,
+            policy=RetryPolicy(timeout_s=1.0),
+        )
+        resilient.probe_relevancy(query)
+        assert len(sleeper.sleeps) == 1
+        assert 0.005 <= sleeper.sleeps[0] <= 0.015
+
+
+class TestRetriableInnerErrors:
+    class Flaky:
+        """A database whose first probes fail with a network error."""
+
+        name = "flaky"
+
+        def __init__(self, failures, value=7.0):
+            self.failures = failures
+            self.value = value
+            self.calls = 0
+
+        def probe_relevancy(self, query, definition=None):
+            self.calls += 1
+            if self.calls <= self.failures:
+                raise ConnectionError("connection reset")
+            return self.value
+
+    def test_retries_then_succeeds(self, query):
+        flaky = self.Flaky(failures=2)
+        metrics = MetricsRegistry()
+        resilient = wrap(
+            flaky,
+            metrics=metrics,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        )
+        assert resilient.probe_relevancy(query) == 7.0
+        counters = metrics.snapshot()["counters"]
+        assert counters["probe_errors"] == 2
+        assert counters["probe_retries"] == 2
+
+    def test_deterministic_errors_propagate(self, query):
+        class Broken:
+            name = "broken"
+
+            def probe_relevancy(self, query, definition=None):
+                raise ValueError("not retriable")
+
+        with pytest.raises(ValueError):
+            wrap(Broken()).probe_relevancy(query)
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter=0.5)
+        assert policy.backoff_s("db", 3, 0) == policy.backoff_s("db", 3, 0)
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_multiplier=2.0, jitter=0.0
+        )
+        assert policy.backoff_s("db", 0, 0) == pytest.approx(0.1)
+        assert policy.backoff_s("db", 0, 1) == pytest.approx(0.2)
+        assert policy.backoff_s("db", 0, 2) == pytest.approx(0.4)
+
+    def test_jitter_stays_in_band(self):
+        policy = RetryPolicy(backoff_base_s=0.1, jitter=0.5)
+        for attempt in range(50):
+            backoff = policy.backoff_s("db", attempt, 0)
+            assert 0.1 <= backoff <= 0.15
+
+    def test_backoff_sleeps_happen(self, inner, query):
+        sleeper = RecordingSleeper()
+        metrics = MetricsRegistry()
+        injector = FaultInjector(seed=1, blackouts={inner.name: (0, 99)})
+        resilient = wrap(
+            inner,
+            injector=injector,
+            metrics=metrics,
+            sleeper=sleeper,
+            policy=RetryPolicy(
+                max_retries=2, backoff_base_s=0.01, jitter=0.0
+            ),
+        )
+        with pytest.raises(ProbeFailedError):
+            resilient.probe_relevancy(query)
+        assert 0.01 in sleeper.sleeps
+        assert 0.02 in sleeper.sleeps
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_s": 0.0},
+            {"max_retries": -1},
+            {"backoff_base_s": -0.1},
+            {"backoff_multiplier": 0.5},
+            {"jitter": 2.0},
+        ],
+    )
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(**kwargs)
+
+
+class TestPostHocTimeout:
+    def test_slow_local_probe_is_flagged_not_lost(self, inner, query):
+        metrics = MetricsRegistry()
+        resilient = wrap(
+            inner,
+            metrics=metrics,
+            policy=RetryPolicy(timeout_s=1e-9),
+        )
+        value = resilient.probe_relevancy(query)
+        assert value == inner.relevancy(query)
+        assert metrics.snapshot()["counters"]["probe_slow"] == 1

@@ -1,0 +1,149 @@
+"""Tests for the MetasearchService facade."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.metasearch.metasearcher import Metasearcher
+from repro.service.faults import FaultInjector
+from repro.service.resilience import RetryPolicy
+from repro.service.server import MetasearchService, ServiceConfig
+
+
+def make_service(trained_metasearcher, **kwargs):
+    config = kwargs.pop("config", None) or ServiceConfig(
+        max_workers=4,
+        batch_size=2,
+        retry=RetryPolicy(backoff_base_s=0.0),
+    )
+    kwargs.setdefault("sleeper", lambda s: None)
+    return MetasearchService(trained_metasearcher, config=config, **kwargs)
+
+
+class TestServe:
+    def test_requires_trained_metasearcher(self, tiny_mediator):
+        with pytest.raises(ReproError):
+            MetasearchService(Metasearcher(tiny_mediator))
+
+    def test_serves_selection(self, trained_metasearcher, health_queries):
+        with make_service(trained_metasearcher) as service:
+            answer = service.serve(health_queries[50], k=2, certainty=0.9)
+        assert len(answer.selected) == 2
+        assert answer.certainty >= 0.9
+        assert not answer.cache_hit
+        assert answer.wall_ms >= 0.0
+
+    def test_matches_direct_metasearcher_selection(
+        self, trained_metasearcher, health_queries
+    ):
+        query = health_queries[51]
+        session = trained_metasearcher.select(
+            query, k=2, certainty=0.9, batch_size=2
+        )
+        with make_service(trained_metasearcher) as service:
+            answer = service.serve(query, k=2, certainty=0.9)
+        assert answer.selected == session.final.names
+        assert answer.probes == session.num_probes
+
+    def test_accepts_free_text(self, trained_metasearcher):
+        with make_service(trained_metasearcher) as service:
+            answer = service.serve("breast cancer treatment", k=1)
+        assert len(answer.selected) == 1
+
+    def test_serve_stream_order(self, trained_metasearcher, health_queries):
+        stream = health_queries[50:55]
+        with make_service(trained_metasearcher) as service:
+            answers = service.serve_stream(stream, k=1, certainty=0.8)
+        assert [a.query for a in answers] == stream
+
+
+class TestCacheIntegration:
+    def test_repeat_query_hits_cache(
+        self, trained_metasearcher, health_queries
+    ):
+        query = health_queries[52]
+        with make_service(trained_metasearcher) as service:
+            first = service.serve(query, k=2, certainty=0.9)
+            second = service.serve(query, k=2, certainty=0.9)
+            counters = service.metrics.snapshot()["counters"]
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.selected == first.selected
+        assert second.probes == first.probes
+        assert counters["cache_hits"] == 1
+        assert counters["cache_misses"] == 1
+
+    def test_different_k_is_a_different_key(
+        self, trained_metasearcher, health_queries
+    ):
+        query = health_queries[53]
+        with make_service(trained_metasearcher) as service:
+            service.serve(query, k=1, certainty=0.9)
+            answer = service.serve(query, k=2, certainty=0.9)
+        assert not answer.cache_hit
+
+    def test_cache_disabled(self, trained_metasearcher, health_queries):
+        config = ServiceConfig(
+            max_workers=2, batch_size=2, cache_enabled=False
+        )
+        query = health_queries[54]
+        with make_service(trained_metasearcher, config=config) as service:
+            service.serve(query, k=1, certainty=0.9)
+            answer = service.serve(query, k=1, certainty=0.9)
+            assert service.cache is None
+        assert not answer.cache_hit
+
+    def test_snapshot_includes_cache_stats(
+        self, trained_metasearcher, health_queries
+    ):
+        with make_service(trained_metasearcher) as service:
+            service.serve(health_queries[55], k=1, certainty=0.8)
+            snapshot = service.snapshot()
+        assert snapshot["cache"]["misses"] == 1
+        assert "queries_served" in snapshot["counters"]
+
+
+class TestDegradation:
+    def test_blacked_out_database_degrades_not_fails(
+        self, trained_metasearcher
+    ):
+        name = trained_metasearcher.mediator[0].name
+        injector = FaultInjector(seed=3, blackouts={name: (0, 10_000)})
+        config = ServiceConfig(
+            max_workers=4,
+            batch_size=4,
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+        )
+        with make_service(
+            trained_metasearcher, config=config, injector=injector
+        ) as service:
+            # certainty 1.0 forces probing every uncertain database;
+            # "breast cancer" matches the blacked-out oncology one, so
+            # its RD is no impulse and it must be probed — the query
+            # must still complete, degraded to the point estimate.
+            answer = service.serve("breast cancer", k=2, certainty=1.0)
+            counters = service.metrics.snapshot()["counters"]
+        assert len(answer.selected) == 2
+        assert counters["probe_fallbacks"] >= 1
+        assert counters["probes_failed"] >= 1
+
+
+class TestConfigValidation:
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(max_workers=0)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(batch_size=0)
+
+    def test_batch_inherits_metasearcher_config(
+        self, trained_metasearcher, health_queries
+    ):
+        config = ServiceConfig(max_workers=2, batch_size=None)
+        with make_service(trained_metasearcher, config=config) as service:
+            # probe_batch_size defaults to 1 — the sequential paper loop.
+            answer = service.serve(health_queries[57], k=1, certainty=0.95)
+        session = trained_metasearcher.select(
+            health_queries[57], k=1, certainty=0.95, batch_size=1
+        )
+        assert answer.probes == session.num_probes
