@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-from repro.core.topk import CorrectnessMetric
 from repro.experiments.ablations import compare_probing_policies
 from repro.experiments.harness import evaluate_selection_quality, train_pipeline
 from repro.experiments.probing_curves import probing_curves

@@ -1,17 +1,20 @@
 """Command-line interface: ``repro-metasearch``.
 
-Five commands:
+Six commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
 * ``fig``         — regenerate one of the paper's figures/tables on the
   spot;
-* ``train``       — run the offline phase and save the trained state to
-  JSON;
+* ``train``       — run the offline phase (optionally in parallel with
+  ``--workers`` and checkpointed with ``--checkpoint``/``--resume``,
+  see ``docs/TRAINING.md``) and save the trained state to JSON;
 * ``serve``       — run a query stream through the concurrent serving
   layer (optionally fault-injected) and dump metrics JSON;
 * ``bench-serve`` — benchmark the serving layer: serial vs concurrent
-  executor over a fault-injected testbed (see ``docs/SERVING.md``).
+  executor over a fault-injected testbed (see ``docs/SERVING.md``);
+* ``bench-train`` — benchmark the offline phase: serial vs parallel ED
+  training under injected probe latency (see ``docs/TRAINING.md``).
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -197,6 +200,74 @@ def build_parser() -> argparse.ArgumentParser:
         "train", help="run the offline phase and save trained state"
     )
     train.add_argument("output", help="path of the JSON state file to write")
+    train.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="training probe thread-pool width (1 = sequential)",
+    )
+    train.add_argument(
+        "--checkpoint",
+        default=None,
+        help="write periodic training checkpoints to this path",
+    )
+    train.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the --checkpoint file if it exists",
+    )
+    train.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=25,
+        help="queries between checkpoints (default 25)",
+    )
+
+    bench_train = subparsers.add_parser(
+        "bench-train",
+        help="benchmark serial vs parallel ED training",
+    )
+    bench_train.add_argument(
+        "--queries",
+        type=int,
+        default=40,
+        help="training queries to probe with",
+    )
+    bench_train.add_argument(
+        "--workers", type=int, default=8, help="parallel trainer width"
+    )
+    bench_train.add_argument(
+        "--samples-per-type",
+        type=int,
+        default=20,
+        help="early-stop budget per (database, type) slice",
+    )
+    bench_train.add_argument(
+        "--latency-ms",
+        type=float,
+        default=20.0,
+        help="injected mean probe latency",
+    )
+    bench_train.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="injected probe failure probability",
+    )
+    bench_train.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=100.0,
+        help="per-probe deadline",
+    )
+    bench_train.add_argument(
+        "--retries", type=int, default=2, help="retries per probe"
+    )
+    bench_train.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the metrics snapshot JSON to this path",
+    )
     return parser
 
 
@@ -369,13 +440,64 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
     context = _context(args)
     searcher = Metasearcher(
-        context.mediator, MetasearcherConfig(), analyzer=context.analyzer
+        context.mediator,
+        MetasearcherConfig(
+            train_workers=args.workers,
+            train_checkpoint_every=args.checkpoint_every,
+        ),
+        analyzer=context.analyzer,
     )
-    print("Training (offline sampling)...", flush=True)
-    searcher.train(context.train_queries)
+    mode = (
+        "sequential"
+        if args.workers == 1
+        else f"parallel, {args.workers} workers"
+    )
+    print(f"Training (offline sampling, {mode})...", flush=True)
+    searcher.train(
+        context.train_queries,
+        checkpoint_path=args.checkpoint,
+        resume=args.resume,
+    )
     searcher.save(args.output)
     probes = context.mediator.total_probes()
     print(f"Saved trained state to {args.output} ({probes} offline probes).")
+    return 0
+
+
+def _cmd_bench_train(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.bench import (
+        BenchTrainConfig,
+        format_bench_train,
+        run_bench_train,
+    )
+
+    print(
+        f"Benchmarking ED training (scale={args.scale}, "
+        f"{args.queries} queries, {args.workers} workers)...",
+        flush=True,
+    )
+    report = run_bench_train(
+        BenchTrainConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            train_queries=args.queries,
+            workers=args.workers,
+            samples_per_type=args.samples_per_type,
+            mean_latency_ms=args.latency_ms,
+            error_rate=args.error_rate,
+            timeout_ms=args.timeout_ms,
+            max_retries=args.retries,
+        )
+    )
+    print(format_bench_train(report))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(report.metrics, handle, indent=2, sort_keys=True)
+        print(f"Metrics written to {args.metrics_out}")
     return 0
 
 
@@ -388,6 +510,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "train": _cmd_train,
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
+        "bench-train": _cmd_bench_train,
     }
     try:
         return handlers[args.command](args)

@@ -11,6 +11,7 @@ pooled-fallback chain for sparsely sampled types.
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
 
 from repro.core.errors import (
     DEFAULT_ERROR_EDGES,
@@ -26,7 +27,27 @@ from repro.summaries.estimators import RelevancyEstimator
 from repro.summaries.summary import ContentSummary
 from repro.types import Query
 
-__all__ = ["ErrorModel", "EDTrainer"]
+__all__ = ["ErrorModel", "EDTrainer", "PlannedProbe"]
+
+
+@dataclass(frozen=True, slots=True)
+class PlannedProbe:
+    """One probe the training loop has decided to issue.
+
+    Planning is separated from probing so that executing a query's
+    probes concurrently (see
+    :class:`repro.service.training.ParallelEDTrainer`) cannot change
+    *which* probes are issued: within one query no database's
+    observation can alter another database's skip decision (the
+    early-stop check reads only the exact (database, type) slice), so a
+    plan computed up front is identical to the paper's interleaved
+    probe-then-decide loop.
+    """
+
+    index: int
+    database_name: str
+    estimate: float
+    query_type: QueryType
 
 
 class ErrorModel:
@@ -87,6 +108,12 @@ class ErrorModel:
         """Training samples accumulated for the exact (db, type) pair."""
         ed = self._per_type.get((database_name, query_type))
         return ed.sample_count if ed else 0
+
+    def slice_counts(self) -> dict[tuple[str, QueryType], int]:
+        """Sample counts of every trained (database, type) slice."""
+        return {
+            key: ed.sample_count for key, ed in self._per_type.items()
+        }
 
     # -- query-side interface -----------------------------------------------------
 
@@ -238,30 +265,60 @@ class EDTrainer:
         information there, and the query-time selector short-circuits
         the same case to an impulse at zero.
         """
-        model = ErrorModel(
+        model = self.new_model()
+        for query in queries:
+            for planned in self.plan_query(model, query):
+                actual = self._mediator[planned.index].probe_relevancy(
+                    query, self._definition
+                )
+                self.apply_observation(model, planned, actual)
+        return model
+
+    def new_model(self) -> ErrorModel:
+        """A fresh, empty model with this trainer's configuration."""
+        return ErrorModel(
             edges=self._edges,
             min_samples=self._min_samples,
             estimate_floor=self._estimate_floor,
         )
-        for query in queries:
-            for database in self._mediator:
-                summary = self._summaries[database.name]
-                if self._certain_zero(summary, query):
-                    continue
-                estimate = self._estimator.estimate(summary, query)
-                query_type = self._classifier.classify(query, estimate)
-                if (
-                    self._samples_per_type is not None
-                    and model.sample_count(database.name, query_type)
-                    >= self._samples_per_type
-                ):
-                    continue
-                actual = database.probe_relevancy(query, self._definition)
-                error = relative_error(
-                    actual, estimate, estimate_floor=self._estimate_floor
-                )
-                model.observe(database.name, query_type, error)
-        return model
+
+    def plan_query(
+        self, model: ErrorModel, query: Query
+    ) -> list[PlannedProbe]:
+        """The probes the sequential loop would issue for *query*.
+
+        Returned in mediator order — the order observations must be
+        applied in for bit-identical training (see
+        :class:`PlannedProbe`). Databases whose relevancy is certain
+        from an exact summary, or whose (database, type) slice already
+        holds ``samples_per_type`` samples, are skipped.
+        """
+        plan: list[PlannedProbe] = []
+        for index, database in enumerate(self._mediator):
+            summary = self._summaries[database.name]
+            if self._certain_zero(summary, query):
+                continue
+            estimate = self._estimator.estimate(summary, query)
+            query_type = self._classifier.classify(query, estimate)
+            if (
+                self._samples_per_type is not None
+                and model.sample_count(database.name, query_type)
+                >= self._samples_per_type
+            ):
+                continue
+            plan.append(
+                PlannedProbe(index, database.name, estimate, query_type)
+            )
+        return plan
+
+    def apply_observation(
+        self, model: ErrorModel, planned: PlannedProbe, actual: float
+    ) -> None:
+        """Record the observed relevancy for one planned probe."""
+        error = relative_error(
+            actual, planned.estimate, estimate_floor=self._estimate_floor
+        )
+        model.observe(planned.database_name, planned.query_type, error)
 
     def _certain_zero(self, summary: ContentSummary, query: Query) -> bool:
         """True when an exact summary proves r(db, q) = 0."""

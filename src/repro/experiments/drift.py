@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-import numpy as np
 
 from repro.core.correctness import GoldenStandard
 from repro.core.probing import APro

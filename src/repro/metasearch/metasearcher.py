@@ -69,6 +69,16 @@ class MetasearcherConfig:
         trade a little probe efficiency for wall-clock latency and are
         what the serving layer's executor overlaps (``--batch`` on the
         CLI).
+    train_workers:
+        Worker-pool width for the offline training phase. ``1`` keeps
+        the paper's sequential :class:`~repro.core.training.EDTrainer`;
+        widths above 1 route training probes through
+        :class:`~repro.service.training.ParallelEDTrainer` (same
+        trained state, bit-identical, for any width — see
+        ``docs/TRAINING.md``).
+    train_checkpoint_every:
+        Queries between training checkpoints when :meth:`train` is
+        given a ``checkpoint_path``.
     """
 
     DEFAULT_SEED_TERMS: tuple[str, ...] = (
@@ -86,6 +96,8 @@ class MetasearcherConfig:
     summary_seed_terms: tuple[str, ...] = DEFAULT_SEED_TERMS
     max_probes: int | None = None
     probe_batch_size: int = 1
+    train_workers: int = 1
+    train_checkpoint_every: int = 25
 
     def __post_init__(self) -> None:
         if self.probe_batch_size < 1:
@@ -95,6 +107,15 @@ class MetasearcherConfig:
         if self.max_probes is not None and self.max_probes < 0:
             raise ConfigurationError(
                 f"max_probes must be >= 0, got {self.max_probes}"
+            )
+        if self.train_workers < 1:
+            raise ConfigurationError(
+                f"train_workers must be >= 1, got {self.train_workers}"
+            )
+        if self.train_checkpoint_every < 1:
+            raise ConfigurationError(
+                f"train_checkpoint_every must be >= 1, got "
+                f"{self.train_checkpoint_every}"
             )
 
 
@@ -151,20 +172,27 @@ class Metasearcher:
 
     # -- training ---------------------------------------------------------------
 
-    def train(self, training_queries: Sequence[Query]) -> None:
-        """Build summaries and learn the error model (offline phase)."""
+    def train(
+        self,
+        training_queries: Sequence[Query],
+        checkpoint_path=None,
+        resume: bool = False,
+    ) -> None:
+        """Build summaries and learn the error model (offline phase).
+
+        With ``config.train_workers > 1`` or a *checkpoint_path*,
+        training runs through the serving layer's
+        :class:`~repro.service.training.ParallelEDTrainer` —
+        concurrent, fault-tolerant, periodically checkpointed and
+        resumable with ``resume=True`` — producing the bit-identical
+        trained state of the sequential path.
+        """
         if not training_queries:
             raise ConfigurationError("training requires at least one query")
         self._summaries = self._build_summaries()
-        trainer = EDTrainer(
-            mediator=self._mediator,
-            summaries=self._summaries,
-            estimator=self._estimator,
-            classifier=self._classifier,
-            definition=self._config.definition,
-            samples_per_type=self._config.samples_per_type,
+        self._error_model = self._train_error_model(
+            training_queries, checkpoint_path, resume
         )
-        self._error_model = trainer.train(training_queries)
         self._selector = RDBasedSelector(
             mediator=self._mediator,
             summaries=self._summaries,
@@ -174,6 +202,48 @@ class Metasearcher:
             definition=self._config.definition,
         )
         self._apro = APro(self._selector, policy=self._policy)
+
+    def _train_error_model(
+        self, training_queries: Sequence[Query], checkpoint_path, resume: bool
+    ) -> ErrorModel:
+        assert self._summaries is not None
+        if self._config.train_workers == 1 and checkpoint_path is None:
+            if resume:
+                raise ConfigurationError(
+                    "resume=True requires a checkpoint_path"
+                )
+            trainer = EDTrainer(
+                mediator=self._mediator,
+                summaries=self._summaries,
+                estimator=self._estimator,
+                classifier=self._classifier,
+                definition=self._config.definition,
+                samples_per_type=self._config.samples_per_type,
+            )
+            self._train_metrics = None
+            return trainer.train(training_queries)
+        # Imported here: repro.service imports this module at its top.
+        from repro.service.training import ParallelEDTrainer
+
+        with ParallelEDTrainer(
+            mediator=self._mediator,
+            summaries=self._summaries,
+            estimator=self._estimator,
+            classifier=self._classifier,
+            definition=self._config.definition,
+            samples_per_type=self._config.samples_per_type,
+            max_workers=self._config.train_workers,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=self._config.train_checkpoint_every,
+        ) as trainer:
+            model = trainer.train(training_queries, resume=resume)
+        self._train_metrics = trainer.metrics
+        return model
+
+    @property
+    def train_metrics(self):
+        """Metrics of the last parallel training run (``None`` otherwise)."""
+        return getattr(self, "_train_metrics", None)
 
     def _build_summaries(self) -> dict[str, ContentSummary]:
         sampling = self._config.summary_sampling

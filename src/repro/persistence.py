@@ -6,7 +6,17 @@ saves its products (summaries + error model + classifier configuration)
 to a single JSON file and restores them into a ready
 :class:`~repro.core.selection.RDBasedSelector`.
 
-The saved file is versioned and self-describing; databases themselves
+It also persists *training checkpoints*: periodic snapshots of a
+partially trained :class:`~repro.core.training.ErrorModel` plus the
+query cursor, written by
+:class:`~repro.service.training.ParallelEDTrainer` so an interrupted
+training run can resume from the last checkpoint instead of reprobing
+every database from scratch. Checkpoints carry a configuration
+fingerprint; resuming under a different trainer configuration (or a
+different database set) is rejected rather than silently converging to
+a different model.
+
+All saved files are versioned and self-describing; databases themselves
 (the corpora) are *not* stored — on load, the caller supplies a mediator
 whose database names must cover the saved summaries.
 """
@@ -14,6 +24,7 @@ whose database names must cover the saved summaries.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -26,9 +37,17 @@ from repro.hiddenweb.mediator import Mediator
 from repro.summaries.estimators import RelevancyEstimator
 from repro.summaries.summary import ContentSummary
 
-__all__ = ["TrainedState", "save_trained_state", "load_trained_state"]
+__all__ = [
+    "TrainedState",
+    "save_trained_state",
+    "load_trained_state",
+    "TrainingCheckpoint",
+    "save_training_checkpoint",
+    "load_training_checkpoint",
+]
 
 FORMAT_VERSION = 1
+CHECKPOINT_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -88,6 +107,74 @@ def save_trained_state(state: TrainedState, path: str | Path) -> None:
         "error_model": state.error_model.state_dict(),
     }
     Path(path).write_text(json.dumps(payload))
+
+
+@dataclass(frozen=True)
+class TrainingCheckpoint:
+    """A resumable snapshot of an in-progress training run.
+
+    Parameters
+    ----------
+    queries_done:
+        Number of training queries fully probed and applied. Resuming
+        skips exactly this many queries of the (identical) stream.
+    error_model_state:
+        :meth:`~repro.core.training.ErrorModel.state_dict` of the model
+        after those queries.
+    fingerprint:
+        Trainer configuration the checkpoint is only valid under:
+        database names in mediator order, relevancy definition,
+        ``samples_per_type``, histogram edges, estimate floor and
+        ``min_samples``. A mismatch on load raises, because replaying
+        the remaining queries under a different configuration would
+        silently produce a model unrelated to the uninterrupted run.
+    """
+
+    queries_done: int
+    error_model_state: dict
+    fingerprint: dict
+
+
+def save_training_checkpoint(
+    checkpoint: TrainingCheckpoint, path: str | Path
+) -> None:
+    """Write *checkpoint* to *path* as versioned JSON, atomically.
+
+    The payload lands in a sibling temporary file first and is moved
+    into place with :func:`os.replace`, so a crash mid-write can never
+    leave a truncated checkpoint behind — the previous one survives.
+    """
+    target = Path(path)
+    payload = {
+        "checkpoint_format_version": CHECKPOINT_FORMAT_VERSION,
+        "queries_done": checkpoint.queries_done,
+        "fingerprint": checkpoint.fingerprint,
+        "error_model": checkpoint.error_model_state,
+    }
+    scratch = target.with_name(target.name + ".tmp")
+    scratch.write_text(json.dumps(payload))
+    os.replace(scratch, target)
+
+
+def load_training_checkpoint(path: str | Path) -> TrainingCheckpoint:
+    """Read a :func:`save_training_checkpoint` file back."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("checkpoint_format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported training-checkpoint format version {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})"
+        )
+    queries_done = payload["queries_done"]
+    if not isinstance(queries_done, int) or queries_done < 0:
+        raise ConfigurationError(
+            f"corrupt checkpoint: queries_done={queries_done!r}"
+        )
+    return TrainingCheckpoint(
+        queries_done=queries_done,
+        error_model_state=payload["error_model"],
+        fingerprint=payload["fingerprint"],
+    )
 
 
 def load_trained_state(path: str | Path) -> TrainedState:

@@ -17,9 +17,13 @@ probed concurrently:
 * :class:`~repro.service.cache.SelectionCache` — TTL-keyed memoization
   of selection results for repeated-query traffic;
 * :class:`~repro.service.server.MetasearchService` — the facade tying
-  the above together behind ``serve()``.
+  the above together behind ``serve()``;
+* :class:`~repro.service.training.ParallelEDTrainer` — the offline
+  phase run through the same machinery: concurrent, fault-tolerant,
+  checkpointed ED training with a bit-identical trained model.
 
-See ``docs/SERVING.md`` for the architecture tour.
+See ``docs/SERVING.md`` and ``docs/TRAINING.md`` for the architecture
+tours.
 """
 
 from repro.service.cache import CacheStats, SelectionCache
@@ -33,6 +37,7 @@ from repro.service.resilience import (
     RetryPolicy,
 )
 from repro.service.server import MetasearchService, ServedAnswer, ServiceConfig
+from repro.service.training import ParallelEDTrainer
 
 __all__ = [
     "CacheStats",
@@ -43,6 +48,7 @@ __all__ = [
     "InjectedFault",
     "MetasearchService",
     "MetricsRegistry",
+    "ParallelEDTrainer",
     "ProbeExecutor",
     "ProbeFailedError",
     "ProbeTimeoutError",

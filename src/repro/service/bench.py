@@ -1,20 +1,28 @@
-"""`repro-metasearch bench-serve`: the serving-layer benchmark.
+"""`repro-metasearch bench-serve` / `bench-train`: the service benchmarks.
 
-Builds the paper testbed, trains a metasearcher, then replays the same
-deterministic query stream twice against fault-injected databases —
-once through a single-worker (serial) executor and once through a wide
-one — and reports wall-clock speedup, whether the two paths returned
-byte-identical selections, and the concurrent run's metrics snapshot.
+``bench-serve`` builds the paper testbed, trains a metasearcher, then
+replays the same deterministic query stream twice against
+fault-injected databases — once through a single-worker (serial)
+executor and once through a wide one — and reports wall-clock speedup,
+whether the two paths returned byte-identical selections, and the
+concurrent run's metrics snapshot.
+
+``bench-train`` does the same for the *offline* phase: it runs the
+identical ED-training workload through
+:class:`~repro.service.training.ParallelEDTrainer` at one worker and at
+N workers, under injected probe latency, and reports wall-clock speedup
+plus whether the two trained models are byte-identical.
 
 The fault schedules are pure functions of ``(seed, database, attempt)``
 (see :mod:`repro.service.faults`), so both paths experience exactly the
-same latencies and failures; any selection difference would be a real
-concurrency bug, which is why the benchmark doubles as an end-to-end
-determinism check.
+same latencies and failures; any selection or trained-state difference
+would be a real concurrency bug, which is why the benchmarks double as
+end-to-end determinism checks.
 """
 
 from __future__ import annotations
 
+import json
 import random
 import time
 from dataclasses import dataclass, field
@@ -29,6 +37,9 @@ from repro.service.server import (
     ServedAnswer,
     ServiceConfig,
 )
+from repro.service.training import ParallelEDTrainer
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import TermIndependenceEstimator
 from repro.types import Query
 
 __all__ = [
@@ -36,6 +47,10 @@ __all__ = [
     "BenchServeReport",
     "run_bench_serve",
     "format_bench_serve",
+    "BenchTrainConfig",
+    "BenchTrainReport",
+    "run_bench_train",
+    "format_bench_train",
 ]
 
 
@@ -204,8 +219,6 @@ def run_bench_serve(
 
 def format_bench_serve(report: BenchServeReport) -> str:
     """Human-readable benchmark summary (metrics stay JSON)."""
-    import json
-
     lines = [
         f"databases            : {report.databases}",
         f"queries              : {report.queries} "
@@ -216,6 +229,155 @@ def format_bench_serve(report: BenchServeReport) -> str:
         f"{report.concurrent_s:.2f} s",
         f"speedup              : {report.speedup:.2f}x",
         f"identical selections : {report.identical_selections}",
+        "",
+        "metrics:",
+        json.dumps(report.metrics, indent=2, sort_keys=True),
+    ]
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class BenchTrainConfig:
+    """Knobs of the training benchmark.
+
+    Defaults demonstrate the PR's target: >= 3x wall-clock speedup at 8
+    workers over 20 ms injected probe latency, with a byte-identical
+    trained model.
+    """
+
+    scale: float = 0.05
+    seed: int = 2004
+    n_train: int = 120
+    n_test: int = 10
+    train_queries: int = 40
+    workers: int = 8
+    samples_per_type: int | None = 20
+    mean_latency_ms: float = 20.0
+    latency_jitter: float = 0.5
+    error_rate: float = 0.0
+    timeout_ms: float = 100.0
+    max_retries: int = 2
+    backoff_base_ms: float = 5.0
+    context: object | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.train_queries < 1:
+            raise ConfigurationError("train_queries must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+
+@dataclass(frozen=True)
+class BenchTrainReport:
+    """What the training benchmark measured."""
+
+    databases: int
+    train_queries: int
+    workers: int
+    serial_s: float
+    parallel_s: float
+    identical_state: bool
+    serial_probes: int
+    parallel_probes: int
+    metrics: dict[str, object]
+
+    @property
+    def speedup(self) -> float:
+        """Serial wall-clock over parallel wall-clock."""
+        if self.parallel_s <= 0:
+            return float("inf")
+        return self.serial_s / self.parallel_s
+
+
+def _train_once(
+    context, config: BenchTrainConfig, workers: int
+) -> tuple[dict, float, dict[str, object]]:
+    summaries = {
+        db.name: ExactSummaryBuilder().build(db) for db in context.mediator
+    }
+    injector = FaultInjector(
+        seed=config.seed,
+        mean_latency_s=config.mean_latency_ms / 1000.0,
+        latency_jitter=config.latency_jitter,
+        error_rate=config.error_rate,
+    )
+    policy = RetryPolicy(
+        timeout_s=config.timeout_ms / 1000.0,
+        max_retries=config.max_retries,
+        backoff_base_s=config.backoff_base_ms / 1000.0,
+    )
+    with ParallelEDTrainer(
+        context.mediator,
+        summaries,
+        TermIndependenceEstimator(),
+        definition=context.config.definition,
+        samples_per_type=config.samples_per_type,
+        max_workers=workers,
+        policy=policy,
+        injector=injector,
+    ) as trainer:
+        queries = context.train_queries[: config.train_queries]
+        started = time.perf_counter()
+        model = trainer.train(queries)
+        elapsed = time.perf_counter() - started
+        snapshot = trainer.metrics.snapshot()
+    return model.state_dict(), elapsed, snapshot
+
+
+def run_bench_train(
+    config: BenchTrainConfig | None = None,
+) -> BenchTrainReport:
+    """Run the serial-vs-parallel ED-training benchmark."""
+    config = config or BenchTrainConfig()
+    context = config.context
+    if context is None:
+        context = build_paper_context(
+            PaperSetupConfig(
+                scale=config.scale,
+                seed=config.seed,
+                n_train=config.n_train,
+                n_test=config.n_test,
+            )
+        )
+    serial_state, serial_s, serial_metrics = _train_once(
+        context, config, workers=1
+    )
+    parallel_state, parallel_s, parallel_metrics = _train_once(
+        context, config, workers=config.workers
+    )
+    return BenchTrainReport(
+        databases=len(context.mediator),
+        train_queries=min(
+            config.train_queries, len(context.train_queries)
+        ),
+        workers=config.workers,
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        identical_state=(
+            json.dumps(serial_state, sort_keys=True)
+            == json.dumps(parallel_state, sort_keys=True)
+        ),
+        serial_probes=int(
+            serial_metrics["counters"]["probes_issued"]
+        ),
+        parallel_probes=int(
+            parallel_metrics["counters"]["probes_issued"]
+        ),
+        metrics=parallel_metrics,
+    )
+
+
+def format_bench_train(report: BenchTrainReport) -> str:
+    """Human-readable training-benchmark summary (metrics stay JSON)."""
+    lines = [
+        f"databases            : {report.databases}",
+        f"training queries     : {report.train_queries}",
+        f"serial (1 worker)    : {report.serial_s:.2f} s "
+        f"({report.serial_probes} probes)",
+        f"parallel ({report.workers:>2} wkrs)   : "
+        f"{report.parallel_s:.2f} s ({report.parallel_probes} probes)",
+        f"speedup              : {report.speedup:.2f}x",
+        f"identical state      : {report.identical_state}",
         "",
         "metrics:",
         json.dumps(report.metrics, indent=2, sort_keys=True),

@@ -98,9 +98,15 @@ class SelectionCache:
             return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Store *value*, refreshing its TTL and LRU position."""
+        """Store *value*, refreshing its TTL and LRU position.
+
+        Expired entries are swept opportunistically here, so memory and
+        the reported size track *live* entries even for keys that are
+        never looked up again.
+        """
         now = self._clock()
         with self._lock:
+            self._sweep(now)
             if key in self._entries:
                 self._entries.move_to_end(key)
             self._entries[key] = (now, value)
@@ -108,14 +114,28 @@ class SelectionCache:
                 self._entries.popitem(last=False)
                 self._evictions += 1
 
+    def _sweep(self, now: float) -> None:
+        """Drop every expired entry (caller holds the lock)."""
+        if self._ttl is None:
+            return
+        expired = [
+            key
+            for key, (stored_at, _value) in self._entries.items()
+            if now - stored_at >= self._ttl
+        ]
+        for key in expired:
+            del self._entries[key]
+        self._expirations += len(expired)
+
     def clear(self) -> None:
         """Drop every entry (stats are kept)."""
         with self._lock:
             self._entries.clear()
 
     def stats(self) -> CacheStats:
-        """Current counters and size."""
+        """Current counters and *live* size (expired entries swept)."""
         with self._lock:
+            self._sweep(self._clock())
             return CacheStats(
                 hits=self._hits,
                 misses=self._misses,
@@ -126,6 +146,7 @@ class SelectionCache:
 
     def __len__(self) -> int:
         with self._lock:
+            self._sweep(self._clock())
             return len(self._entries)
 
     def __repr__(self) -> str:

@@ -103,6 +103,9 @@ class ProbeExecutor:
             )
             for db in mediator
         ]
+        # Pre-registered so clean and degraded runs export the same
+        # metric key-set.
+        self._metrics.counter("probe_fallbacks")
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="probe"
         )

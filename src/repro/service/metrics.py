@@ -4,8 +4,8 @@ Two kinds of instruments, both safe to update from executor worker
 threads:
 
 * :class:`Counter` — a monotonically increasing integer;
-* :class:`Histogram` — a value series reduced to count / sum / min /
-  max / percentiles on snapshot.
+* :class:`Histogram` — a value series reduced on snapshot to lifetime
+  count / sum / mean plus windowed min / max / percentiles.
 
 Instruments are registered lazily through :class:`MetricsRegistry`,
 which is the only object handed around. A histogram may be marked
@@ -65,8 +65,12 @@ class Histogram:
     """A thread-safe value series summarized on snapshot.
 
     Stores raw observations (bounded by ``max_samples``, keeping the
-    most recent) and reduces to count / sum / min / max / p50 / p90 /
-    p99 when snapshotted.
+    most recent) and reduces to a summary on snapshot. ``count`` /
+    ``sum`` / ``mean`` are lifetime aggregates over every observation
+    ever made; rank statistics (min / max / percentiles) can only be
+    computed over the retained window, so they live in an explicit
+    ``window`` sub-dict together with the number of samples it covers —
+    the two views are never mixed at the same level.
     """
 
     def __init__(
@@ -102,23 +106,32 @@ class Histogram:
         with self._lock:
             return self._count
 
-    def summary(self) -> dict[str, float | int]:
-        """Reduce the series to its summary statistics."""
+    def summary(self) -> dict[str, object]:
+        """Reduce the series to its summary statistics.
+
+        Lifetime aggregates (``count``, ``sum``, ``mean``) sit at the
+        top level; rank statistics over the retained window sit under
+        ``window`` with their own ``samples`` count, so the summary
+        stays internally consistent after ``max_samples`` overflows.
+        """
         with self._lock:
             count, total = self._count, self._sum
             ordered = sorted(self._values)
         if not count:
             return {"count": 0, "sum": 0.0}
-        out: dict[str, float | int] = {
-            "count": count,
-            "sum": round(total, 9),
+        window: dict[str, float | int] = {
+            "samples": len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
-            "mean": round(total / count, 9),
         }
         for pct in _PERCENTILES:
-            out[f"p{pct:g}"] = _percentile(ordered, pct)
-        return out
+            window[f"p{pct:g}"] = _percentile(ordered, pct)
+        return {
+            "count": count,
+            "sum": round(total, 9),
+            "mean": round(total / count, 9),
+            "window": window,
+        }
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"

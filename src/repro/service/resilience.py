@@ -66,8 +66,8 @@ class RetryPolicy:
         Exponential backoff growth factor.
     jitter:
         Relative jitter on each backoff sleep, drawn deterministically
-        from the (database, attempt) pair so retry schedules are
-        reproducible across runs and thread counts. In [0, 1].
+        from the (database, probe key, retry) tuple so retry schedules
+        are reproducible across runs and thread counts. In [0, 1].
     """
 
     timeout_s: float = 0.25
@@ -99,17 +99,22 @@ class RetryPolicy:
                 f"jitter must be in [0, 1], got {self.jitter}"
             )
 
-    def backoff_s(self, database: str, attempt: int, retry: int) -> float:
+    def backoff_s(
+        self, database: str, probe_key: object, retry: int
+    ) -> float:
         """Backoff sleep before retry number *retry* (0-based).
 
-        Jitter is a pure function of ``(database, attempt)`` — no
-        shared RNG stream — so the schedule is identical under any
-        executor width.
+        Jitter is a pure function of ``(database, probe_key, retry)``,
+        where *probe_key* identifies the logical probe by content (the
+        resilient wrapper passes the query text) — not a shared counter
+        whose assignment order could depend on thread interleaving — so
+        the schedule is identical under any executor width, even when
+        one database is probed concurrently.
         """
         base = self.backoff_base_s * self.backoff_multiplier**retry
         if self.jitter == 0 or base == 0:
             return base
-        rng = random.Random(f"backoff:{database}:{attempt}")
+        rng = random.Random(f"backoff:{database}:{probe_key}:{retry}")
         return base * (1.0 + self.jitter * rng.random())
 
 
@@ -163,16 +168,23 @@ class ResilientDatabase:
         self._sleeper = sleeper
         self._attempts = 0
         self._lock = threading.Lock()
-        # Pre-register the headline counters so a clean run reports
-        # explicit zeros ("no timeouts" rather than "no data").
+        # Pre-register every counter this wrapper can ever touch, so a
+        # clean run reports explicit zeros ("no timeouts" rather than
+        # "no data") and clean vs faulty runs export the same metric
+        # key-set (snapshot diffing relies on stable keys).
         for counter in (
             "probes_issued",
             "probe_retries",
             "probe_timeouts",
             "probe_errors",
             "probes_failed",
+            "probe_slow",
+            "probe_blackouts",
         ):
             self._metrics.counter(counter)
+        self._metrics.histogram("probe_latency_wall_ms", deterministic=False)
+        if injector is not None:
+            self._metrics.histogram("probe_latency_sim_ms")
 
     # -- delegated surface -------------------------------------------------
 
@@ -215,6 +227,13 @@ class ResilientDatabase:
     # -- resilient probing -------------------------------------------------
 
     def _next_attempt(self) -> int:
+        # Attempt numbers feed the fault injector's per-database
+        # schedule (blackout windows are attempt intervals). Their
+        # order is well-defined only because every probing path issues
+        # at most one in-flight probe per database (executor rounds and
+        # trainer rounds probe distinct databases and join before the
+        # next round); anything scheduling-sensitive — backoff jitter —
+        # is keyed by probe content instead, never by this counter.
         with self._lock:
             attempt = self._attempts
             self._attempts += 1
@@ -238,12 +257,13 @@ class ResilientDatabase:
         wall = self._metrics.histogram(
             "probe_latency_wall_ms", deterministic=False
         )
+        probe_key = str(query)
         failure: Exception | None = None
         for retry in range(1 + policy.max_retries):
             attempt = self._next_attempt()
             if retry:
                 self._metrics.counter("probe_retries").inc()
-                self._sleeper(self.backoff_s(attempt, retry - 1))
+                self._sleeper(self.backoff_s(probe_key, retry - 1))
             issued.inc()
             started = time.perf_counter()
             try:
@@ -266,9 +286,9 @@ class ResilientDatabase:
             f"{1 + policy.max_retries} attempts"
         ) from failure
 
-    def backoff_s(self, attempt: int, retry: int) -> float:
+    def backoff_s(self, probe_key: object, retry: int) -> float:
         """Deterministic backoff for this database (see policy)."""
-        return self._policy.backoff_s(self.name, attempt, retry)
+        return self._policy.backoff_s(self.name, probe_key, retry)
 
     def _attempt(
         self, query: Query, definition: RelevancyDefinition, attempt: int

@@ -147,6 +147,14 @@ class MetasearchService:
                 max_entries=self._config.cache_entries,
                 clock=clock,
             )
+        # Pre-register every service-level instrument so the exported
+        # key-set is identical across clean, faulty and cache-disabled
+        # runs — snapshot diffing relies on stable keys.
+        for counter in ("queries_served", "cache_hits", "cache_misses"):
+            self._metrics.counter(counter)
+        self._metrics.histogram("query_probes")
+        self._metrics.histogram("query_probes_uncached")
+        self._metrics.histogram("query_latency_wall_ms", deterministic=False)
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -181,7 +189,10 @@ class MetasearchService:
             if cached is not None:
                 self._metrics.counter("cache_hits").inc()
                 wall_ms = (time.perf_counter() - started) * 1000.0
-                self._observe_query(cached.probes, wall_ms, hit=True)
+                # A hit issues no probes: record 0 so `query_probes`
+                # keeps measuring actual probe traffic, not what the
+                # cached answer once cost.
+                self._observe_query(0, wall_ms, hit=True)
                 return replace(cached, cache_hit=True, wall_ms=wall_ms)
             self._metrics.counter("cache_misses").inc()
         session = self._apro.run(

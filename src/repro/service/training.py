@@ -1,0 +1,317 @@
+"""Parallel, fault-tolerant, checkpointed ED training.
+
+The offline phase is the probe-hungry half of the paper: §4 samples
+every database with thousands of training queries (~50 per (database,
+type) slice), and against real remote backends that cost is dominated
+by network latency — the same latency the serving layer already knows
+how to overlap. :class:`ParallelEDTrainer` routes the sequential
+:class:`~repro.core.training.EDTrainer` loop through the serving
+infrastructure:
+
+* each training query's probes fan out over a
+  :class:`~repro.service.executor.ProbeExecutor` worker pool of
+  :class:`~repro.service.resilience.ResilientDatabase`-wrapped backends
+  (timeouts, bounded retries, deterministic backoff);
+* a probe that exhausts its retry budget is *dropped* — the slice
+  simply receives one fewer sample — instead of aborting the run;
+* progress reports into a
+  :class:`~repro.service.metrics.MetricsRegistry`;
+* the partially trained model is checkpointed to versioned JSON every
+  ``checkpoint_every`` queries, and ``train(..., resume=True)``
+  continues from the last checkpoint.
+
+Determinism contract — the same one
+:class:`~repro.service.executor.ProbeExecutor` gives query-time
+probing: observations are applied in mediator order, never completion
+order, and within one query no database's observation can change
+another database's skip decision (see
+:class:`~repro.core.training.PlannedProbe`). The resulting
+:meth:`~repro.core.training.ErrorModel.state_dict` is therefore
+bit-identical to the sequential trainer's for any worker count, and a
+killed-and-resumed run converges to the same state as an uninterrupted
+one (``tests/test_service_training.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from pathlib import Path
+
+from repro.core.errors import DEFAULT_ERROR_EDGES, DEFAULT_ESTIMATE_FLOOR
+from repro.core.query_types import QueryTypeClassifier
+from repro.core.training import EDTrainer, ErrorModel
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.persistence import (
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.service.executor import ProbeExecutor
+from repro.service.faults import FaultInjector
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import RetryPolicy
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = ["ParallelEDTrainer"]
+
+#: Value the executor substitutes for a probe that exhausted its
+#: retries. Real relevancies are finite, so NaN unambiguously marks the
+#: observation as lost; the trainer drops it instead of recording a
+#: fabricated error.
+_DROPPED = float("nan")
+
+
+def _dropped_fallback(name: str, query: Query) -> float:
+    return _DROPPED
+
+
+class ParallelEDTrainer(EDTrainer):
+    """Concurrent, checkpointed drop-in for :class:`EDTrainer`.
+
+    Parameters (beyond :class:`~repro.core.training.EDTrainer`'s)
+    ----------
+    max_workers:
+        Probe thread-pool width; ``1`` reproduces the sequential
+        trainer's wall-clock behaviour.
+    policy:
+        Timeout/retry policy for every database (default
+        :class:`~repro.service.resilience.RetryPolicy`).
+    injector:
+        Optional deterministic fault schedule (tests and benchmarks).
+    metrics:
+        Registry receiving trainer and per-probe instruments (created
+        if omitted).
+    sleeper:
+        Injectable sleep forwarded to the resilient wrappers.
+    checkpoint_path:
+        Where to write periodic training checkpoints; ``None`` disables
+        checkpointing (and ``resume=True`` is then rejected).
+    checkpoint_every:
+        Queries between checkpoints (a final one is always written).
+    on_progress:
+        Optional callback ``(queries_done, model)`` fired after each
+        query round — hosts use it for progress bars, tests use it to
+        inject crashes at a precise point.
+    """
+
+    def __init__(
+        self,
+        mediator: Mediator,
+        summaries: Mapping[str, ContentSummary],
+        estimator: RelevancyEstimator,
+        classifier: QueryTypeClassifier | None = None,
+        definition: RelevancyDefinition = RelevancyDefinition.DOCUMENT_FREQUENCY,
+        samples_per_type: int | None = 50,
+        edges: Sequence[float] = DEFAULT_ERROR_EDGES,
+        estimate_floor: float = DEFAULT_ESTIMATE_FLOOR,
+        min_samples: int = 5,
+        max_workers: int = 8,
+        policy: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        sleeper: Callable[[float], None] | None = None,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 25,
+        on_progress: Callable[[int, ErrorModel], None] | None = None,
+    ) -> None:
+        super().__init__(
+            mediator,
+            summaries,
+            estimator,
+            classifier=classifier,
+            definition=definition,
+            samples_per_type=samples_per_type,
+            edges=edges,
+            estimate_floor=estimate_floor,
+            min_samples=min_samples,
+        )
+        if max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        self._metrics = metrics or MetricsRegistry()
+        self._checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        self._checkpoint_every = checkpoint_every
+        self._on_progress = on_progress
+        self._executor = ProbeExecutor(
+            mediator,
+            definition=definition,
+            max_workers=max_workers,
+            policy=policy,
+            injector=injector,
+            fallback=_dropped_fallback,
+            metrics=self._metrics,
+            sleeper=sleeper,
+        )
+        self.max_workers = max_workers
+        # Pre-registered for a stable key-set (see service metrics).
+        for counter in (
+            "training_queries",
+            "training_observations",
+            "training_probes_dropped",
+            "training_slices_saturated",
+            "training_checkpoints",
+        ):
+            self._metrics.counter(counter)
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The registry all trainer instruments report to."""
+        return self._metrics
+
+    @property
+    def executor(self) -> ProbeExecutor:
+        """The probe executor (resilient wrappers in mediator order)."""
+        return self._executor
+
+    # -- training ----------------------------------------------------------
+
+    def train(
+        self, queries: Iterable[Query], resume: bool = False
+    ) -> ErrorModel:
+        """Probe databases with *queries*, concurrently, and return the model.
+
+        With ``resume=True``, the last checkpoint (if any) is loaded,
+        its configuration fingerprint verified, and the first
+        ``queries_done`` queries of the stream are skipped without
+        probing — the stream must therefore be the same one the
+        interrupted run was given. A missing checkpoint file simply
+        starts from scratch (a run killed before its first checkpoint
+        leaves nothing behind).
+        """
+        if resume and self._checkpoint_path is None:
+            raise ConfigurationError(
+                "resume=True requires a checkpoint_path"
+            )
+        model = self.new_model()
+        start_index = 0
+        if (
+            resume
+            and self._checkpoint_path is not None
+            and self._checkpoint_path.exists()
+        ):
+            checkpoint = load_training_checkpoint(self._checkpoint_path)
+            self._check_fingerprint(checkpoint)
+            model = ErrorModel.from_state_dict(checkpoint.error_model_state)
+            start_index = checkpoint.queries_done
+        saturated = {
+            key
+            for key, count in model.slice_counts().items()
+            if self._samples_per_type is not None
+            and count >= self._samples_per_type
+        }
+        self._metrics.counter("training_slices_saturated").inc(
+            len(saturated)
+        )
+
+        queries_done = start_index
+        for index, query in enumerate(queries):
+            if index < start_index:
+                continue
+            self._train_one(model, query, saturated)
+            queries_done = index + 1
+            self._metrics.counter("training_queries").inc()
+            if (
+                self._checkpoint_path is not None
+                and queries_done % self._checkpoint_every == 0
+            ):
+                self._write_checkpoint(model, queries_done)
+            if self._on_progress is not None:
+                self._on_progress(queries_done, model)
+        if (
+            self._checkpoint_path is not None
+            and queries_done % self._checkpoint_every != 0
+        ):
+            self._write_checkpoint(model, queries_done)
+        return model
+
+    def _train_one(
+        self, model: ErrorModel, query: Query, saturated: set
+    ) -> None:
+        """Plan, fan out, and apply one query round in mediator order."""
+        plan = self.plan_query(model, query)
+        if not plan:
+            return
+        values = self._executor.probe_batch(
+            query, [planned.index for planned in plan]
+        )
+        observations = self._metrics.counter("training_observations")
+        dropped = self._metrics.counter("training_probes_dropped")
+        saturations = self._metrics.counter("training_slices_saturated")
+        for planned, actual in zip(plan, values):
+            if math.isnan(actual):
+                dropped.inc()
+                continue
+            self.apply_observation(model, planned, actual)
+            observations.inc()
+            key = (planned.database_name, planned.query_type)
+            if (
+                self._samples_per_type is not None
+                and key not in saturated
+                and model.sample_count(planned.database_name, planned.query_type)
+                >= self._samples_per_type
+            ):
+                saturated.add(key)
+                saturations.inc()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def _fingerprint(self) -> dict:
+        return {
+            "databases": [db.name for db in self._mediator],
+            "definition": self._definition.value,
+            "samples_per_type": self._samples_per_type,
+            "edges": [float(edge) for edge in self._edges],
+            "estimate_floor": float(self._estimate_floor),
+            "min_samples": self._min_samples,
+        }
+
+    def _check_fingerprint(self, checkpoint: TrainingCheckpoint) -> None:
+        expected = self._fingerprint()
+        if checkpoint.fingerprint != expected:
+            raise TrainingError(
+                "checkpoint was written under a different trainer "
+                f"configuration: {checkpoint.fingerprint} != {expected}"
+            )
+
+    def _write_checkpoint(self, model: ErrorModel, queries_done: int) -> None:
+        assert self._checkpoint_path is not None
+        save_training_checkpoint(
+            TrainingCheckpoint(
+                queries_done=queries_done,
+                error_model_state=model.state_dict(),
+                fingerprint=self._fingerprint(),
+            ),
+            self._checkpoint_path,
+        )
+        self._metrics.counter("training_checkpoints").inc()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Release the probe worker threads."""
+        self._executor.shutdown()
+
+    def __enter__(self) -> "ParallelEDTrainer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ParallelEDTrainer(databases={len(self._mediator)}, "
+            f"workers={self.max_workers}, "
+            f"checkpoint={self._checkpoint_path is not None})"
+        )

@@ -65,6 +65,46 @@ class TestCommands:
         state = load_trained_state(target)
         assert len(state.summaries) == 20
 
+    def test_train_parser_flags(self):
+        args = build_parser().parse_args(["train", "out.json"])
+        assert args.workers == 1
+        assert args.checkpoint is None
+        assert not args.resume
+        assert args.checkpoint_every == 25
+        args = build_parser().parse_args(
+            [
+                "train", "out.json",
+                "--workers", "4",
+                "--checkpoint", "ck.json",
+                "--resume",
+                "--checkpoint-every", "10",
+            ]
+        )
+        assert args.workers == 4
+        assert args.checkpoint == "ck.json"
+        assert args.resume
+        assert args.checkpoint_every == 10
+
+    def test_train_parallel_with_checkpoint(self, tmp_path, capsys):
+        target = tmp_path / "state.json"
+        checkpoint = tmp_path / "checkpoint.json"
+        code = main(
+            SMALL
+            + [
+                "train", str(target),
+                "--workers", "2",
+                "--checkpoint", str(checkpoint),
+                "--checkpoint-every", "20",
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        from repro.persistence import load_training_checkpoint
+
+        # The final checkpoint covers the whole training stream.
+        assert load_training_checkpoint(checkpoint).queries_done == 60
+        assert "parallel, 2 workers" in capsys.readouterr().out
+
 
 class TestServeCommands:
     def test_serve_parser_defaults(self):
@@ -127,6 +167,37 @@ class TestServeCommands:
         queries = tmp_path / "queries.txt"
         queries.write_text("\n")
         assert main(SMALL + ["serve", str(queries)]) == 1
+
+    def test_bench_train_parser_defaults(self):
+        args = build_parser().parse_args(["bench-train"])
+        assert args.command == "bench-train"
+        assert args.workers == 8
+        assert args.queries == 40
+        assert args.samples_per_type == 20
+        assert args.latency_ms == 20.0
+
+    def test_bench_train_runs(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = main(
+            SMALL
+            + [
+                "bench-train",
+                "--queries", "6",
+                "--workers", "4",
+                "--samples-per-type", "2",
+                "--latency-ms", "1",
+                "--timeout-ms", "60",
+                "--metrics-out", str(metrics_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "identical state      : True" in out
+        assert "speedup" in out
+        import json
+
+        snapshot = json.loads(metrics_path.read_text())
+        assert "training_queries" in snapshot["counters"]
 
     def test_bench_serve_runs(self, tmp_path, capsys):
         metrics_path = tmp_path / "metrics.json"

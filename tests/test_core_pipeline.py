@@ -18,7 +18,6 @@ from repro.core.topk import CorrectnessMetric
 from repro.core.training import EDTrainer, ErrorModel
 from repro.exceptions import SelectionError, TrainingError
 from repro.hiddenweb.database import RelevancyDefinition
-from repro.stats.distribution import DiscreteDistribution
 from repro.summaries.estimators import TermIndependenceEstimator
 from repro.types import Query
 

@@ -1,7 +1,5 @@
 """Unit tests for the search-engine substrate."""
 
-import math
-
 import pytest
 
 from repro.engine.index import InvertedIndex

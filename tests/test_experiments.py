@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.topk import CorrectnessMetric
 from repro.corpus.newsgroups import build_newsgroup_testbed
 from repro.exceptions import ConfigurationError
 from repro.experiments.ablations import (

@@ -11,9 +11,13 @@ from repro.core.training import ErrorModel
 from repro.exceptions import ConfigurationError
 from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
 from repro.persistence import (
+    CHECKPOINT_FORMAT_VERSION,
     TrainedState,
+    TrainingCheckpoint,
     load_trained_state,
+    load_training_checkpoint,
     save_trained_state,
+    save_training_checkpoint,
 )
 from repro.summaries.summary import ContentSummary
 
@@ -78,6 +82,55 @@ class TestSummaryDict:
         summary = ContentSummary("db", 10, {"a": 1})
         restored = ContentSummary.from_dict(summary.to_dict())
         assert restored.is_exact
+
+
+class TestTrainingCheckpoint:
+    def _checkpoint(self):
+        model = ErrorModel(min_samples=2)
+        for _ in range(4):
+            model.observe("db-a", QueryType(2, 0), -0.5)
+        return TrainingCheckpoint(
+            queries_done=12,
+            error_model_state=model.state_dict(),
+            fingerprint={"databases": ["db-a"], "samples_per_type": 8},
+        )
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        checkpoint = self._checkpoint()
+        save_training_checkpoint(checkpoint, path)
+        loaded = load_training_checkpoint(path)
+        assert loaded.queries_done == 12
+        assert loaded.fingerprint == checkpoint.fingerprint
+        restored = ErrorModel.from_state_dict(loaded.error_model_state)
+        assert restored.slice_counts() == {("db-a", QueryType(2, 0)): 4}
+
+    def test_write_is_atomic(self, tmp_path):
+        path = tmp_path / "checkpoint.json"
+        save_training_checkpoint(self._checkpoint(), path)
+        # The scratch file was moved into place, not left behind.
+        assert [p.name for p in tmp_path.iterdir()] == ["checkpoint.json"]
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"checkpoint_format_version": 999}))
+        with pytest.raises(ConfigurationError):
+            load_training_checkpoint(path)
+
+    def test_corrupt_cursor_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "checkpoint_format_version": CHECKPOINT_FORMAT_VERSION,
+                    "queries_done": -3,
+                    "fingerprint": {},
+                    "error_model": {},
+                }
+            )
+        )
+        with pytest.raises(ConfigurationError):
+            load_training_checkpoint(path)
 
 
 class TestMetasearcherSaveLoad:

@@ -5,7 +5,6 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.querylog.generator import QueryTraceGenerator, TraceConfig
 from repro.querylog.vocabulary import domain_vocabulary, is_domain_query
-from repro.text.analyzer import Analyzer
 from repro.types import Query
 
 

@@ -102,6 +102,42 @@ class TestLRU:
         assert cache.get("b") is None
 
 
+class TestExpirySweep:
+    def test_put_sweeps_expired_entries(self):
+        # Regression: expired entries used to linger until individually
+        # looked up, counting toward LRU capacity — here inserting "c"
+        # would have evicted a *dead* entry as "LRU" instead of
+        # expiring both dead entries.
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=10.0, max_entries=2, clock=clock)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        clock.advance(11.0)
+        cache.put("c", 3)
+        stats = cache.stats()
+        assert stats.size == 1
+        assert stats.expirations == 2
+        assert stats.evictions == 0
+        assert cache.get("c") == 3
+
+    def test_len_and_stats_report_live_entries(self):
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=10.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(11.0)
+        assert len(cache) == 0
+        assert cache.stats().expirations == 1
+
+    def test_no_ttl_skips_sweep(self):
+        clock = FakeClock()
+        cache = SelectionCache(ttl_s=None, clock=clock)
+        cache.put("a", 1)
+        clock.advance(1e9)
+        cache.put("b", 2)
+        assert len(cache) == 2
+        assert cache.stats().expirations == 0
+
+
 class TestValidation:
     def test_invalid_ttl(self):
         with pytest.raises(ConfigurationError):

@@ -47,11 +47,13 @@ class TestHistogram:
         summary = histogram.summary()
         assert summary["count"] == 4
         assert summary["sum"] == 10.0
-        assert summary["min"] == 1.0
-        assert summary["max"] == 4.0
         assert summary["mean"] == 2.5
-        assert summary["p50"] == 2.0
-        assert summary["p99"] == 4.0
+        window = summary["window"]
+        assert window["samples"] == 4
+        assert window["min"] == 1.0
+        assert window["max"] == 4.0
+        assert window["p50"] == 2.0
+        assert window["p99"] == 4.0
 
     def test_summary_is_order_independent(self):
         forward, backward = Histogram("a"), Histogram("b")
@@ -68,7 +70,38 @@ class TestHistogram:
             histogram.observe(value)
         summary = histogram.summary()
         assert summary["count"] == 4  # total count survives the bound
-        assert summary["max"] == 3.0  # oldest sample dropped
+        assert summary["window"]["max"] == 3.0  # oldest sample dropped
+
+    def test_overflow_summary_is_coherent(self):
+        """Regression: after max_samples overflow, lifetime and windowed
+        statistics must not be mixed at the same level.
+
+        The old shape reported the all-time count/sum/mean next to a
+        min/max/percentile computed over only the retained window —
+        e.g. ``count=5`` with a ``max`` below an observed value — with
+        nothing marking which numbers covered which population.
+        """
+        histogram = Histogram("lat", max_samples=3)
+        for value in [100.0, 1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(value)
+        summary = histogram.summary()
+        # Lifetime aggregates cover all five observations...
+        assert summary["count"] == 5
+        assert summary["sum"] == 110.0
+        assert summary["mean"] == 22.0
+        # ...and carry no window statistics at the top level.
+        for key in ("min", "max", "p50", "p90", "p99"):
+            assert key not in summary
+        # Rank statistics are explicit about their window.
+        window = summary["window"]
+        assert window == {
+            "samples": 3,
+            "min": 2.0,
+            "max": 4.0,
+            "p50": 3.0,
+            "p90": 4.0,
+            "p99": 4.0,
+        }
 
     def test_invalid_max_samples(self):
         with pytest.raises(ConfigurationError):

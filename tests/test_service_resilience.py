@@ -228,6 +228,100 @@ class TestPolicyValidation:
             RetryPolicy(**kwargs)
 
 
+class TestStableKeySet:
+    def test_clean_and_faulty_runs_export_same_counters(self, inner, query):
+        # Regression: probe_slow and probe_blackouts used to appear
+        # only once first incremented, so clean and degraded snapshots
+        # had different key-sets and could not be diffed.
+        clean_metrics = MetricsRegistry()
+        wrap(inner, metrics=clean_metrics).probe_relevancy(query)
+
+        faulty_metrics = MetricsRegistry()
+        injector = FaultInjector(seed=1, blackouts={inner.name: (0, 1)})
+        wrap(
+            inner,
+            injector=injector,
+            metrics=faulty_metrics,
+            policy=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        ).probe_relevancy(query)
+
+        clean = clean_metrics.snapshot()
+        faulty = faulty_metrics.snapshot()
+        assert set(clean["counters"]) == set(faulty["counters"])
+        assert clean["counters"]["probe_blackouts"] == 0
+        assert clean["counters"]["probe_slow"] == 0
+        # The injected run additionally owns the simulated-latency
+        # histogram — registered at construction, not first use.
+        assert set(faulty["histograms"]) - set(clean["histograms"]) == {
+            "probe_latency_sim_ms"
+        }
+
+    def test_counters_exist_before_any_probe(self, inner):
+        metrics = MetricsRegistry()
+        wrap(inner, metrics=metrics)
+        counters = metrics.snapshot()["counters"]
+        for name in (
+            "probes_issued",
+            "probe_retries",
+            "probe_timeouts",
+            "probe_errors",
+            "probes_failed",
+            "probe_slow",
+            "probe_blackouts",
+        ):
+            assert counters[name] == 0
+
+
+class TestSchedulingIndependentBackoff:
+    def test_backoff_schedule_independent_of_probe_order(
+        self, inner, analyzer
+    ):
+        # Regression: backoff jitter used to be keyed on the wrapper's
+        # shared attempt counter, so the sleeps a given query saw
+        # depended on how many probes happened to run before it — a
+        # scheduling artifact. Jitter is now a pure function of
+        # (database, query, retry): reordering the probes must not
+        # change any query's backoff schedule.
+        query_a = analyzer.query("cancer treatment")
+        query_b = analyzer.query("heart disease")
+
+        def backoff_schedules(order):
+            sleeper = RecordingSleeper()
+            injector = FaultInjector(
+                seed=1, blackouts={inner.name: (0, 99)}
+            )
+            resilient = wrap(
+                inner,
+                injector=injector,
+                sleeper=sleeper,
+                policy=RetryPolicy(
+                    max_retries=2, backoff_base_s=0.01, jitter=1.0
+                ),
+            )
+            schedules = {}
+            for probe_query in order:
+                start = len(sleeper.sleeps)
+                with pytest.raises(ProbeFailedError):
+                    resilient.probe_relevancy(probe_query)
+                schedules[str(probe_query)] = sleeper.sleeps[start:]
+            return schedules
+
+        first = backoff_schedules([query_a, query_b])
+        second = backoff_schedules([query_b, query_a])
+        assert first == second
+        # Jitter actually fired: sleeps sit strictly above the
+        # jitter-free schedule (0.01 then 0.02).
+        assert first[str(query_a)] != [0.01, 0.02]
+
+    def test_jitter_differs_across_queries(self, inner):
+        # Content keying still decorrelates retry storms: two different
+        # queries against the same database draw different jitter.
+        policy = RetryPolicy(backoff_base_s=0.01, jitter=1.0)
+        first = policy.backoff_s(inner.name, "query one", 0)
+        second = policy.backoff_s(inner.name, "query two", 0)
+        assert first != second
+
+
 class TestPostHocTimeout:
     def test_slow_local_probe_is_flagged_not_lost(self, inner, query):
         metrics = MetricsRegistry()

@@ -102,6 +102,77 @@ class TestCacheIntegration:
         assert "queries_served" in snapshot["counters"]
 
 
+class TestMetricKeySet:
+    def test_instruments_preregistered(self, trained_metasearcher):
+        # Regression: cache_hits / cache_misses / probe_fallbacks used
+        # to appear only once first incremented, so snapshots of clean
+        # and degraded runs had different key-sets.
+        with make_service(trained_metasearcher) as service:
+            snapshot = service.snapshot()
+        counters = snapshot["counters"]
+        for name in (
+            "queries_served",
+            "cache_hits",
+            "cache_misses",
+            "probe_fallbacks",
+            "probes_issued",
+            "probe_retries",
+            "probe_timeouts",
+            "probe_errors",
+            "probes_failed",
+            "probe_slow",
+            "probe_blackouts",
+        ):
+            assert counters[name] == 0
+        for name in (
+            "query_probes",
+            "query_probes_uncached",
+            "query_latency_wall_ms",
+            "probe_latency_wall_ms",
+        ):
+            assert name in snapshot["histograms"]
+
+    def test_key_set_stable_across_clean_and_faulty_runs(
+        self, trained_metasearcher, health_queries
+    ):
+        with make_service(trained_metasearcher) as service:
+            service.serve(health_queries[58], k=1, certainty=0.9)
+            clean = service.metrics.snapshot()
+        name = trained_metasearcher.mediator[0].name
+        injector = FaultInjector(seed=3, blackouts={name: (0, 10_000)})
+        with make_service(
+            trained_metasearcher, injector=injector
+        ) as service:
+            service.serve(health_queries[58], k=1, certainty=0.9)
+            faulty = service.metrics.snapshot()
+        assert set(clean["counters"]) == set(faulty["counters"])
+
+
+class TestCacheHitProbeAccounting:
+    def test_cache_hit_records_zero_probes(
+        self, trained_metasearcher, health_queries
+    ):
+        # Regression: a cache hit used to re-record the cached answer's
+        # probe count into `query_probes`, double-counting probes that
+        # were never issued and hiding exactly the traffic the cache
+        # saves.
+        query = health_queries[56]
+        with make_service(trained_metasearcher) as service:
+            first = service.serve(query, k=2, certainty=1.0)
+            second = service.serve(query, k=2, certainty=1.0)
+            histograms = service.metrics.snapshot()["histograms"]
+        assert first.probes > 0
+        assert second.cache_hit
+        probes = histograms["query_probes"]
+        assert probes["count"] == 2
+        assert probes["sum"] == first.probes  # the hit added zero
+        assert probes["window"]["min"] == 0.0
+        # The uncached view keeps measuring what selections cost.
+        uncached = histograms["query_probes_uncached"]
+        assert uncached["count"] == 1
+        assert uncached["sum"] == first.probes
+
+
 class TestDegradation:
     def test_blacked_out_database_degrades_not_fails(
         self, trained_metasearcher

@@ -1,0 +1,380 @@
+"""Tests for ParallelEDTrainer: parallel, checkpointed ED training.
+
+The contract under test is the one the serving layer already holds for
+query-time probing, extended to the offline phase: thread scheduling is
+invisible. The trained :meth:`ErrorModel.state_dict` must be
+bit-identical to the sequential :class:`EDTrainer`'s for any worker
+count, under injected latency and recoverable faults, and a killed
+training run resumed from its last checkpoint must converge to the
+state of an uninterrupted one.
+"""
+
+import json
+
+import pytest
+
+from repro.core.training import EDTrainer
+from repro.exceptions import ConfigurationError, TrainingError
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.persistence import load_training_checkpoint
+from repro.service.faults import FaultInjector
+from repro.service.metrics import MetricsRegistry
+from repro.service.resilience import RetryPolicy
+from repro.service.training import ParallelEDTrainer
+from repro.summaries.builder import ExactSummaryBuilder
+from repro.summaries.estimators import TermIndependenceEstimator
+
+WORKER_COUNTS = (1, 4, 16)
+
+
+class RecordingSleeper:
+    """Capture requested sleeps instead of sleeping (thread-safe enough:
+    list.append is atomic under the GIL)."""
+
+    def __init__(self):
+        self.sleeps = []
+
+    def __call__(self, seconds):
+        self.sleeps.append(seconds)
+
+
+@pytest.fixture(scope="module")
+def summaries(tiny_mediator):
+    builder = ExactSummaryBuilder()
+    return {db.name: builder.build(db) for db in tiny_mediator}
+
+
+@pytest.fixture(scope="module")
+def train_queries(health_queries):
+    return health_queries[:40]
+
+
+def state_json(model):
+    return json.dumps(model.state_dict(), sort_keys=True)
+
+
+def sequential_state(tiny_mediator, summaries, queries, samples_per_type=8):
+    trainer = EDTrainer(
+        tiny_mediator,
+        summaries,
+        TermIndependenceEstimator(),
+        samples_per_type=samples_per_type,
+    )
+    return state_json(trainer.train(queries))
+
+
+def make_trainer(tiny_mediator, summaries, **kwargs):
+    kwargs.setdefault("samples_per_type", 8)
+    kwargs.setdefault("sleeper", lambda s: None)
+    return ParallelEDTrainer(
+        tiny_mediator, summaries, TermIndependenceEstimator(), **kwargs
+    )
+
+
+class TestBitIdentical:
+    def test_matches_sequential_for_any_worker_count(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        expected = sequential_state(tiny_mediator, summaries, train_queries)
+        for workers in WORKER_COUNTS:
+            with make_trainer(
+                tiny_mediator, summaries, max_workers=workers
+            ) as trainer:
+                model = trainer.train(train_queries)
+            assert state_json(model) == expected, f"{workers} workers"
+
+    def test_identical_under_recoverable_faults(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        # Latency on every probe plus a blackout window on one database
+        # force retries and backoff sleeps; values are unaffected, so
+        # every worker count must still converge to the sequential
+        # model, with identical deterministic metrics and an identical
+        # multiset of requested sleeps.
+        expected = sequential_state(tiny_mediator, summaries, train_queries)
+        blacked_out = tiny_mediator[0].name
+        runs = []
+        for workers in WORKER_COUNTS:
+            sleeper = RecordingSleeper()
+            injector = FaultInjector(
+                seed=5,
+                mean_latency_s=0.001,
+                blackouts={blacked_out: (0, 2)},
+            )
+            with make_trainer(
+                tiny_mediator,
+                summaries,
+                max_workers=workers,
+                injector=injector,
+                policy=RetryPolicy(
+                    timeout_s=0.05,
+                    max_retries=2,
+                    backoff_base_s=0.001,
+                    jitter=0.5,
+                ),
+                sleeper=sleeper,
+            ) as trainer:
+                model = trainer.train(train_queries)
+                snapshot = trainer.metrics.deterministic_snapshot()
+            runs.append((state_json(model), snapshot, sorted(sleeper.sleeps)))
+        for state, snapshot, sleeps in runs:
+            assert state == expected
+            assert snapshot == runs[0][1]
+            assert sleeps == runs[0][2]
+        assert runs[0][1]["counters"]["probe_retries"] > 0
+
+    def test_repeated_run_is_reproducible(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        states = []
+        for _ in range(2):
+            with make_trainer(
+                tiny_mediator, summaries, max_workers=4
+            ) as trainer:
+                states.append(state_json(trainer.train(train_queries)))
+        assert states[0] == states[1]
+
+
+class TestEarlyStop:
+    def test_budget_respected_per_slice(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        with make_trainer(
+            tiny_mediator, summaries, samples_per_type=5, max_workers=8
+        ) as trainer:
+            model = trainer.train(train_queries)
+        counts = model.slice_counts()
+        assert counts
+        assert all(count <= 5 for count in counts.values())
+
+    def test_observations_counter_matches_model(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        with make_trainer(
+            tiny_mediator, summaries, max_workers=8
+        ) as trainer:
+            model = trainer.train(train_queries)
+            counters = trainer.metrics.snapshot()["counters"]
+        assert counters["training_observations"] == sum(
+            model.slice_counts().values()
+        )
+        assert counters["training_queries"] == len(train_queries)
+        assert counters["training_probes_dropped"] == 0
+
+
+class TestDroppedProbes:
+    def test_permanent_blackout_drops_observations(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        # A database that never answers cannot contribute fabricated
+        # samples: its observations are dropped, the rest of the model
+        # still trains, and the loss is visible in the metrics.
+        dead = tiny_mediator[0].name
+        injector = FaultInjector(seed=5, blackouts={dead: (0, 10**6)})
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            max_workers=4,
+            injector=injector,
+            policy=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+        ) as trainer:
+            model = trainer.train(train_queries[:10])
+            counters = trainer.metrics.snapshot()["counters"]
+        assert all(name != dead for name, _qt in model.slice_counts())
+        assert any(name != dead for name, _qt in model.slice_counts())
+        assert counters["training_probes_dropped"] > 0
+        assert counters["probe_fallbacks"] == counters[
+            "training_probes_dropped"
+        ]
+
+
+class TestCheckpointResume:
+    def test_crash_and_resume_converges(
+        self, tiny_mediator, summaries, train_queries, tmp_path
+    ):
+        path = tmp_path / "checkpoint.json"
+        with make_trainer(
+            tiny_mediator, summaries, max_workers=4
+        ) as trainer:
+            expected = state_json(trainer.train(train_queries))
+
+        class Crash(RuntimeError):
+            pass
+
+        def crash_at_12(queries_done, _model):
+            if queries_done == 12:
+                raise Crash
+
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            max_workers=4,
+            checkpoint_path=path,
+            checkpoint_every=5,
+            on_progress=crash_at_12,
+        ) as trainer:
+            with pytest.raises(Crash):
+                trainer.train(train_queries)
+        # The checkpoint is written before on_progress fires, so the
+        # last one covers query 10, not 12.
+        assert load_training_checkpoint(path).queries_done == 10
+
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            max_workers=4,
+            checkpoint_path=path,
+            checkpoint_every=5,
+        ) as trainer:
+            model = trainer.train(train_queries, resume=True)
+        assert state_json(model) == expected
+        # The final checkpoint covers the whole stream.
+        assert load_training_checkpoint(path).queries_done == len(
+            train_queries
+        )
+
+    def test_resume_with_missing_file_starts_fresh(
+        self, tiny_mediator, summaries, train_queries, tmp_path
+    ):
+        expected = sequential_state(
+            tiny_mediator, summaries, train_queries[:10]
+        )
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            max_workers=4,
+            checkpoint_path=tmp_path / "never-written.json",
+        ) as trainer:
+            model = trainer.train(train_queries[:10], resume=True)
+        assert state_json(model) == expected
+
+    def test_resume_without_checkpoint_path_rejected(
+        self, tiny_mediator, summaries, train_queries
+    ):
+        with make_trainer(tiny_mediator, summaries) as trainer:
+            with pytest.raises(ConfigurationError):
+                trainer.train(train_queries, resume=True)
+
+    def test_fingerprint_mismatch_rejected(
+        self, tiny_mediator, summaries, train_queries, tmp_path
+    ):
+        path = tmp_path / "checkpoint.json"
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            samples_per_type=8,
+            checkpoint_path=path,
+        ) as trainer:
+            trainer.train(train_queries[:5])
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            samples_per_type=9,  # different configuration
+            checkpoint_path=path,
+        ) as trainer:
+            with pytest.raises(TrainingError):
+                trainer.train(train_queries, resume=True)
+
+
+class TestMetrics:
+    def test_instruments_preregistered(self, tiny_mediator, summaries):
+        # Before any training: every counter the trainer can ever touch
+        # exists at zero, so clean and degraded runs export the same
+        # key-set.
+        metrics = MetricsRegistry()
+        with make_trainer(
+            tiny_mediator, summaries, metrics=metrics
+        ) as trainer:
+            counters = trainer.metrics.snapshot()["counters"]
+        for name in (
+            "training_queries",
+            "training_observations",
+            "training_probes_dropped",
+            "training_slices_saturated",
+            "training_checkpoints",
+            "probes_issued",
+            "probe_retries",
+            "probe_timeouts",
+            "probe_errors",
+            "probes_failed",
+            "probe_slow",
+            "probe_blackouts",
+            "probe_fallbacks",
+        ):
+            assert counters[name] == 0
+
+    def test_checkpoints_counted(
+        self, tiny_mediator, summaries, train_queries, tmp_path
+    ):
+        with make_trainer(
+            tiny_mediator,
+            summaries,
+            checkpoint_path=tmp_path / "ck.json",
+            checkpoint_every=4,
+        ) as trainer:
+            trainer.train(train_queries[:10])
+            counters = trainer.metrics.snapshot()["counters"]
+        # Two periodic (after 4 and 8) plus the final one (10).
+        assert counters["training_checkpoints"] == 3
+
+
+class TestValidation:
+    def test_invalid_workers(self, tiny_mediator, summaries):
+        with pytest.raises(ConfigurationError):
+            make_trainer(tiny_mediator, summaries, max_workers=0)
+
+    def test_invalid_checkpoint_every(self, tiny_mediator, summaries):
+        with pytest.raises(ConfigurationError):
+            make_trainer(tiny_mediator, summaries, checkpoint_every=0)
+
+
+class TestMetasearcherWiring:
+    def test_parallel_training_matches_sequential(
+        self, tiny_mediator, health_queries, analyzer
+    ):
+        sequential = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=10),
+            analyzer=analyzer,
+        )
+        sequential.train(health_queries[:30])
+        parallel = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(samples_per_type=10, train_workers=4),
+            analyzer=analyzer,
+        )
+        parallel.train(health_queries[:30])
+        assert state_json(parallel.error_model) == state_json(
+            sequential.error_model
+        )
+        assert sequential.train_metrics is None
+        assert parallel.train_metrics is not None
+        counters = parallel.train_metrics.snapshot()["counters"]
+        assert counters["training_queries"] == 30
+
+    def test_checkpoint_through_metasearcher(
+        self, tiny_mediator, health_queries, analyzer, tmp_path
+    ):
+        path = tmp_path / "ck.json"
+        searcher = Metasearcher(
+            tiny_mediator,
+            MetasearcherConfig(
+                samples_per_type=10, train_checkpoint_every=10
+            ),
+            analyzer=analyzer,
+        )
+        searcher.train(health_queries[:20], checkpoint_path=path)
+        assert load_training_checkpoint(path).queries_done == 20
+
+    def test_sequential_resume_rejected(
+        self, tiny_mediator, health_queries, analyzer
+    ):
+        searcher = Metasearcher(tiny_mediator, analyzer=analyzer)
+        with pytest.raises(ConfigurationError):
+            searcher.train(health_queries[:5], resume=True)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            MetasearcherConfig(train_workers=0)
+        with pytest.raises(ConfigurationError):
+            MetasearcherConfig(train_checkpoint_every=0)
