@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.core.policies import GreedyUsefulnessPolicy
 from repro.core.probing import APro
 from repro.core.topk import CorrectnessMetric, TopKComputer
 
@@ -62,3 +63,26 @@ def test_apro_run_k1_t80(benchmark, paper_context, paper_pipeline):
         return apro.run(query, k=1, threshold=0.8)
 
     benchmark(run)
+
+
+@pytest.mark.parametrize("batched", [True, False], ids=["batched", "legacy"])
+def test_usefulness_sweep_k1(
+    benchmark, paper_pipeline, sample_query, batched
+):
+    """One greedy policy round: usefulness of every candidate database.
+
+    A fresh computer per call, as APro pays after each observation; the
+    legacy variant is the per-atom ``best_set`` path kept behind
+    ``GreedyUsefulnessPolicy(batched=False)``.
+    """
+    rds = paper_pipeline.rd_selector.build_rds(sample_query)
+    policy = GreedyUsefulnessPolicy(batched=batched)
+
+    def sweep():
+        computer = TopKComputer(rds, 1)
+        for database in range(len(rds)):
+            policy.usefulness(
+                computer, database, CorrectnessMetric.ABSOLUTE
+            )
+
+    benchmark(sweep)

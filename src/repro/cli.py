@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-metasearch``.
 
-Six commands:
+Seven commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
@@ -14,7 +14,10 @@ Six commands:
 * ``bench-serve`` — benchmark the serving layer: serial vs concurrent
   executor over a fault-injected testbed (see ``docs/SERVING.md``);
 * ``bench-train`` — benchmark the offline phase: serial vs parallel ED
-  training under injected probe latency (see ``docs/TRAINING.md``).
+  training under injected probe latency (see ``docs/TRAINING.md``);
+* ``bench-core``  — time the per-query hot path (RD build, ``best_set``,
+  ``marginals``, usefulness sweep, APro run) baseline vs optimized and
+  write ``BENCH_core.json`` (see ``docs/PERFORMANCE.md``).
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -268,6 +271,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the metrics snapshot JSON to this path",
     )
+
+    bench_core = subparsers.add_parser(
+        "bench-core",
+        help="benchmark the per-query hot path (baseline vs optimized)",
+    )
+    bench_core.add_argument(
+        "--repeats",
+        type=int,
+        default=20,
+        help="timing repetitions per scenario",
+    )
+    bench_core.add_argument("--k", type=int, default=1)
+    bench_core.add_argument(
+        "--certainty",
+        type=float,
+        default=0.8,
+        help="required expected correctness for the APro scenarios",
+    )
+    bench_core.add_argument(
+        "--apro-queries",
+        type=int,
+        default=10,
+        help="queries used for the incremental-vs-rebuild agreement check",
+    )
+    bench_core.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="path of the report JSON (default BENCH_core.json)",
+    )
+    bench_core.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless the report passes schema validation and "
+            "the incremental path matches the rebuild path (CI smoke mode)"
+        ),
+    )
     return parser
 
 
@@ -501,6 +541,50 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_core(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench_core import (
+        BenchCoreConfig,
+        format_bench_core,
+        run_bench_core,
+        validate_bench_core,
+    )
+
+    print(
+        f"Benchmarking core hot path (scale={args.scale}, "
+        f"k={args.k}, t={args.certainty}, {args.repeats} repeats)...",
+        flush=True,
+    )
+    report = run_bench_core(
+        BenchCoreConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            repeats=args.repeats,
+            k=args.k,
+            threshold=args.certainty,
+            apro_queries=args.apro_queries,
+        )
+    )
+    print(format_bench_core(report))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Report written to {args.out}")
+    if args.check:
+        validate_bench_core(report)
+        if not report["agreement"]["incremental_matches_rebuild"]:
+            print(
+                "error: incremental path disagrees with rebuild path",
+                file=sys.stderr,
+            )
+            return 3
+        print("check passed: schema valid, incremental == rebuild")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -511,6 +595,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "serve": _cmd_serve,
         "bench-serve": _cmd_bench_serve,
         "bench-train": _cmd_bench_train,
+        "bench-core": _cmd_bench_core,
     }
     try:
         return handlers[args.command](args)

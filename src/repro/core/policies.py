@@ -60,7 +60,20 @@ class GreedyUsefulnessPolicy:
     least the current best expected correctness, with equality for
     already-certain databases — so greedy never prefers a probe that
     cannot help over one that can.
+
+    By default the per-atom conditional scores come from
+    :meth:`TopKComputer.conditional_best_scores`, which evaluates every
+    atom of the candidate in one vectorized leave-one-out pass.
+    ``batched=False`` keeps the original one-``best_set``-per-atom
+    sweep; the two paths agree to floating-point tolerance and the
+    legacy path remains the reference for the agreement tests and the
+    ``bench-core`` baseline.
     """
+
+    _NEGLIGIBLE = 1e-9
+
+    def __init__(self, batched: bool = True) -> None:
+        self._batched = batched
 
     def usefulness(
         self,
@@ -69,17 +82,30 @@ class GreedyUsefulnessPolicy:
         metric: CorrectnessMetric,
     ) -> float:
         """Expected post-probe maximal correctness for one database."""
+        atoms = computer.atoms_of(database)
+        if self._batched:
+            scores = computer.conditional_best_scores(
+                database, metric, min_prob=self._NEGLIGIBLE
+            )
+            total = 0.0
+            for (_t, _value, prob), score in zip(atoms, scores):
+                # Negligible-mass atoms contribute at most their
+                # probability.
+                if prob < self._NEGLIGIBLE:
+                    total += prob
+                else:
+                    total += prob * float(score)
+            return total
         total = 0.0
         skipped = 0.0
-        for atom_index, _value, prob in computer.atoms_of(database):
-            if prob < 1e-9:
+        for atom_index, _value, prob in atoms:
+            if prob < self._NEGLIGIBLE:
                 skipped += prob
                 continue
             _best, score = computer.best_set(
                 metric, override=(database, atom_index)
             )
             total += prob * score
-        # Negligible-mass atoms contribute at most their probability.
         return total + skipped
 
     def choose(
@@ -100,7 +126,9 @@ class GreedyUsefulnessPolicy:
         return best_db
 
     def __repr__(self) -> str:
-        return "GreedyUsefulnessPolicy()"
+        if self._batched:
+            return "GreedyUsefulnessPolicy()"
+        return "GreedyUsefulnessPolicy(batched=False)"
 
 
 class CostAwareGreedyPolicy(GreedyUsefulnessPolicy):
@@ -118,7 +146,8 @@ class CostAwareGreedyPolicy(GreedyUsefulnessPolicy):
         Per-database probe costs in mediation order (all positive).
     """
 
-    def __init__(self, costs: Sequence[float]) -> None:
+    def __init__(self, costs: Sequence[float], batched: bool = True) -> None:
+        super().__init__(batched=batched)
         cost_list = [float(c) for c in costs]
         if not cost_list or any(c <= 0 for c in cost_list):
             raise ProbingError("probe costs must be positive and non-empty")

@@ -153,6 +153,15 @@ class APro:
         probes through the selector's mediator). The serving layer
         plugs a concurrent, fault-tolerant
         :class:`~repro.service.executor.ProbeExecutor` in here.
+    incremental:
+        Apply observations through
+        :meth:`~repro.core.topk.TopKComputer.collapse`, reusing the
+        rank structure built once per query (the default). ``False``
+        rebuilds a fresh :class:`TopKComputer` after every observation —
+        the pre-optimization behaviour, kept as the reference path for
+        the agreement tests and the ``bench-core`` baseline. Both paths
+        produce identical answer sets and probe orders (certainties
+        agree to floating-point tolerance).
     """
 
     def __init__(
@@ -160,12 +169,14 @@ class APro:
         selector: RDBasedSelector,
         policy: ProbePolicy | None = None,
         prober: BatchProber | None = None,
+        incremental: bool = True,
     ) -> None:
         self._selector = selector
         self._policy = policy or GreedyUsefulnessPolicy()
         self._prober = prober or MediatorProber(
             selector.mediator, selector.definition
         )
+        self._incremental = incremental
 
     def run(
         self,
@@ -270,7 +281,10 @@ class APro:
                 )
                 probed.add(choice)
                 rds[choice] = RelevancyDistribution.impulse(observed)
-                computer = TopKComputer(rds, k)
+                if self._incremental:
+                    computer = computer.collapse(choice, observed)
+                else:
+                    computer = TopKComputer(rds, k)
                 best, score = computer.best_set(metric)
                 self._record_point(
                     session, mediator, len(probed), best, score

@@ -23,7 +23,14 @@ Hypothetical probing. The greedy policy (§5.4) needs "what would the best
 expected correctness be if database i turned out to have relevancy v?"
 for every support atom v. All entry points accept an ``override=(i, t)``
 pair (database i collapsed onto its atom t) and reuse the precomputed
-rank structure, making usefulness evaluation cheap.
+rank structure; :meth:`TopKComputer.conditional_best_scores` evaluates
+every atom of a candidate database in one vectorized pass via a
+leave-one-out dynamic program (see docs/PERFORMANCE.md).
+
+Observed probing. :meth:`TopKComputer.collapse` turns an observation
+into a new computer *incrementally*: the atom ordering, outrank
+matrices and subset index structures are reused, so an adaptive-probing
+run costs one rank-structure build instead of ``1 + num_probes`` builds.
 """
 
 from __future__ import annotations
@@ -85,24 +92,41 @@ class TopKComputer:
         self._exact_set_limit = exact_set_limit
         self._swap_width = max(1, swap_width)
         self._build_atoms()
-        # Per-instance memos (instances are not thread-safe, like most
-        # of numpy-backed Python; the serving layer builds one per query
-        # in the APro thread). ``best_set`` probes the same override a
-        # dozen-plus times in a row, and the hill climber revisits the
-        # same member sets across overrides.
-        self._override_memo: tuple | None = None
+        # Pure-function index structures keyed by candidate set; they
+        # depend only on the atom layout, which :meth:`collapse`
+        # preserves, so collapsed computers share this dict.
         self._subset_memo: dict[
             tuple[int, ...],
             tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
         ] = {}
-        # RDs are fixed at construction, so every query below is a pure
-        # function of its arguments: cache probability and answer-set
-        # results outright. APro's batch rounds re-ask best_set for the
-        # same overrides once per pick, and the hill climber re-tries
-        # sets across improvement passes — both now hit these memos.
+        self._init_memos()
+
+    def _init_memos(self) -> None:
+        # Per-instance memos (instances are not thread-safe, like most
+        # of numpy-backed Python; the serving layer builds one per query
+        # in the APro thread). RDs are fixed per instance, so every
+        # query below is a pure function of its arguments: probability
+        # and answer-set results are cached outright. APro's batch
+        # rounds re-ask best_set for the same overrides once per pick,
+        # and the hill climber re-tries sets across improvement passes.
         self._prob_memo: dict[tuple, float] = {}
         self._marginals_memo: dict[tuple[int, int] | None, np.ndarray] = {}
         self._best_set_memo: dict[tuple, tuple[tuple[int, ...], float]] = {}
+        # Override rows: for hypothetical probe (i, t0), the replacement
+        # outrank rows of database i. A dict (not a single slot), so the
+        # interleaved A→B→A access pattern of batched usefulness never
+        # recomputes or returns stale rows.
+        self._override_rows_memo: dict[
+            tuple[int, int], tuple[np.ndarray, np.ndarray]
+        ] = {}
+        # Prefix/suffix Poisson-binomial DP tables and derived
+        # leave-one-out / batched-override products (see marginals()).
+        self._prefix_dp: list[np.ndarray] | None = None
+        self._suffix_dp: list[np.ndarray] | None = None
+        self._loo_memo: dict[int, np.ndarray] = {}
+        self._loo_all: np.ndarray | None = None
+        self._override_batch_memo: dict[int, np.ndarray] = {}
+        self._scores_memo: dict[tuple[int, CorrectnessMetric], np.ndarray] = {}
 
     # -- construction of the rank structure ---------------------------------
 
@@ -121,8 +145,11 @@ class TopKComputer:
         self._db_atom_stop = bounds[1:]
         # Strict total order: ascending value; on equal value the later
         # database sorts lower (so the earlier database outranks it).
+        # Ranks are floats so that collapse() can insert an observed
+        # out-of-support value between two existing ranks without
+        # renumbering (midpoint insertion).
         order = np.lexsort((-dbs, values))
-        ranks = np.empty(m, dtype=np.int64)
+        ranks = np.empty(m, dtype=np.float64)
         ranks[order] = np.arange(m)
 
         self._atom_values = values
@@ -130,6 +157,12 @@ class TopKComputer:
         self._atom_dbs = dbs
         self._atom_ranks = ranks
         self._num_atoms = m
+
+        # Atoms in rank order — the search structure collapse() uses to
+        # place a new observed value in the total order in O(log m).
+        self._order_values = values[order]
+        self._order_dbs = dbs[order]
+        self._order_ranks = np.arange(m, dtype=np.float64)
 
         # Per-database cumulative mass by rank, supporting
         # P(rank_j > t) and P(rank_j < t) lookups for arbitrary t.
@@ -191,46 +224,278 @@ class TopKComputer:
         return self._rds[i]
 
     def atoms_of(self, i: int) -> list[tuple[int, float, float]]:
-        """(atom_index, value, probability) triples of database *i*."""
+        """(atom_index, value, probability) triples of database *i*.
+
+        On a collapsed database this is the single observed atom; the
+        zero-probability atoms its span retains internally (so that the
+        shared rank structure stays index-stable) are not reported.
+        """
         return list(self._db_atom_triples[i])
+
+    # -- incremental collapse -------------------------------------------------
+
+    def collapse(self, database: int, value: float) -> "TopKComputer":
+        """A computer in which *database* is an impulse at *value*.
+
+        This is the belief update of one observed probe, done
+        incrementally: the returned computer reuses this computer's atom
+        ordering, rank structure and subset index memos. When *value* is
+        already in the database's support only the probability vectors
+        and that database's outrank rows change; when it is new, the
+        value is placed into the strict total order with a single
+        O(log m) rank search (midpoint rank insertion — no renumbering)
+        and only row *database* plus one matrix column are recomputed.
+
+        ``self`` is not modified and stays fully usable. Cached results
+        for the hypothetical override matching the observation are
+        migrated to the new computer, so a greedy usefulness sweep that
+        already evaluated the observed outcome makes the post-probe
+        ``best_set`` free.
+        """
+        i = int(database)
+        if not 0 <= i < self._n:
+            raise SelectionError(f"collapse database {i} out of range")
+        value = float(value)
+        start = int(self._db_atom_start[i])
+        stop = int(self._db_atom_stop[i])
+
+        new = object.__new__(TopKComputer)
+        new._rds = list(self._rds)
+        new._rds[i] = DiscreteDistribution.impulse(value)
+        new._n = self._n
+        new._k = self._k
+        new._exact_set_limit = self._exact_set_limit
+        new._swap_width = self._swap_width
+        new._num_atoms = self._num_atoms
+        # Layout is shared verbatim: spans and atom→database mapping
+        # never change under collapse.
+        new._db_atom_start = self._db_atom_start
+        new._db_atom_stop = self._db_atom_stop
+        new._atom_dbs = self._atom_dbs
+        new._subset_memo = self._subset_memo
+
+        t0 = None
+        for t, atom_value, _prob in self._db_atom_triples[i]:
+            if atom_value == value:
+                t0 = t
+                break
+        migrated: tuple[int, int] | None = None
+        if t0 is not None:
+            # Observed value already in support: ranks are untouched, so
+            # the rank-order search structure and cached override rows
+            # remain valid and are shared.
+            new._atom_values = self._atom_values
+            new._atom_ranks = self._atom_ranks
+            new._order_values = self._order_values
+            new._order_dbs = self._order_dbs
+            new._order_ranks = self._order_ranks
+            rank0 = float(self._atom_ranks[t0])
+            migrated = (i, t0)
+        else:
+            # New observed value: repurpose the first span atom as the
+            # impulse and give it a fresh rank strictly between its
+            # order neighbours. The remaining span atoms keep their old
+            # ranks with zero mass — valid fenceposts, never weighted.
+            t0 = start
+            rank0, order_arrays = self._inserted_rank(i, value)
+            new._order_values, new._order_dbs, new._order_ranks = order_arrays
+            new._atom_values = self._atom_values.copy()
+            new._atom_values[t0] = value
+            new._atom_ranks = self._atom_ranks.copy()
+            new._atom_ranks[t0] = rank0
+
+        new._atom_probs = self._atom_probs.copy()
+        new._atom_probs[start:stop] = 0.0
+        new._atom_probs[t0] = 1.0
+        new._db_sorted_ranks = list(self._db_sorted_ranks)
+        new._db_sorted_ranks[i] = np.array([rank0], dtype=np.float64)
+        new._db_cumprobs = list(self._db_cumprobs)
+        new._db_cumprobs[i] = np.array([0.0, 1.0])
+
+        # Only row i of the outrank matrices changes ...
+        new._greater = self._greater.copy()
+        new._less = self._less.copy()
+        g_row = (rank0 > new._atom_ranks).astype(np.float64)
+        g_row[start:stop] = 0.0
+        new._greater[i] = g_row
+        new._less[i] = (rank0 < new._atom_ranks).astype(np.float64)
+        if migrated is None:
+            # ... plus, for an out-of-support value, column t0: the
+            # repurposed atom's rank moved, so every other database's
+            # outrank mass against it is re-read from its cumulative
+            # structure (O(n log s)).
+            for j in range(self._n):
+                if j == i:
+                    continue
+                sorted_ranks = new._db_sorted_ranks[j]
+                cum = new._db_cumprobs[j]
+                right = int(np.searchsorted(sorted_ranks, rank0, side="right"))
+                left = int(np.searchsorted(sorted_ranks, rank0, side="left"))
+                new._greater[j, t0] = cum[-1] - cum[right]
+                new._less[j, t0] = cum[left]
+
+        new._db_atom_triples = list(self._db_atom_triples)
+        new._db_atom_triples[i] = [(t0, value, 1.0)]
+
+        new._init_memos()
+        if migrated is not None:
+            # Rank structure unchanged → override rows computed on self
+            # are identical on the collapsed computer.
+            new._override_rows_memo = self._override_rows_memo
+            # Results conditioned on the observed outcome ARE the
+            # collapsed computer's unconditioned results.
+            for (subset_key, ov), prob in self._prob_memo.items():
+                if ov == migrated:
+                    new._prob_memo[(subset_key, None)] = prob
+            cached_marginals = self._marginals_memo.get(migrated)
+            if cached_marginals is not None:
+                new._marginals_memo[None] = cached_marginals
+            for (metric, ov), best in self._best_set_memo.items():
+                if ov == migrated:
+                    new._best_set_memo[(metric, None)] = best
+        return new
+
+    def _inserted_rank(
+        self, database: int, value: float
+    ) -> tuple[float, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Rank for a new (value, database) key, plus updated order arrays.
+
+        The key's position in the strict total order is found by binary
+        search on the rank-ordered values (ties broken by mediation
+        index, earlier database outranking); the new rank is the
+        midpoint of its neighbours' ranks, so no existing rank moves.
+        """
+        pos = int(np.searchsorted(self._order_values, value, side="left"))
+        total = len(self._order_values)
+        # Within an equal-value run databases sort descending; skip the
+        # ones that rank below the new key (higher index loses the tie).
+        while (
+            pos < total
+            and self._order_values[pos] == value
+            and self._order_dbs[pos] > database
+        ):
+            pos += 1
+        lo = self._order_ranks[pos - 1] if pos > 0 else self._order_ranks[0] - 1.0
+        hi = (
+            self._order_ranks[pos]
+            if pos < total
+            else self._order_ranks[total - 1] + 1.0
+        )
+        rank0 = (float(lo) + float(hi)) / 2.0
+        order_arrays = (
+            np.insert(self._order_values, pos, value),
+            np.insert(self._order_dbs, pos, database),
+            np.insert(self._order_ranks, pos, rank0),
+        )
+        return rank0, order_arrays
 
     # -- override plumbing -----------------------------------------------------
 
-    def _effective_rows(
-        self, override: tuple[int, int] | None
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """(greater, less, atom_probs) with the override applied.
-
-        ``greater`` is the own-database-masked matrix (see
-        :meth:`_build_atoms`). ``override=(i, t0)`` collapses database i
-        onto its support atom t0 (a hypothetical probe outcome). Rows
-        are copied lazily — only the overridden row is materialized anew.
-        """
-        if override is None:
-            return self._greater, self._less, self._atom_probs
+    def _validate_override(self, override: tuple[int, int]) -> None:
         i, t0 = override
         if not 0 <= i < self._n:
             raise SelectionError(f"override database {i} out of range")
-        if self._atom_dbs[t0] != i:
+        if not 0 <= t0 < self._num_atoms or self._atom_dbs[t0] != i:
             raise SelectionError(
                 f"override atom {t0} does not belong to database {i}"
             )
-        if self._override_memo is not None:
-            key, rows = self._override_memo
-            if key == (i, t0):
-                return rows
+
+    def _override_rows(
+        self, override: tuple[int, int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(greater_row, less_row) of the overridden database.
+
+        ``override=(i, t0)`` collapses database i onto its support atom
+        t0 (a hypothetical probe outcome); only row i of the outrank
+        matrices differs from the base state, so only that row is ever
+        materialized. Rows are cached per (i, t0) — interleaved access
+        across different overrides never invalidates earlier entries.
+        """
+        cached = self._override_rows_memo.get(override)
+        if cached is not None:
+            return cached
+        i, t0 = override
         rank0 = self._atom_ranks[t0]
-        greater = self._greater.copy()
-        less = self._less.copy()
-        row = (rank0 > self._atom_ranks).astype(np.float64)
-        row[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
-        greater[i] = row
-        less[i] = (rank0 < self._atom_ranks).astype(np.float64)
-        probs = self._atom_probs.copy()
-        probs[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
-        probs[t0] = 1.0
-        self._override_memo = ((i, t0), (greater, less, probs))
-        return greater, less, probs
+        g_row = (rank0 > self._atom_ranks).astype(np.float64)
+        g_row[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
+        l_row = (rank0 < self._atom_ranks).astype(np.float64)
+        rows = (g_row, l_row)
+        self._override_rows_memo[override] = rows
+        return rows
+
+    # -- Poisson-binomial DP tables ---------------------------------------------
+
+    def _dp_init(self) -> np.ndarray:
+        dp = np.zeros((self._num_atoms, self._k), dtype=np.float64)
+        dp[:, 0] = 1.0
+        return dp
+
+    @staticmethod
+    def _dp_apply(dp: np.ndarray, p_row: np.ndarray) -> np.ndarray:
+        """One DP step: fold in a database with outrank probabilities *p_row*."""
+        p = p_row[:, None]
+        keep = dp * (1.0 - p)
+        keep[:, 1:] += dp[:, :-1] * p
+        return keep
+
+    def _prefix_dps(self) -> list[np.ndarray]:
+        """prefix[j] = outrank-count DP over databases 0..j-1 (truncated at k)."""
+        if self._prefix_dp is None:
+            dps = [self._dp_init()]
+            for j in range(self._n):
+                dps.append(self._dp_apply(dps[-1], self._greater[j]))
+            self._prefix_dp = dps
+        return self._prefix_dp
+
+    def _suffix_dps(self) -> list[np.ndarray]:
+        """suffix[j] = outrank-count DP over databases j..n-1 (truncated at k)."""
+        if self._suffix_dp is None:
+            dps = [self._dp_init()]
+            for j in reversed(range(self._n)):
+                dps.append(self._dp_apply(dps[-1], self._greater[j]))
+            dps.reverse()
+            self._suffix_dp = dps
+        return self._suffix_dp
+
+    def _loo_dp(self, i: int) -> np.ndarray:
+        """Leave-one-out DP: outrank counts over every database except *i*.
+
+        Combining prefix[i] with suffix[i+1] is a count-distribution
+        convolution truncated at k — O(m·k²) — so all n leave-one-out
+        tables cost O(n·m·k²) total instead of O(n²·m·k) rebuilt DPs.
+        """
+        if self._loo_all is not None:
+            return self._loo_all[i]
+        cached = self._loo_memo.get(i)
+        if cached is not None:
+            return cached
+        pre = self._prefix_dps()[i]
+        suf = self._suffix_dps()[i + 1]
+        out = np.zeros_like(pre)
+        for c in range(self._k):
+            for a in range(c + 1):
+                out[:, c] += pre[:, a] * suf[:, c - a]
+        self._loo_memo[i] = out
+        return out
+
+    def _loo_dps_all(self) -> np.ndarray:
+        """Every leave-one-out DP table stacked as one (n, m, k) array.
+
+        The truncated convolution combine runs once over the stacked
+        prefix/suffix tables — k² vectorized products instead of n
+        independent :meth:`_loo_dp` calls. Element-for-element the
+        accumulation order matches the per-database loop, so the tables
+        are bitwise identical to it.
+        """
+        if self._loo_all is None:
+            pre = np.stack(self._prefix_dps()[:-1])
+            suf = np.stack(self._suffix_dps()[1:])
+            out = np.zeros_like(pre)
+            for c in range(self._k):
+                for a in range(c + 1):
+                    out[:, :, c] += pre[:, :, a] * suf[:, :, c - a]
+            self._loo_all = out
+        return self._loo_all
 
     # -- marginal top-k membership ----------------------------------------------
 
@@ -240,33 +505,158 @@ class TopKComputer:
         For each support atom t of database i, the number of *other*
         databases outranking t is a sum of independent Bernoullis with
         probabilities G[j, t]; database i is in the top-k at that atom
-        iff at most k − 1 others outrank it. The DP below tracks the
-        count distribution truncated at k for every atom simultaneously.
+        iff at most k − 1 others outrank it. The DP tracks the count
+        distribution truncated at k for every atom simultaneously.
+        Overridden marginals reuse the leave-one-out DP of the
+        overridden database, so evaluating every hypothetical outcome of
+        one database costs a single batched pass.
         """
         cached = self._marginals_memo.get(override)
         if cached is not None:
             return cached.copy()
-        greater, _, probs = self._effective_rows(override)
+        if override is not None:
+            self._validate_override(override)
         if self._k >= self._n:
-            return np.ones(self._n)
-        m = self._num_atoms
-        # beat[j, t]: P(db j outranks atom t), with the atom's own
-        # database excluded from the count (conditioned on, not competing).
-        dp = np.zeros((m, self._k), dtype=np.float64)
-        dp[:, 0] = 1.0
-        own = self._atom_dbs
-        for j in range(self._n):
-            p = greater[j][:, None]  # own-database entries pre-masked to 0
-            keep = dp * (1.0 - p)
-            keep[:, 1:] += dp[:, :-1] * p
-            dp = keep
-        membership = dp.sum(axis=1)  # P(count <= k-1) per atom
-        weighted = probs * membership
-        marginals = np.zeros(self._n)
-        np.add.at(marginals, own, weighted)
-        result = np.clip(marginals, 0.0, 1.0)
+            result = np.ones(self._n)
+        elif override is None:
+            membership = self._prefix_dps()[self._n].sum(axis=1)
+            weighted = self._atom_probs * membership
+            marginals = np.zeros(self._n)
+            np.add.at(marginals, self._atom_dbs, weighted)
+            result = np.clip(marginals, 0.0, 1.0)
+        else:
+            i, t0 = override
+            batch = self._override_marginals_all(i)
+            result = batch[t0 - int(self._db_atom_start[i])].copy()
         self._marginals_memo[override] = result
         return result.copy()
+
+    def _override_marginals_all(self, i: int) -> np.ndarray:
+        """Marginals under every override of database *i*, one row per span atom.
+
+        Row r (for span atom t0 = start_i + r) equals
+        ``marginals(override=(i, t0))``: the leave-one-out DP of
+        database i is shared across the rows, and each override only
+        contributes its 0/1 indicator row as a final DP step — a single
+        vectorized (s × m × k) pass instead of s independent full DPs.
+        """
+        cached = self._override_batch_memo.get(i)
+        if cached is not None:
+            return cached
+        if self._num_atoms * self._num_atoms * self._k <= self._BATCH_ALL_LIMIT:
+            self._override_batch_all()
+            return self._override_batch_memo[i]
+        start = int(self._db_atom_start[i])
+        stop = int(self._db_atom_stop[i])
+        span = np.arange(start, stop)
+        ranks = self._atom_ranks
+        dp_loo = self._loo_dp(i)
+        # Indicator outrank rows of each hypothetical impulse, own span
+        # masked (conditioned on, not competing).
+        g_rows = (ranks[span][:, None] > ranks[None, :]).astype(np.float64)
+        g_rows[:, start:stop] = 0.0
+        p = g_rows[:, :, None]
+        keep = dp_loo[None, :, :] * (1.0 - p)
+        keep[:, :, 1:] += dp_loo[None, :, :-1] * p
+        membership = keep.sum(axis=2)  # (s, m): P(count <= k-1) per atom
+        masked_probs = self._atom_probs.copy()
+        masked_probs[start:stop] = 0.0
+        contrib = membership * masked_probs[None, :]
+        starts = np.asarray(self._db_atom_start, dtype=np.intp)
+        batch = np.add.reduceat(contrib, starts, axis=1)
+        # The overridden database itself: all mass on the impulse atom,
+        # whose membership is P(at most k-1 of the others outrank it) —
+        # read straight off the leave-one-out table.
+        batch[:, i] = dp_loo[span].sum(axis=1)
+        batch = np.clip(batch, 0.0, 1.0)
+        self._override_batch_memo[i] = batch
+        return batch
+
+    #: Element budget (m²·k) below which every database's override batch
+    #: is produced in one stacked pass; above it the per-database path
+    #: bounds peak memory.
+    _BATCH_ALL_LIMIT = 2_000_000
+
+    def _override_batch_all(self) -> None:
+        """Fill the override-batch memo for *every* database at once.
+
+        A greedy usefulness sweep asks for the batch of each candidate
+        in turn; stacking the per-database computations collapses the n
+        passes of :meth:`_override_marginals_all` into one set of
+        (m × m × k) array operations. Each row's own-database span is
+        masked exactly like the per-database path (compare
+        ``g_rows[:, start:stop] = 0`` with the ``own`` mask below), so
+        the stored batches are bitwise identical to it.
+        """
+        m = self._num_atoms
+        loo_atom = self._loo_dps_all()[self._atom_dbs]  # (m, m, k)
+        ranks = self._atom_ranks
+        g_all = (ranks[:, None] > ranks[None, :]).astype(np.float64)
+        own = self._atom_dbs[:, None] == self._atom_dbs[None, :]
+        g_all[own] = 0.0
+        p = g_all[:, :, None]
+        keep = loo_atom * (1.0 - p)
+        keep[:, :, 1:] += loo_atom[:, :, :-1] * p
+        membership = keep.sum(axis=2)  # (m, m)
+        contrib = membership * np.where(own, 0.0, self._atom_probs[None, :])
+        starts = np.asarray(self._db_atom_start, dtype=np.intp)
+        batch_all = np.add.reduceat(contrib, starts, axis=1)  # (m, n)
+        idx = np.arange(m)
+        batch_all[idx, self._atom_dbs] = loo_atom[idx, idx].sum(axis=1)
+        batch_all = np.clip(batch_all, 0.0, 1.0)
+        for i in range(self._n):
+            self._override_batch_memo[i] = batch_all[
+                int(self._db_atom_start[i]) : int(self._db_atom_stop[i])
+            ]
+
+    # -- batched hypothetical-probe scores ----------------------------------------
+
+    def conditional_best_scores(
+        self,
+        database: int,
+        metric: CorrectnessMetric,
+        min_prob: float = 0.0,
+    ) -> np.ndarray:
+        """Best expected correctness conditioned on each outcome of *database*.
+
+        Entry j is ``best_set(metric, override=(database, t_j))[1]`` for
+        the j-th triple of :meth:`atoms_of` — what greedy usefulness
+        averages. For the partial metric and for k = 1 every atom is
+        evaluated in one vectorized pass over the shared leave-one-out
+        DP; for the absolute metric with k > 1 the answer-set search
+        runs per atom (each search still reuses the batched marginals
+        and the override-row cache). Atoms with probability below
+        *min_prob* are skipped in the per-atom path and their entries
+        are 0.0 — callers that skip negligible mass pass their own
+        threshold.
+        """
+        if not 0 <= database < self._n:
+            raise SelectionError(f"database {database} out of range")
+        triples = self._db_atom_triples[database]
+        if self._k == self._n:
+            return np.ones(len(triples))
+        if metric is CorrectnessMetric.PARTIAL or self._k == 1:
+            key = (database, metric)
+            scores_span = self._scores_memo.get(key)
+            if scores_span is None:
+                batch = self._override_marginals_all(database)
+                if self._k == 1:
+                    scores_span = batch.max(axis=1)
+                else:
+                    boundary = self._n - self._k
+                    top = np.partition(batch, boundary, axis=1)[:, boundary:]
+                    scores_span = np.minimum(1.0, top.mean(axis=1))
+                self._scores_memo[key] = scores_span
+            start = int(self._db_atom_start[database])
+            offsets = np.asarray([t - start for t, _v, _p in triples])
+            return scores_span[offsets].copy()
+        scores = np.zeros(len(triples))
+        for j, (t, _value, prob) in enumerate(triples):
+            if prob < min_prob:
+                continue
+            _best, score = self.best_set(metric, override=(database, t))
+            scores[j] = score
+        return scores
 
     # -- set-level expected correctness ------------------------------------------
 
@@ -280,7 +670,8 @@ class TopKComputer:
         The event "subset is exactly the top-k" happens iff every member
         outranks every non-member. Partitioning on the *weakest member's*
         atom t: every other member must outrank t and every non-member
-        must rank below t.
+        must rank below t. An override substitutes a single gathered row
+        — the base matrices are never copied.
         """
         members = self._validated_subset(subset)
         if len(members) == self._n:
@@ -289,7 +680,8 @@ class TopKComputer:
         result = self._prob_memo.get((key, override))
         if result is not None:
             return result
-        greater, less, probs = self._effective_rows(override)
+        if override is not None:
+            self._validate_override(override)
         memo = self._subset_memo.get(key)
         if memo is None:
             # Member atoms occupy contiguous spans, so the candidate
@@ -315,16 +707,30 @@ class TopKComputer:
             self._subset_memo[key] = memo
         atom_idx, member_rows, own_rows, outside_rows, cols = memo
 
-        inside = greater[member_rows, atom_idx[None, :]]
+        overridden_member = override is not None and override[0] in members
+        inside = self._greater[member_rows, atom_idx[None, :]]
+        if overridden_member:
+            g_row, _l_row = self._override_rows(override)
+            inside[key.index(override[0])] = g_row[atom_idx]
         # Each atom's own database is pre-masked to 0 in ``greater``;
         # neutralize it to 1 so it drops out of the member product.
         inside[own_rows, cols] = 1.0
         inside_prod = inside.prod(axis=0)
         if len(outside_rows):
-            outside_prod = less[outside_rows, atom_idx[None, :]].prod(axis=0)
+            outside = self._less[outside_rows, atom_idx[None, :]]
+            if override is not None and not overridden_member:
+                _g_row, l_row = self._override_rows(override)
+                position = int(np.searchsorted(outside_rows[:, 0], override[0]))
+                outside[position] = l_row[atom_idx]
+            outside_prod = outside.prod(axis=0)
         else:
             outside_prod = np.ones(len(atom_idx))
-        total = float((probs[atom_idx] * inside_prod * outside_prod).sum())
+        probs = self._atom_probs[atom_idx]
+        if overridden_member:
+            i, t0 = override
+            probs[self._atom_dbs[atom_idx] == i] = 0.0
+            probs[int(np.nonzero(atom_idx == t0)[0][0])] = 1.0
+        total = float((probs * inside_prod * outside_prod).sum())
         result = min(1.0, max(0.0, total))
         self._prob_memo[(key, override)] = result
         return result

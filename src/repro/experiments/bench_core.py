@@ -1,0 +1,497 @@
+"""``repro-metasearch bench-core``: timings of the per-query hot path.
+
+Measures the core operations a deployment pays for on every uncached
+query — RD construction, ``best_set`` for k=1/k=3, ``marginals``, a
+full greedy usefulness sweep, and one end-to-end APro run — on the
+paper testbed, and writes the result as ``BENCH_core.json`` so the perf
+trajectory is tracked in-repo (see docs/PERFORMANCE.md).
+
+The two stages that the incremental-belief-update work optimized
+(usefulness sweep, APro run) are measured twice: once on a **baseline**
+path and once on the **optimized** path (``collapse`` + batched
+leave-one-out scoring). For k = 1 the baseline is
+:class:`_ReferenceSweep` — a self-contained reimplementation of the
+pre-change algorithm (rebuild the rank structure per observation, copy
+the outrank matrix and run one full Poisson-binomial DP per
+hypothetical outcome). The in-tree legacy flags
+(``APro(incremental=False)`` / ``GreedyUsefulnessPolicy(batched=False)``)
+are *not* used for baseline timing because their ``best_set`` calls
+already ride the new leave-one-out caches, which understates the
+pre-change cost; they remain the reference for the **agreement** block,
+which verifies that the incremental path produces identical probe
+orders and answer sets with certainties agreeing to 1e-9 — the
+benchmark doubles as an end-to-end agreement check, which is what the
+CI smoke step asserts. For k > 1 the legacy flags are used for timing
+too (the reference implements only the k = 1 selection rule).
+
+Timing scenarios mirror ``benchmarks/bench_micro_core.py`` (the
+pytest-benchmark variant of the same hot path) without requiring
+pytest.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.policies import GreedyUsefulnessPolicy
+from repro.core.probing import APro
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.exceptions import ConfigurationError, ReproError
+from repro.experiments.harness import train_pipeline
+from repro.experiments.setup import PaperSetupConfig, build_paper_context
+
+__all__ = [
+    "BENCH_CORE_SCHEMA",
+    "BenchCoreConfig",
+    "run_bench_core",
+    "format_bench_core",
+    "validate_bench_core",
+]
+
+#: Schema tag embedded in (and asserted over) ``BENCH_core.json``.
+BENCH_CORE_SCHEMA = "bench-core/v1"
+
+#: Scenario names every report must contain.
+_SHARED_SCENARIOS = ("rd_build", "best_set_k1", "best_set_k3", "marginals_k3")
+_COMPARED_SCENARIOS = ("usefulness_sweep", "apro_run")
+
+
+@dataclass(frozen=True)
+class BenchCoreConfig:
+    """Knobs of the core benchmark (defaults = the paper testbed at 0.1)."""
+
+    scale: float = 0.1
+    seed: int = 2004
+    n_train: int = 300
+    n_test: int = 40
+    repeats: int = 20
+    k: int = 1
+    threshold: float = 0.8
+    apro_queries: int = 10
+    context: object | None = field(default=None, compare=False)
+    pipeline: object | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigurationError("repeats must be >= 1")
+        if self.apro_queries < 1:
+            raise ConfigurationError("apro_queries must be >= 1")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError("threshold must be in [0, 1]")
+
+
+class _ReferenceSweep:
+    """The pre-change belief machinery, ported verbatim for timing.
+
+    A faithful port of the original :class:`TopKComputer` internals as
+    they stood before the incremental/batched rework — the same
+    ``_build_atoms`` (both outrank matrices, per-database cumulative
+    structures, eager atom triples), the same ``_effective_rows`` (full
+    copies of *both* matrices per hypothetical outcome, single-slot
+    memo), the same full (m × k) Poisson-binomial DP per ``marginals``
+    call, and the same k = 1 ``best_set`` selection rule. Usefulness of
+    a database therefore costs one matrix copy plus one full DP per
+    support atom — the work profile the leave-one-out batch replaced.
+    Baseline timings use this class so committed speedups are measured
+    against the pre-change tree, not against legacy flags that already
+    ride the new caches. k = 1 only (the k > 1 absolute-metric search is
+    not ported).
+    """
+
+    _NEGLIGIBLE = 1e-9
+
+    def __init__(self, rds, k: int) -> None:
+        if k != 1:
+            raise ConfigurationError("reference sweep implements k = 1 only")
+        self._rds = list(rds)
+        self._n = len(self._rds)
+        self._k = k
+        self._override_memo = None
+        self._marginals_memo: dict = {}
+        self._best_set_memo: dict = {}
+        values = np.concatenate([rd.values for rd in self._rds])
+        probs = np.concatenate([rd.probs for rd in self._rds])
+        dbs = np.concatenate(
+            [np.full(rd.support_size, i) for i, rd in enumerate(self._rds)]
+        )
+        m = len(values)
+        bounds = np.concatenate(
+            ([0], np.cumsum([rd.support_size for rd in self._rds]))
+        )
+        self._db_atom_start = bounds[:-1]
+        self._db_atom_stop = bounds[1:]
+        order = np.lexsort((-dbs, values))
+        ranks = np.empty(m, dtype=np.int64)
+        ranks[order] = np.arange(m)
+        self._atom_probs = probs
+        self._atom_dbs = dbs
+        self._atom_ranks = ranks
+        self._num_atoms = m
+        self._db_sorted_ranks = []
+        self._db_cumprobs = []
+        for i in range(self._n):
+            mask = dbs == i
+            db_ranks = ranks[mask]
+            db_probs = probs[mask]
+            sort = np.argsort(db_ranks)
+            self._db_sorted_ranks.append(db_ranks[sort])
+            self._db_cumprobs.append(
+                np.concatenate(([0.0], np.cumsum(db_probs[sort])))
+            )
+        greater = np.empty((self._n, m), dtype=np.float64)
+        less = np.empty((self._n, m), dtype=np.float64)
+        for j in range(self._n):
+            sorted_ranks = self._db_sorted_ranks[j]
+            cum = self._db_cumprobs[j]
+            right = np.searchsorted(sorted_ranks, ranks, side="right")
+            left = np.searchsorted(sorted_ranks, ranks, side="left")
+            greater[j] = cum[-1] - cum[right]
+            less[j] = cum[left]
+        greater_masked = greater.copy()
+        greater_masked[dbs, np.arange(m)] = 0.0
+        self._greater = greater_masked
+        self._less = less
+        self._db_atom_triples = [
+            [
+                (int(t), float(values[t]), float(probs[t]))
+                for t in range(int(self._db_atom_start[i]),
+                               int(self._db_atom_stop[i]))
+            ]
+            for i in range(self._n)
+        ]
+
+    def _effective_rows(self, override):
+        if override is None:
+            return self._greater, self._less, self._atom_probs
+        i, t0 = override
+        if self._override_memo is not None:
+            key, rows = self._override_memo
+            if key == (i, t0):
+                return rows
+        rank0 = self._atom_ranks[t0]
+        greater = self._greater.copy()
+        less = self._less.copy()
+        row = (rank0 > self._atom_ranks).astype(np.float64)
+        row[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
+        greater[i] = row
+        less[i] = (rank0 < self._atom_ranks).astype(np.float64)
+        probs = self._atom_probs.copy()
+        probs[self._db_atom_start[i] : self._db_atom_stop[i]] = 0.0
+        probs[t0] = 1.0
+        self._override_memo = ((i, t0), (greater, less, probs))
+        return greater, less, probs
+
+    def marginals(self, override=None) -> np.ndarray:
+        greater, _, probs = self._effective_rows(override)
+        m = self._num_atoms
+        dp = np.zeros((m, self._k), dtype=np.float64)
+        dp[:, 0] = 1.0
+        for j in range(self._n):
+            p = greater[j][:, None]
+            keep = dp * (1.0 - p)
+            keep[:, 1:] += dp[:, :-1] * p
+            dp = keep
+        membership = dp.sum(axis=1)
+        weighted = probs * membership
+        marginals = np.zeros(self._n)
+        np.add.at(marginals, self._atom_dbs, weighted)
+        result = np.clip(marginals, 0.0, 1.0)
+        self._marginals_memo[override] = result
+        return result.copy()
+
+    def best_set(self, override=None):
+        cached = self._best_set_memo.get(override)
+        if cached is not None:
+            return cached
+        marginals = self.marginals(override)
+        ranked = sorted(
+            range(self._n), key=lambda i: (-marginals[i], i)
+        )
+        chosen = tuple(sorted(ranked[: self._k]))
+        result = chosen, min(
+            1.0, float(np.mean([marginals[i] for i in chosen]))
+        )
+        self._best_set_memo[override] = result
+        return result
+
+    def usefulness(self, database: int) -> float:
+        total = 0.0
+        skipped = 0.0
+        for atom_index, _value, prob in self._db_atom_triples[database]:
+            if prob < self._NEGLIGIBLE:
+                skipped += prob
+                continue
+            _best, score = self.best_set(override=(database, atom_index))
+            total += prob * score
+        return total + skipped
+
+
+class _ReferencePolicy:
+    """Greedy choose() on top of :class:`_ReferenceSweep` (k = 1)."""
+
+    def choose(self, computer, candidates, metric, threshold) -> int:
+        rds = [computer.rd(i) for i in range(computer.num_databases)]
+        sweep = _ReferenceSweep(rds, computer.k)
+        best_db = candidates[0]
+        best_usefulness = -1.0
+        for database in candidates:
+            usefulness = sweep.usefulness(database)
+            if usefulness > best_usefulness + 1e-12:
+                best_db, best_usefulness = database, usefulness
+        return best_db
+
+
+def _timeit(fn: Callable[[], object], repeats: int) -> dict[str, float]:
+    """Median/p95 wall-clock of *fn* over *repeats* runs, in milliseconds."""
+    samples: list[float] = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    ordered = sorted(samples)
+    p95_index = min(len(ordered), max(1, round(0.95 * len(ordered)))) - 1
+    return {
+        "median_ms": round(statistics.median(ordered), 6),
+        "p95_ms": round(ordered[p95_index], 6),
+        "repeats": repeats,
+    }
+
+
+def _speedup(baseline: dict[str, float], optimized: dict[str, float]) -> float:
+    if optimized["median_ms"] <= 0:
+        return float("inf")
+    return round(baseline["median_ms"] / optimized["median_ms"], 3)
+
+
+def _agreement(
+    selector, queries, config: BenchCoreConfig
+) -> dict[str, object]:
+    """Run APro incrementally and via rebuild; compare trajectories."""
+    optimized = APro(selector, policy=GreedyUsefulnessPolicy())
+    baseline = APro(
+        selector,
+        policy=GreedyUsefulnessPolicy(batched=False),
+        incremental=False,
+    )
+    identical_probe_orders = True
+    identical_answer_sets = True
+    max_certainty_delta = 0.0
+    for query in queries:
+        fast = optimized.run(query, k=config.k, threshold=config.threshold)
+        slow = baseline.run(query, k=config.k, threshold=config.threshold)
+        if [(r.index, r.observed) for r in fast.records] != [
+            (r.index, r.observed) for r in slow.records
+        ]:
+            identical_probe_orders = False
+        if [p.names for p in fast.trajectory] != [
+            p.names for p in slow.trajectory
+        ]:
+            identical_answer_sets = False
+        for a, b in zip(fast.trajectory, slow.trajectory):
+            max_certainty_delta = max(
+                max_certainty_delta,
+                abs(a.expected_correctness - b.expected_correctness),
+            )
+    return {
+        "queries": len(queries),
+        "identical_probe_orders": identical_probe_orders,
+        "identical_answer_sets": identical_answer_sets,
+        "max_certainty_delta": float(max_certainty_delta),
+        "incremental_matches_rebuild": (
+            identical_probe_orders
+            and identical_answer_sets
+            and max_certainty_delta <= 1e-9
+        ),
+    }
+
+
+def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
+    """Run every scenario and return the JSON-able report."""
+    config = config or BenchCoreConfig()
+    context = config.context
+    if context is None:
+        context = build_paper_context(
+            PaperSetupConfig(
+                scale=config.scale,
+                seed=config.seed,
+                n_train=config.n_train,
+                n_test=config.n_test,
+            )
+        )
+    pipeline = config.pipeline
+    if pipeline is None:
+        pipeline = train_pipeline(context)
+    selector = pipeline.rd_selector
+    if not context.test_queries:
+        raise ConfigurationError("testbed produced no test queries")
+    sample_query = context.test_queries[0]
+    apro_query = context.test_queries[min(1, len(context.test_queries) - 1)]
+    apro_queries = context.test_queries[: config.apro_queries]
+    rds = selector.build_rds(sample_query)
+    n = len(rds)
+    repeats = config.repeats
+
+    scenarios: dict[str, object] = {}
+    scenarios["rd_build"] = _timeit(
+        lambda: selector.build_rds(sample_query), repeats
+    )
+    scenarios["best_set_k1"] = _timeit(
+        lambda: TopKComputer(rds, 1).best_set(CorrectnessMetric.ABSOLUTE),
+        repeats,
+    )
+    scenarios["best_set_k3"] = _timeit(
+        lambda: TopKComputer(rds, min(3, n)).best_set(
+            CorrectnessMetric.ABSOLUTE
+        ),
+        repeats,
+    )
+    scenarios["marginals_k3"] = _timeit(
+        lambda: TopKComputer(rds, min(3, n)).marginals(), repeats
+    )
+
+    def sweep_fast() -> None:
+        # One fresh computer per sweep: the usefulness of every
+        # database, exactly what one APro policy round evaluates.
+        computer = TopKComputer(rds, config.k)
+        policy = GreedyUsefulnessPolicy()
+        for database in range(n):
+            policy.usefulness(computer, database, CorrectnessMetric.ABSOLUTE)
+
+    if config.k == 1:
+
+        def sweep_slow() -> None:
+            reference = _ReferenceSweep(rds, config.k)
+            for database in range(n):
+                reference.usefulness(database)
+
+        baseline_policy = _ReferencePolicy()
+    else:
+
+        def sweep_slow() -> None:
+            computer = TopKComputer(rds, config.k)
+            policy = GreedyUsefulnessPolicy(batched=False)
+            for database in range(n):
+                policy.usefulness(computer, database, CorrectnessMetric.ABSOLUTE)
+
+        baseline_policy = GreedyUsefulnessPolicy(batched=False)
+
+    sweep_optimized = _timeit(sweep_fast, repeats)
+    sweep_baseline = _timeit(sweep_slow, repeats)
+    scenarios["usefulness_sweep"] = {
+        "baseline": sweep_baseline,
+        "optimized": sweep_optimized,
+        "speedup_median": _speedup(sweep_baseline, sweep_optimized),
+    }
+
+    apro_optimized_runner = APro(selector)
+    apro_baseline_runner = APro(
+        selector,
+        policy=baseline_policy,
+        incremental=False,
+    )
+    apro_repeats = max(1, repeats // 2)
+    apro_optimized = _timeit(
+        lambda: apro_optimized_runner.run(
+            apro_query, k=config.k, threshold=config.threshold
+        ),
+        apro_repeats,
+    )
+    apro_baseline = _timeit(
+        lambda: apro_baseline_runner.run(
+            apro_query, k=config.k, threshold=config.threshold
+        ),
+        apro_repeats,
+    )
+    scenarios["apro_run"] = {
+        "baseline": apro_baseline,
+        "optimized": apro_optimized,
+        "speedup_median": _speedup(apro_baseline, apro_optimized),
+    }
+
+    report: dict[str, object] = {
+        "schema": BENCH_CORE_SCHEMA,
+        "config": {
+            "scale": config.scale,
+            "seed": config.seed,
+            "n_train": config.n_train,
+            "n_test": config.n_test,
+            "repeats": repeats,
+            "k": config.k,
+            "threshold": config.threshold,
+            "apro_queries": config.apro_queries,
+            "databases": n,
+        },
+        "scenarios": scenarios,
+        "agreement": _agreement(selector, apro_queries, config),
+    }
+    return report
+
+
+def validate_bench_core(report: dict[str, object]) -> None:
+    """Assert the report matches the bench-core/v1 schema.
+
+    Raises :class:`~repro.exceptions.ReproError` on any violation —
+    the CI smoke step runs this plus the agreement flag.
+    """
+    if report.get("schema") != BENCH_CORE_SCHEMA:
+        raise ReproError(
+            f"unexpected schema {report.get('schema')!r}, "
+            f"wanted {BENCH_CORE_SCHEMA!r}"
+        )
+    scenarios = report.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise ReproError("report has no scenarios mapping")
+    for name in _SHARED_SCENARIOS:
+        entry = scenarios.get(name)
+        if not isinstance(entry, dict) or not {
+            "median_ms",
+            "p95_ms",
+            "repeats",
+        } <= set(entry):
+            raise ReproError(f"scenario {name!r} malformed: {entry!r}")
+    for name in _COMPARED_SCENARIOS:
+        entry = scenarios.get(name)
+        if not isinstance(entry, dict) or not {
+            "baseline",
+            "optimized",
+            "speedup_median",
+        } <= set(entry):
+            raise ReproError(f"scenario {name!r} malformed: {entry!r}")
+    agreement = report.get("agreement")
+    if not isinstance(agreement, dict) or "incremental_matches_rebuild" not in agreement:
+        raise ReproError("report has no agreement section")
+
+
+def format_bench_core(report: dict[str, object]) -> str:
+    """Human-readable summary of a bench-core report."""
+    scenarios = report["scenarios"]
+    agreement = report["agreement"]
+    lines = [
+        f"databases            : {report['config']['databases']}",
+        f"repeats              : {report['config']['repeats']}",
+    ]
+    for name in _SHARED_SCENARIOS:
+        entry = scenarios[name]
+        lines.append(
+            f"{name:<21}: {entry['median_ms']:.3f} ms median "
+            f"({entry['p95_ms']:.3f} ms p95)"
+        )
+    for name in _COMPARED_SCENARIOS:
+        entry = scenarios[name]
+        lines.append(
+            f"{name:<21}: {entry['optimized']['median_ms']:.3f} ms median "
+            f"(baseline {entry['baseline']['median_ms']:.3f} ms, "
+            f"{entry['speedup_median']:.2f}x)"
+        )
+    lines.append(
+        "incremental==rebuild : "
+        f"{agreement['incremental_matches_rebuild']} "
+        f"(max certainty delta {agreement['max_certainty_delta']:.2e} "
+        f"over {agreement['queries']} queries)"
+    )
+    return "\n".join(lines)

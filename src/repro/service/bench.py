@@ -217,6 +217,18 @@ def run_bench_serve(
     )
 
 
+def _stage_summary(metrics: dict, name: str) -> str | None:
+    """One-line median/p95 of a per-stage wall-clock histogram."""
+    histogram = metrics.get("histograms", {}).get(name)
+    if not histogram or not histogram.get("count"):
+        return None
+    window = histogram.get("window", {})
+    p50, p95 = window.get("p50"), window.get("p95")
+    if p50 is None or p95 is None:
+        return None
+    return f"{name:<21}: {p50:.2f} ms median ({p95:.2f} ms p95)"
+
+
 def format_bench_serve(report: BenchServeReport) -> str:
     """Human-readable benchmark summary (metrics stay JSON)."""
     lines = [
@@ -229,6 +241,12 @@ def format_bench_serve(report: BenchServeReport) -> str:
         f"{report.concurrent_s:.2f} s",
         f"speedup              : {report.speedup:.2f}x",
         f"identical selections : {report.identical_selections}",
+    ]
+    for stage in ("stage_analyze_ms", "stage_apro_ms"):
+        line = _stage_summary(report.metrics, stage)
+        if line is not None:
+            lines.append(line)
+    lines += [
         "",
         "metrics:",
         json.dumps(report.metrics, indent=2, sort_keys=True),

@@ -155,6 +155,12 @@ class MetasearchService:
         self._metrics.histogram("query_probes")
         self._metrics.histogram("query_probes_uncached")
         self._metrics.histogram("query_latency_wall_ms", deterministic=False)
+        # Per-stage wall clocks of the uncached path: query analysis vs
+        # the APro probing loop (the hot path docs/PERFORMANCE.md
+        # profiles; stage_apro_ms is where the incremental-belief-update
+        # speedups land).
+        self._metrics.histogram("stage_analyze_ms", deterministic=False)
+        self._metrics.histogram("stage_apro_ms", deterministic=False)
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -182,6 +188,7 @@ class MetasearchService:
         """Answer one selection request (cache → probe → record)."""
         started = time.perf_counter()
         analyzed = self._metasearcher.analyze(query)
+        analyze_ms = (time.perf_counter() - started) * 1000.0
         searcher_config = self._metasearcher.config
         key = (analyzed, k, certainty, searcher_config.metric.name)
         if self._cache is not None:
@@ -195,6 +202,7 @@ class MetasearchService:
                 self._observe_query(0, wall_ms, hit=True)
                 return replace(cached, cache_hit=True, wall_ms=wall_ms)
             self._metrics.counter("cache_misses").inc()
+        apro_started = time.perf_counter()
         session = self._apro.run(
             analyzed,
             k=k,
@@ -203,7 +211,14 @@ class MetasearchService:
             max_probes=searcher_config.max_probes,
             batch_size=self._batch_size(),
         )
-        wall_ms = (time.perf_counter() - started) * 1000.0
+        ended = time.perf_counter()
+        self._metrics.histogram(
+            "stage_analyze_ms", deterministic=False
+        ).observe(analyze_ms)
+        self._metrics.histogram(
+            "stage_apro_ms", deterministic=False
+        ).observe((ended - apro_started) * 1000.0)
+        wall_ms = (ended - started) * 1000.0
         answer = ServedAnswer(
             query=analyzed,
             k=k,

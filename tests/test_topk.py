@@ -296,3 +296,110 @@ class TestHypothesisProperties:
         computer = TopKComputer(impulses, k=1)
         _best, score = computer.best_set(CorrectnessMetric.ABSOLUTE)
         assert score == pytest.approx(1.0)
+
+
+class TestOverrideMemoInterleaving:
+    """The override-row cache must survive A→B→A access patterns.
+
+    The pre-batching implementation kept a single-slot override memo, so
+    alternating overrides silently recomputed (and could never be
+    cross-checked for staleness). The batched usefulness sweep
+    interleaves overrides of different databases heavily; these tests
+    pin the per-override cache's correctness under that pattern.
+    """
+
+    def _three_db_computer(self, k=1):
+        rds = [
+            D.from_pairs([(500.0, 0.4), (1000.0, 0.5), (1500.0, 0.1)]),
+            D.from_pairs([(650.0, 0.1), (1300.0, 0.9)]),
+            D.from_pairs([(800.0, 0.6), (1200.0, 0.4)]),
+        ]
+        return TopKComputer(rds, k)
+
+    def test_interleaved_marginals_stable(self):
+        computer = self._three_db_computer()
+        atom_a = computer.atoms_of(0)[1][0]
+        atom_b = computer.atoms_of(1)[1][0]
+        first_a = computer.marginals(override=(0, atom_a))
+        first_b = computer.marginals(override=(1, atom_b))
+        again_a = computer.marginals(override=(0, atom_a))
+        again_b = computer.marginals(override=(1, atom_b))
+        np.testing.assert_array_equal(first_a, again_a)
+        np.testing.assert_array_equal(first_b, again_b)
+        # Cross-check against computers that never interleaved.
+        solo = self._three_db_computer()
+        np.testing.assert_allclose(
+            solo.marginals(override=(0, atom_a)), first_a, atol=1e-12
+        )
+        solo = self._three_db_computer()
+        np.testing.assert_allclose(
+            solo.marginals(override=(1, atom_b)), first_b, atol=1e-12
+        )
+
+    def test_interleaved_best_set_stable(self):
+        for k in (1, 2):
+            computer = self._three_db_computer(k)
+            atoms = [
+                (db, triple[0])
+                for db in range(3)
+                for triple in computer.atoms_of(db)
+            ]
+            # Two interleaved passes over every override must agree with
+            # a fresh computer evaluating each override once.
+            first = [
+                computer.best_set(CorrectnessMetric.ABSOLUTE, override=o)
+                for o in atoms
+            ]
+            second = [
+                computer.best_set(CorrectnessMetric.ABSOLUTE, override=o)
+                for o in atoms
+            ]
+            assert first == second
+            for override, (best, score) in zip(atoms, first):
+                fresh = self._three_db_computer(k)
+                fresh_best, fresh_score = fresh.best_set(
+                    CorrectnessMetric.ABSOLUTE, override=override
+                )
+                assert best == fresh_best
+                assert score == pytest.approx(fresh_score, abs=1e-12)
+
+    def test_interleaved_prob_set_is_topk_stable(self):
+        computer = self._three_db_computer(k=2)
+        atom_a = computer.atoms_of(0)[0][0]
+        atom_b = computer.atoms_of(2)[1][0]
+        sequence = [(0, atom_a), (2, atom_b), (0, atom_a), (2, atom_b)]
+        values = [
+            computer.prob_set_is_topk([0, 2], override=o) for o in sequence
+        ]
+        assert values[0] == values[2]
+        assert values[1] == values[3]
+        for override, value in zip(sequence[:2], values[:2]):
+            fresh = self._three_db_computer(k=2)
+            assert fresh.prob_set_is_topk(
+                [0, 2], override=override
+            ) == pytest.approx(value, abs=1e-12)
+
+
+class TestMarginalsKAtLeastN:
+    def test_k_equals_n_returns_ones(self):
+        computer = TopKComputer(paper_example4_rds(), k=2)
+        np.testing.assert_array_equal(
+            computer.marginals(), np.ones(2)
+        )
+
+    def test_defensive_copy_on_k_geq_n_path(self):
+        """Mutating a returned marginals array must not corrupt the memo
+        — the k >= n early return goes through the same contract as
+        every other path."""
+        computer = TopKComputer(paper_example4_rds(), k=2)
+        first = computer.marginals()
+        first[0] = -42.0
+        second = computer.marginals()
+        np.testing.assert_array_equal(second, np.ones(2))
+
+    def test_defensive_copy_on_general_path(self):
+        computer = TopKComputer(paper_example4_rds(), k=1)
+        first = computer.marginals()
+        expected = first.copy()
+        first[:] = -1.0
+        np.testing.assert_array_equal(computer.marginals(), expected)

@@ -1,0 +1,222 @@
+"""Property tests for incremental belief updates (``TopKComputer.collapse``).
+
+The contract under test: a computer evolved through a chain of
+``collapse(i, value)`` calls answers every query exactly like a fresh
+:class:`TopKComputer` built from the post-probe RDs — for in-support
+observations, out-of-support observations (midpoint rank insertion),
+and observed values duplicating another database's support atom.
+Also covers the batched usefulness path against the legacy per-atom
+path, and memo migration across collapse.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.policies import GreedyUsefulnessPolicy
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.stats.distribution import DiscreteDistribution as D
+
+ATOL = 1e-9
+
+
+def random_rds(rng, n, max_support=5, impulse_prob=0.15):
+    """Random RDs with small integer supports, duplicates across
+    databases, and an occasional pre-collapsed impulse."""
+    rds = []
+    for _ in range(n):
+        if rng.random() < impulse_prob:
+            rds.append(D.impulse(float(rng.integers(0, 12))))
+            continue
+        size = int(rng.integers(1, max_support))
+        values = rng.choice(12, size=size, replace=False)
+        probs = rng.random(size) + 0.05
+        rds.append(
+            D.from_pairs(
+                (float(v), float(p)) for v, p in zip(values, probs)
+            )
+        )
+    return rds
+
+
+def observed_value(rng, rds, i):
+    """An observation that is in-support, out-of-support, or a
+    duplicate of another database's support value."""
+    roll = rng.random()
+    if roll < 0.4:
+        return float(rng.choice(rds[i].values))
+    if roll < 0.7:
+        return float(rng.integers(0, 15)) + 0.5  # never in any support
+    j = int(rng.integers(len(rds)))
+    return float(rng.choice(rds[j].values))
+
+
+def assert_agrees(incremental, fresh, n, k):
+    np.testing.assert_allclose(
+        incremental.marginals(), fresh.marginals(), atol=ATOL
+    )
+    for metric in CorrectnessMetric:
+        best_inc, score_inc = incremental.best_set(metric)
+        best_fresh, score_fresh = fresh.best_set(metric)
+        assert best_inc == best_fresh
+        assert score_inc == pytest.approx(score_fresh, abs=ATOL)
+    if k < n:
+        for subset in list(combinations(range(n), k))[:6]:
+            assert incremental.prob_set_is_topk(
+                list(subset)
+            ) == pytest.approx(
+                fresh.prob_set_is_topk(list(subset)), abs=ATOL
+            )
+
+
+class TestCollapseAgreesWithRebuild:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_probe_chains(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 7))
+        k = int(rng.integers(1, n + 1))
+        rds = random_rds(rng, n)
+        incremental = TopKComputer(rds, k)
+        current = list(rds)
+        for i in rng.permutation(n):
+            i = int(i)
+            value = observed_value(rng, current, i)
+            incremental = incremental.collapse(i, value)
+            current[i] = D.impulse(value)
+            assert_agrees(incremental, TopKComputer(current, k), n, k)
+
+    def test_out_of_support_between_existing_ranks(self):
+        rds = [
+            D.from_pairs([(10.0, 0.5), (20.0, 0.5)]),
+            D.from_pairs([(12.0, 0.3), (18.0, 0.7)]),
+            D.from_pairs([(15.0, 1.0)]),
+        ]
+        incremental = TopKComputer(rds, 1).collapse(0, 16.0)
+        fresh = TopKComputer(
+            [D.impulse(16.0), rds[1], rds[2]], 1
+        )
+        assert_agrees(incremental, fresh, 3, 1)
+
+    def test_duplicate_of_other_database_tie_break(self):
+        # Observed value equals db1's support value: the tie must break
+        # toward the earlier database exactly as in a fresh build.
+        rds = [
+            D.from_pairs([(5.0, 0.5), (9.0, 0.5)]),
+            D.from_pairs([(7.0, 1.0)]),
+        ]
+        for db, value in ((0, 7.0), (1, 9.0)):
+            incremental = TopKComputer(rds, 1).collapse(db, value)
+            current = list(rds)
+            current[db] = D.impulse(value)
+            assert_agrees(incremental, TopKComputer(current, 1), 2, 1)
+
+    def test_collapse_chain_usefulness_matches_fresh(self):
+        rng = np.random.default_rng(99)
+        rds = random_rds(rng, 5)
+        k = 2
+        incremental = TopKComputer(rds, k)
+        current = list(rds)
+        policy = GreedyUsefulnessPolicy()
+        for i in (3, 0, 4):
+            value = observed_value(rng, current, i)
+            incremental = incremental.collapse(i, value)
+            current[i] = D.impulse(value)
+            fresh = TopKComputer(current, k)
+            for database in range(5):
+                for metric in CorrectnessMetric:
+                    assert policy.usefulness(
+                        incremental, database, metric
+                    ) == pytest.approx(
+                        policy.usefulness(fresh, database, metric),
+                        abs=ATOL,
+                    )
+
+    def test_collapse_validates_database_index(self):
+        computer = TopKComputer([D.impulse(1.0), D.impulse(2.0)], 1)
+        from repro.exceptions import SelectionError
+
+        with pytest.raises(SelectionError):
+            computer.collapse(5, 1.0)
+
+
+class TestMemoMigration:
+    def test_best_set_memo_migrates_on_in_support_collapse(self):
+        """The usefulness sweep's answer under override=(i, t0) becomes
+        the post-collapse no-override answer when t0 is observed."""
+        rds = [
+            D.from_pairs([(500.0, 0.4), (1000.0, 0.5), (1500.0, 0.1)]),
+            D.from_pairs([(650.0, 0.1), (1300.0, 0.9)]),
+            D.from_pairs([(800.0, 0.6), (1200.0, 0.4)]),
+        ]
+        computer = TopKComputer(rds, 1)
+        atom = next(
+            t for t, v, _p in computer.atoms_of(0) if v == 1000.0
+        )
+        best_override, score_override = computer.best_set(
+            CorrectnessMetric.ABSOLUTE, override=(0, atom)
+        )
+        collapsed = computer.collapse(0, 1000.0)
+        best_after, score_after = collapsed.best_set(
+            CorrectnessMetric.ABSOLUTE
+        )
+        assert best_after == best_override
+        assert score_after == pytest.approx(score_override, abs=1e-12)
+        # And it matches a fresh rebuild.
+        fresh = TopKComputer(
+            [D.impulse(1000.0), rds[1], rds[2]], 1
+        )
+        assert fresh.best_set(CorrectnessMetric.ABSOLUTE)[
+            1
+        ] == pytest.approx(score_after, abs=ATOL)
+
+    def test_collapsed_computer_not_polluted_by_parent_overrides(self):
+        """Memo entries for overrides of *other* databases must not leak
+        into the collapsed computer's no-override answers."""
+        rng = np.random.default_rng(5)
+        rds = random_rds(rng, 4, impulse_prob=0.0)
+        computer = TopKComputer(rds, 2)
+        # Populate override memos for every database (a full sweep).
+        policy = GreedyUsefulnessPolicy()
+        for database in range(4):
+            policy.usefulness(
+                computer, database, CorrectnessMetric.ABSOLUTE
+            )
+        value = float(rds[1].values[0])
+        collapsed = computer.collapse(1, value)
+        current = list(rds)
+        current[1] = D.impulse(value)
+        assert_agrees(collapsed, TopKComputer(current, 2), 4, 2)
+
+
+class TestBatchedUsefulnessMatchesLegacy:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_randomized(self, seed):
+        rng = np.random.default_rng(1000 + seed)
+        n = int(rng.integers(2, 7))
+        k = int(rng.integers(1, n + 1))
+        rds = random_rds(rng, n)
+        computer = TopKComputer(rds, k)
+        batched = GreedyUsefulnessPolicy()
+        legacy = GreedyUsefulnessPolicy(batched=False)
+        for metric in CorrectnessMetric:
+            for database in range(n):
+                assert batched.usefulness(
+                    computer, database, metric
+                ) == pytest.approx(
+                    legacy.usefulness(computer, database, metric),
+                    abs=ATOL,
+                )
+
+    def test_choose_agrees(self):
+        rng = np.random.default_rng(77)
+        for _ in range(10):
+            n = int(rng.integers(2, 6))
+            rds = random_rds(rng, n, impulse_prob=0.0)
+            computer = TopKComputer(rds, 1)
+            candidates = list(range(n))
+            assert GreedyUsefulnessPolicy().choose(
+                computer, candidates, CorrectnessMetric.ABSOLUTE, 0.9
+            ) == GreedyUsefulnessPolicy(batched=False).choose(
+                computer, candidates, CorrectnessMetric.ABSOLUTE, 0.9
+            )
