@@ -6,9 +6,14 @@ probes as that level demands. This example runs the same queries at
 increasing certainty levels and tabulates probes vs. realized accuracy.
 
 Run:  python examples/certainty_knob.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN, REPRO_EXAMPLE_TEST.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -23,7 +28,11 @@ from repro.experiments.reporting import format_table
 def main() -> None:
     print("Preparing the experiment context (testbed + queries)...")
     context = build_paper_context(
-        PaperSetupConfig(scale=0.1, n_train=500, n_test=60)
+        PaperSetupConfig(
+            scale=float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1")),
+            n_train=int(os.environ.get("REPRO_EXAMPLE_TRAIN", "500")),
+            n_test=int(os.environ.get("REPRO_EXAMPLE_TEST", "60")),
+        )
     )
     pipeline = train_pipeline(context)
     golden = GoldenStandard(context.mediator)

@@ -8,9 +8,14 @@ non-uniformity flips the ranking — the exact failure the probabilistic
 relevancy model corrects.
 
 Run:  python examples/error_distributions.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN, REPRO_EXAMPLE_TEST.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro.core.query_types import QueryTypeClassifier
 from repro.experiments.harness import train_pipeline
@@ -21,7 +26,11 @@ from repro.experiments.setup import PaperSetupConfig, build_paper_context
 def main() -> None:
     print("Preparing the testbed and training error distributions...")
     context = build_paper_context(
-        PaperSetupConfig(scale=0.1, n_train=600, n_test=40)
+        PaperSetupConfig(
+            scale=float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1")),
+            n_train=int(os.environ.get("REPRO_EXAMPLE_TRAIN", "600")),
+            n_test=int(os.environ.get("REPRO_EXAMPLE_TEST", "40")),
+        )
     )
     classifier = QueryTypeClassifier(
         estimate_thresholds=QueryTypeClassifier.PAPER_THRESHOLDS

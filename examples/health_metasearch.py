@@ -7,9 +7,14 @@ cost so the efficiency story (a few probes instead of querying all 20
 databases) is visible.
 
 Run:  python examples/health_metasearch.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import Mediator, Metasearcher, MetasearcherConfig, build_health_testbed
 from repro.corpus import default_topic_registry
@@ -27,11 +32,15 @@ USER_QUERIES = (
 )
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.15"))
+N_TRAIN = int(os.environ.get("REPRO_EXAMPLE_TRAIN", "600"))
+
+
 def main() -> None:
     analyzer = Analyzer()
     print("Indexing 20 Hidden-Web health/science/news databases...")
     mediator = Mediator.from_documents(
-        build_health_testbed(scale=0.15), analyzer=analyzer
+        build_health_testbed(scale=SCALE), analyzer=analyzer
     )
     print(f"  total documents mediated: {sum(db.size for db in mediator)}\n")
 
@@ -44,8 +53,8 @@ def main() -> None:
     searcher = Metasearcher(
         mediator, MetasearcherConfig(samples_per_type=50), analyzer=analyzer
     )
-    print("Training on 600 trace queries (offline phase)...")
-    searcher.train(trace.generate(600))
+    print(f"Training on {N_TRAIN} trace queries (offline phase)...")
+    searcher.train(trace.generate(N_TRAIN))
     training_probes = mediator.total_probes()
     print(f"  offline probes: {training_probes}\n")
 

@@ -5,9 +5,14 @@ metasearcher on a simulated query trace, and answers a query with a
 user-chosen certainty level.
 
 Run:  python examples/quickstart.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN.
 """
 
 from __future__ import annotations
+
+import os
 
 from repro import Mediator, Metasearcher, MetasearcherConfig, build_health_testbed
 from repro.corpus import default_topic_registry
@@ -16,11 +21,15 @@ from repro.querylog import QueryTraceGenerator
 from repro.text.analyzer import Analyzer
 
 
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1"))
+N_TRAIN = int(os.environ.get("REPRO_EXAMPLE_TRAIN", "400"))
+
+
 def main() -> None:
     print("Building the 20-database health-web testbed (small scale)...")
     analyzer = Analyzer()
     mediator = Mediator.from_documents(
-        build_health_testbed(scale=0.1), analyzer=analyzer
+        build_health_testbed(scale=SCALE), analyzer=analyzer
     )
     for db in list(mediator)[:5]:
         print(f"  {db.name:<16} {db.size:>5} documents")
@@ -33,7 +42,7 @@ def main() -> None:
         analyzer=analyzer,
         seed=7,
     )
-    train_queries = trace.generate(400)
+    train_queries = trace.generate(N_TRAIN)
     searcher = Metasearcher(
         mediator, MetasearcherConfig(samples_per_type=50), analyzer=analyzer
     )

@@ -7,10 +7,14 @@ paper reports. For the full benchmark-scale run use
 ``pytest benchmarks/ --benchmark-only -s``.
 
 Run:  python examples/reproduce_paper.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN, REPRO_EXAMPLE_TEST.
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.experiments.ablations import compare_probing_policies
@@ -25,9 +29,9 @@ from repro.experiments.reporting import (
 from repro.experiments.setup import PaperSetupConfig, build_paper_context
 from repro.experiments.threshold_probes import probes_per_threshold
 
-SCALE = 0.12
-N_TRAIN = 700
-N_TEST = 80
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.12"))
+N_TRAIN = int(os.environ.get("REPRO_EXAMPLE_TRAIN", "700"))
+N_TEST = int(os.environ.get("REPRO_EXAMPLE_TEST", "80"))
 
 
 def banner(title: str) -> None:

@@ -25,6 +25,7 @@ Quickstart::
     print(answer.selected, answer.certainty, answer.probes_used)
 """
 
+from repro.core.deadline import Deadline
 from repro.core.policies import (
     CostAwareGreedyPolicy,
     GreedyUsefulnessPolicy,
@@ -41,6 +42,9 @@ from repro.core.training import EDTrainer, ErrorModel
 from repro.corpus.collections import build_health_testbed
 from repro.corpus.newsgroups import build_newsgroup_testbed
 from repro.exceptions import ReproError
+from repro.gateway.client import GatewayClient, SyncGatewayClient
+from repro.gateway.gateway import GatewayConfig, MetasearchGateway
+from repro.gateway.protocol import GatewayError
 from repro.hiddenweb.database import HiddenWebDatabase, RelevancyDefinition
 from repro.hiddenweb.mediator import Mediator
 from repro.metasearch.baselines import EstimationBasedSelector
@@ -72,7 +76,13 @@ __all__ = [
     "APro",
     "Analyzer",
     "BatchProber",
+    "Deadline",
     "FaultInjector",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "MetasearchGateway",
+    "SyncGatewayClient",
     "MediatorProber",
     "MetasearchService",
     "MetricsRegistry",

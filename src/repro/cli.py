@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-metasearch``.
 
-Seven commands:
+Nine commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
@@ -11,13 +11,19 @@ Seven commands:
   see ``docs/TRAINING.md``) and save the trained state to JSON;
 * ``serve``       — run a query stream through the concurrent serving
   layer (optionally fault-injected) and dump metrics JSON;
+* ``gateway``     — run the asyncio TCP front end over a trained
+  service: `gateway/v1` protocol, admission control, coalescing,
+  deadlines (see ``docs/GATEWAY.md``);
 * ``bench-serve`` — benchmark the serving layer: serial vs concurrent
   executor over a fault-injected testbed (see ``docs/SERVING.md``);
 * ``bench-train`` — benchmark the offline phase: serial vs parallel ED
   training under injected probe latency (see ``docs/TRAINING.md``);
 * ``bench-core``  — time the per-query hot path (RD build, ``best_set``,
   ``marginals``, usefulness sweep, APro run) baseline vs optimized and
-  write ``BENCH_core.json`` (see ``docs/PERFORMANCE.md``).
+  write ``BENCH_core.json`` (see ``docs/PERFORMANCE.md``);
+* ``bench-gateway`` — load-test the gateway: coalescing under a
+  duplicate burst and clean shedding under overload, with p50/p95/p99
+  latency (see ``docs/GATEWAY.md``).
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -187,6 +193,109 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="write the metrics snapshot JSON to this path",
+    )
+
+    gateway = subparsers.add_parser(
+        "gateway",
+        help="run the asyncio TCP gateway over a trained service",
+    )
+    gateway.add_argument(
+        "--host", default="127.0.0.1", help="listen address"
+    )
+    gateway.add_argument(
+        "--port", type=int, default=7070, help="listen port (0 = ephemeral)"
+    )
+    gateway.add_argument(
+        "--batch", type=int, default=4, help="probes per APro round"
+    )
+    gateway.add_argument(
+        "--workers", type=int, default=8, help="probe thread-pool width"
+    )
+    gateway.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=300.0,
+        help="selection-cache TTL in seconds (0 disables the cache)",
+    )
+    gateway.add_argument(
+        "--latency-ms",
+        type=float,
+        default=0.0,
+        help="injected mean probe latency (0 = none)",
+    )
+    gateway.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="injected probe failure probability",
+    )
+    gateway.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="concurrent backend requests",
+    )
+    gateway.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="admitted requests allowed to queue (beyond = shed)",
+    )
+    gateway.add_argument(
+        "--default-deadline-ms",
+        type=float,
+        default=None,
+        help="deadline applied to requests without their own (ms)",
+    )
+
+    bench_gateway = subparsers.add_parser(
+        "bench-gateway",
+        help="load-test the gateway (coalescing + load shedding)",
+    )
+    bench_gateway.add_argument("--k", type=int, default=3)
+    bench_gateway.add_argument("--certainty", type=float, default=0.9)
+    bench_gateway.add_argument(
+        "--batch", type=int, default=16, help="probes per APro round"
+    )
+    bench_gateway.add_argument(
+        "--workers", type=int, default=8, help="backend executor width"
+    )
+    bench_gateway.add_argument(
+        "--latency-ms",
+        type=float,
+        default=25.0,
+        help="injected mean probe latency",
+    )
+    bench_gateway.add_argument(
+        "--requests",
+        type=int,
+        default=60,
+        help="requests in the coalesce burst",
+    )
+    bench_gateway.add_argument(
+        "--unique",
+        type=int,
+        default=6,
+        help="unique queries in the coalesce burst",
+    )
+    bench_gateway.add_argument(
+        "--shed-requests",
+        type=int,
+        default=24,
+        help="open-loop arrivals in the shed phase",
+    )
+    bench_gateway.add_argument(
+        "--out",
+        default="bench_gateway.json",
+        help="path of the report JSON (default bench_gateway.json)",
+    )
+    bench_gateway.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless coalescing collapsed duplicates and "
+            "overload shed cleanly (CI smoke mode)"
+        ),
     )
 
     fig = subparsers.add_parser(
@@ -435,6 +544,121 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway.gateway import GatewayConfig, MetasearchGateway
+    from repro.service.bench import build_trained_testbed
+    from repro.service.faults import FaultInjector
+    from repro.service.server import MetasearchService, ServiceConfig
+
+    print("Training (offline sampling)...", flush=True)
+    _context_unused, searcher = build_trained_testbed(
+        scale=args.scale,
+        seed=args.seed,
+        n_train=args.train_queries,
+        n_test=args.test_queries,
+        batch_size=args.batch,
+    )
+    injector = None
+    if args.latency_ms > 0 or args.error_rate > 0:
+        injector = FaultInjector(
+            seed=args.seed,
+            mean_latency_s=args.latency_ms / 1000.0,
+            error_rate=args.error_rate,
+        )
+    service = MetasearchService(
+        searcher,
+        config=ServiceConfig(
+            max_workers=args.workers,
+            batch_size=args.batch,
+            cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
+            cache_enabled=args.cache_ttl > 0,
+        ),
+        injector=injector,
+    )
+    gateway = MetasearchGateway(
+        service,
+        GatewayConfig(
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            max_queue=args.max_queue,
+            default_deadline_ms=args.default_deadline_ms,
+        ),
+    )
+
+    async def run() -> None:
+        await gateway.start()
+        print(
+            f"Gateway listening on {args.host}:{gateway.port} "
+            f"(gateway/v1; Ctrl-C to drain and stop)",
+            flush=True,
+        )
+        try:
+            await gateway.serve_forever()
+        finally:
+            await gateway.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nDrained; gateway stopped.")
+    finally:
+        service.shutdown()
+    return 0
+
+
+def _cmd_bench_gateway(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.gateway.bench import (
+        BenchGatewayConfig,
+        format_bench_gateway,
+        run_bench_gateway,
+        validate_bench_gateway,
+    )
+
+    print(
+        f"Benchmarking gateway (scale={args.scale}, "
+        f"{args.requests} coalesce requests / "
+        f"{args.shed_requests} shed requests)...",
+        flush=True,
+    )
+    report = run_bench_gateway(
+        BenchGatewayConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            k=args.k,
+            certainty=args.certainty,
+            batch_size=args.batch,
+            workers=args.workers,
+            mean_latency_ms=args.latency_ms,
+            coalesce_requests=args.requests,
+            coalesce_unique=args.unique,
+            shed_requests=args.shed_requests,
+        )
+    )
+    print(format_bench_gateway(report))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Report written to {args.out}")
+    if args.check:
+        failures = validate_bench_gateway(report)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        print(
+            "check passed: coalescing collapsed duplicates, "
+            "overload shed cleanly"
+        )
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -593,9 +817,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fig": _cmd_fig,
         "train": _cmd_train,
         "serve": _cmd_serve,
+        "gateway": _cmd_gateway,
         "bench-serve": _cmd_bench_serve,
         "bench-train": _cmd_bench_train,
         "bench-core": _cmd_bench_core,
+        "bench-gateway": _cmd_bench_gateway,
     }
     try:
         return handlers[args.command](args)

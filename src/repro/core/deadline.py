@@ -1,0 +1,87 @@
+"""Wall-clock deadlines for the query-time hot path.
+
+The paper's APro loop trades *probes* against certainty; a serving
+deployment also has to trade *time*. A :class:`Deadline` is an absolute
+point on a monotonic clock that the probing loop consults between probe
+rounds (and the greedy policy consults between candidate sweeps): when
+it expires, probing stops early and the current best set is returned
+with the certainty actually reached — degraded, never an exception.
+That makes latency a first-class knob exactly like the paper's
+certainty threshold t.
+
+An already-expired deadline is legal and meaningful: it yields the pure
+no-probe RD-based selection, the same contract as ``max_probes=0``
+(see ``docs/GATEWAY.md``).
+
+The clock is injectable so expiry is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute expiry instant on a monotonic clock.
+
+    Build one with :meth:`after` (relative seconds) or :meth:`after_ms`
+    (relative milliseconds, the gateway protocol's unit). Instances are
+    immutable; sharing one across the layers of a request (gateway →
+    service → APro → policy) is what propagates the budget.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(
+        self,
+        expires_at: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._expires_at = float(expires_at)
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls,
+        seconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline *seconds* from now (<= 0 is already expired)."""
+        if seconds != seconds:  # NaN
+            raise ConfigurationError("deadline seconds must not be NaN")
+        return cls(clock() + seconds, clock=clock)
+
+    @classmethod
+    def after_ms(
+        cls,
+        milliseconds: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline":
+        """A deadline *milliseconds* from now."""
+        return cls.after(milliseconds / 1000.0, clock=clock)
+
+    @property
+    def expires_at(self) -> float:
+        """The absolute expiry instant (monotonic-clock seconds)."""
+        return self._expires_at
+
+    def remaining_s(self) -> float:
+        """Seconds left; negative once expired."""
+        return self._expires_at - self._clock()
+
+    def remaining_ms(self) -> float:
+        """Milliseconds left; negative once expired."""
+        return self.remaining_s() * 1000.0
+
+    @property
+    def expired(self) -> bool:
+        """Whether the deadline has passed."""
+        return self.remaining_s() <= 0.0
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining_s={self.remaining_s():.3f})"

@@ -17,6 +17,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.core.deadline import Deadline
 from repro.core.relevancy import RelevancyDistribution
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.exceptions import ProbingError
@@ -33,7 +34,15 @@ __all__ = [
 
 
 class ProbePolicy(Protocol):
-    """Strategy choosing the next database to probe."""
+    """Strategy choosing the next database to probe.
+
+    The ``deadline`` keyword is optional for implementers:
+    :class:`~repro.core.probing.APro` inspects the signature and only
+    passes it to policies that accept it, so policies written against
+    the original four-argument signature keep working. Deadline-aware
+    policies may cut their candidate sweep short once the deadline
+    expires, returning the best candidate evaluated so far.
+    """
 
     def choose(
         self,
@@ -41,6 +50,7 @@ class ProbePolicy(Protocol):
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         """Return the index (from *candidates*) to probe next."""
         ...  # pragma: no cover - protocol signature
@@ -114,12 +124,24 @@ class GreedyUsefulnessPolicy:
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         if not candidates:
             raise ProbingError("no candidate databases to probe")
         best_db = candidates[0]
         best_usefulness = -1.0
         for database in candidates:
+            # The sweep is the expensive part of a round; under a
+            # wall-clock deadline, stop after the candidates evaluated
+            # so far (at least one) instead of finishing it. Without a
+            # deadline the sweep — and hence the probe order — is
+            # exactly the paper's.
+            if (
+                deadline is not None
+                and best_usefulness >= 0.0
+                and deadline.expired
+            ):
+                break
             usefulness = self.usefulness(computer, database, metric)
             if usefulness > best_usefulness + 1e-12:
                 best_db, best_usefulness = database, usefulness
@@ -159,6 +181,7 @@ class CostAwareGreedyPolicy(GreedyUsefulnessPolicy):
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         if not candidates:
             raise ProbingError("no candidate databases to probe")
@@ -172,6 +195,12 @@ class CostAwareGreedyPolicy(GreedyUsefulnessPolicy):
         best_rate = -1.0
         best_cost = float("inf")
         for database in candidates:
+            if (
+                deadline is not None
+                and best_rate >= 0.0
+                and deadline.expired
+            ):
+                break
             gain = self.usefulness(computer, database, metric) - current
             rate = max(gain, 0.0) / self._costs[database]
             cost = self._costs[database]
@@ -200,6 +229,7 @@ class RandomPolicy:
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         if not candidates:
             raise ProbingError("no candidate databases to probe")
@@ -222,6 +252,7 @@ class MaxUncertaintyPolicy:
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         if not candidates:
             raise ProbingError("no candidate databases to probe")
@@ -309,6 +340,7 @@ class LookaheadPolicy:
         candidates: list[int],
         metric: CorrectnessMetric,
         threshold: float,
+        deadline: Deadline | None = None,
     ) -> int:
         if not candidates:
             raise ProbingError("no candidate databases to probe")

@@ -14,10 +14,12 @@ Fig. 16 plots.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro.core.deadline import Deadline
 from repro.core.policies import GreedyUsefulnessPolicy, ProbePolicy
 from repro.core.relevancy import RelevancyDistribution
 from repro.core.selection import RDBasedSelector
@@ -93,7 +95,13 @@ class TrajectoryPoint:
 
 @dataclass
 class ProbeSession:
-    """Full record of one APro run for a query."""
+    """Full record of one APro run for a query.
+
+    ``deadline_expired`` is set when a wall-clock :class:`Deadline`
+    stopped the loop before the requested certainty was reached — the
+    final trajectory point is then the best set known at expiry, with
+    the certainty actually achieved.
+    """
 
     query: Query
     k: int
@@ -101,6 +109,7 @@ class ProbeSession:
     threshold: float
     records: list[ProbeRecord] = field(default_factory=list)
     trajectory: list[TrajectoryPoint] = field(default_factory=list)
+    deadline_expired: bool = False
 
     @property
     def num_probes(self) -> int:
@@ -177,6 +186,7 @@ class APro:
             selector.mediator, selector.definition
         )
         self._incremental = incremental
+        self._policy_takes_deadline = _accepts_deadline(self._policy)
 
     def run(
         self,
@@ -187,6 +197,7 @@ class APro:
         max_probes: int | None = None,
         force_probes: int | None = None,
         batch_size: int = 1,
+        deadline: Deadline | None = None,
     ) -> ProbeSession:
         """Execute APro for one query.
 
@@ -202,7 +213,12 @@ class APro:
         metric:
             Correctness metric being guaranteed.
         max_probes:
-            Optional hard probe budget.
+            Optional hard probe budget. ``0`` disables live probing
+            entirely: the session is the pure no-probe RD-based
+            selection from the prior (a single trajectory point,
+            identical to :meth:`RDBasedSelector.select`), whatever the
+            threshold — ``satisfied`` then reports whether the prior
+            alone met it.
         force_probes:
             Keep probing until this many probes even after the threshold
             is met (used to trace correctness-vs-probes curves). The
@@ -215,6 +231,16 @@ class APro:
             candidate, excludes it, and repeats on the *same* belief
             state up to this many times before observing the results.
             ``1`` (default) is the paper's strictly sequential APro.
+        deadline:
+            Optional wall-clock budget. The loop checks it before each
+            probe round (and deadline-aware policies check it between
+            candidate sweeps): once expired, probing stops and the
+            session ends at the current best set with the certainty
+            actually reached, ``deadline_expired`` set — never an
+            exception. An already-expired deadline therefore behaves
+            like ``max_probes=0``. Observations already in flight are
+            still applied (they are paid for), so expiry granularity is
+            one probe round.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ProbingError(f"threshold must be in [0, 1], got {threshold}")
@@ -233,12 +259,20 @@ class APro:
         self._record_point(session, mediator, 0, best, score)
 
         probed: set[int] = set()
+        policy_kwargs: dict[str, Deadline] = (
+            {"deadline": deadline}
+            if deadline is not None and self._policy_takes_deadline
+            else {}
+        )
         while True:
             reached = score >= threshold
             want_more = (
                 force_probes is not None and len(probed) < force_probes
             )
             if reached and not want_more:
+                break
+            if deadline is not None and deadline.expired:
+                session.deadline_expired = True
                 break
             if max_probes is not None and len(probed) >= max_probes:
                 break
@@ -256,8 +290,10 @@ class APro:
             batch: list[int] = []
             remaining = list(candidates)
             for _ in range(round_size):
+                if deadline is not None and deadline.expired:
+                    break  # stop sweeping; the outer check ends the run
                 choice = self._policy.choose(
-                    computer, remaining, metric, threshold
+                    computer, remaining, metric, threshold, **policy_kwargs
                 )
                 if choice not in remaining:
                     raise ProbingError(
@@ -265,6 +301,11 @@ class APro:
                     )
                 batch.append(choice)
                 remaining.remove(choice)
+            if deadline is not None and deadline.expired:
+                # Expired during candidate selection: return the current
+                # belief instead of paying for another probe round.
+                session.deadline_expired = True
+                break
             observations = self._prober.probe_batch(query, batch)
             if len(observations) != len(batch):
                 raise ProbingError(
@@ -300,3 +341,22 @@ class APro:
                 expected_correctness=score,
             )
         )
+
+
+def _accepts_deadline(policy: ProbePolicy) -> bool:
+    """Whether ``policy.choose`` takes a ``deadline`` keyword.
+
+    The in-repo policies are deadline-aware; user-supplied policies with
+    the original four-argument signature keep working — APro simply
+    checks the deadline itself between rounds.
+    """
+    try:
+        parameters = inspect.signature(policy.choose).parameters
+    except (TypeError, ValueError):  # builtins / odd callables
+        return False
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return True
+    return "deadline" in parameters

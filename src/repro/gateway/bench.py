@@ -1,0 +1,379 @@
+"""`repro-metasearch bench-gateway`: open-loop gateway load generator.
+
+Two phases against a real gateway on an ephemeral port, each designed
+to *demonstrate* one front-end mechanism rather than merely exercise
+it:
+
+* **coalesce** — the selection cache is disabled and a burst of
+  requests drawn from a handful of distinct queries is fired
+  concurrently under injected probe latency. Concurrent duplicates
+  cannot be answered by any cache (they all arrive before the first
+  answer exists); single-flight coalescing is what collapses them, so
+  the phase reports a coalesce hit rate > 0 and *fewer backend serve
+  calls than requests*.
+* **shed** — a gateway with a deliberately tiny admission envelope
+  (``max_inflight=1``, short queue) takes an open-loop burst it cannot
+  absorb. Excess requests must come back as typed ``overloaded``
+  responses carrying ``retry_after_ms`` — not hangs, not dropped
+  connections — and the gateway must drain cleanly afterwards with no
+  leaked request tasks.
+
+Latencies are reported as p50/p95/p99 over the per-request wall clock
+observed by the *client*, which includes queueing — the number an SLA
+would be written against.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.gateway.client import GatewayClient
+from repro.gateway.gateway import GatewayConfig, MetasearchGateway
+from repro.gateway.protocol import ErrorCode, GatewayError
+from repro.service.bench import build_trained_testbed
+from repro.service.faults import FaultInjector
+from repro.service.resilience import RetryPolicy
+from repro.service.server import MetasearchService, ServiceConfig
+
+__all__ = [
+    "BenchGatewayConfig",
+    "run_bench_gateway",
+    "format_bench_gateway",
+    "validate_bench_gateway",
+]
+
+
+@dataclass(frozen=True)
+class BenchGatewayConfig:
+    """Knobs of the gateway benchmark."""
+
+    scale: float = 0.05
+    seed: int = 2004
+    n_train: int = 200
+    n_test: int = 80
+    k: int = 3
+    certainty: float = 0.9
+    batch_size: int = 16
+    workers: int = 8
+    mean_latency_ms: float = 25.0
+    latency_jitter: float = 0.5
+    timeout_ms: float = 250.0
+    train_queries_cap: int | None = None
+    # coalesce phase: a concurrent burst over few unique queries.
+    coalesce_requests: int = 60
+    coalesce_unique: int = 6
+    # shed phase: more open-loop arrivals than a 1-wide, short-queue
+    # gateway can admit.
+    shed_requests: int = 24
+    shed_queue: int = 2
+    shed_interval_ms: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.coalesce_requests < 1 or self.shed_requests < 1:
+            raise ConfigurationError("request counts must be >= 1")
+        if self.coalesce_unique < 1:
+            raise ConfigurationError("coalesce_unique must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+
+
+def _percentile(ordered: list[float], pct: float) -> float:
+    rank = max(1, round(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _latency_summary(wall_ms: list[float]) -> dict[str, float]:
+    if not wall_ms:
+        return {"samples": 0}
+    ordered = sorted(wall_ms)
+    return {
+        "samples": len(ordered),
+        "p50_ms": round(_percentile(ordered, 50.0), 3),
+        "p95_ms": round(_percentile(ordered, 95.0), 3),
+        "p99_ms": round(_percentile(ordered, 99.0), 3),
+        "max_ms": round(ordered[-1], 3),
+    }
+
+
+def _service(
+    metasearcher, config: BenchGatewayConfig, cache_enabled: bool
+) -> MetasearchService:
+    injector = FaultInjector(
+        seed=config.seed,
+        mean_latency_s=config.mean_latency_ms / 1000.0,
+        latency_jitter=config.latency_jitter,
+        error_rate=0.0,
+    )
+    return MetasearchService(
+        metasearcher,
+        config=ServiceConfig(
+            max_workers=config.workers,
+            batch_size=config.batch_size,
+            retry=RetryPolicy(timeout_s=config.timeout_ms / 1000.0),
+            cache_ttl_s=None,
+            cache_enabled=cache_enabled,
+        ),
+        injector=injector,
+    )
+
+
+async def _coalesce_phase(
+    metasearcher, queries: list[str], config: BenchGatewayConfig
+) -> dict[str, object]:
+    # Cache off: every answer the backend does NOT compute is
+    # attributable to coalescing alone.
+    service = _service(metasearcher, config, cache_enabled=False)
+    gateway = MetasearchGateway(
+        service,
+        GatewayConfig(
+            max_inflight=config.workers,
+            max_queue=config.coalesce_requests,
+        ),
+    )
+    wall_ms: list[float] = []
+    coalesced = 0
+    ok = 0
+    try:
+        async with gateway:
+            client = await GatewayClient.connect("127.0.0.1", gateway.port)
+            try:
+
+                async def one(index: int) -> None:
+                    nonlocal coalesced, ok
+                    query = queries[index % len(queries)]
+                    started = time.perf_counter()
+                    result = await client.search(
+                        query, k=config.k, certainty=config.certainty
+                    )
+                    wall_ms.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                    ok += 1
+                    if result["served"]["coalesced"]:
+                        coalesced += 1
+
+                await asyncio.gather(
+                    *(one(i) for i in range(config.coalesce_requests))
+                )
+            finally:
+                await client.close()
+        snapshot = service.snapshot()
+    finally:
+        service.shutdown()
+    backend_calls = int(snapshot["counters"]["queries_served"])
+    return {
+        "requests": config.coalesce_requests,
+        "unique_queries": len(queries),
+        "ok": ok,
+        "coalesced": coalesced,
+        "coalesce_hit_rate": round(
+            coalesced / config.coalesce_requests, 6
+        ),
+        "backend_serve_calls": backend_calls,
+        "gateway_coalesced_counter": int(
+            snapshot["counters"]["gateway_coalesced"]
+        ),
+        "latency": _latency_summary(wall_ms),
+    }
+
+
+async def _shed_phase(
+    metasearcher, queries: list[str], config: BenchGatewayConfig
+) -> dict[str, object]:
+    service = _service(metasearcher, config, cache_enabled=False)
+    gateway = MetasearchGateway(
+        service,
+        GatewayConfig(
+            max_inflight=1,
+            max_queue=config.shed_queue,
+            # Coalescing off so every unique request must be admitted
+            # on its own — the shed path is what's under test.
+            coalesce=False,
+        ),
+    )
+    wall_ms: list[float] = []
+    ok = 0
+    shed = 0
+    retry_hints: list[float] = []
+    unexpected: list[str] = []
+    try:
+        async with gateway:
+            client = await GatewayClient.connect("127.0.0.1", gateway.port)
+            try:
+
+                async def one(index: int) -> None:
+                    nonlocal ok, shed
+                    query = f"{queries[index % len(queries)]} v{index}"
+                    started = time.perf_counter()
+                    try:
+                        await client.search(
+                            query, k=config.k, certainty=config.certainty
+                        )
+                        ok += 1
+                    except GatewayError as error:
+                        if error.code is ErrorCode.OVERLOADED:
+                            shed += 1
+                            if error.retry_after_ms is not None:
+                                retry_hints.append(error.retry_after_ms)
+                        else:
+                            unexpected.append(error.code.value)
+                    finally:
+                        wall_ms.append(
+                            (time.perf_counter() - started) * 1000.0
+                        )
+
+                # Open loop: arrivals are paced by the generator, not by
+                # completions, so the gateway has no way to push back
+                # except shedding.
+                tasks = []
+                for index in range(config.shed_requests):
+                    tasks.append(asyncio.create_task(one(index)))
+                    await asyncio.sleep(config.shed_interval_ms / 1000.0)
+                await asyncio.gather(*tasks)
+            finally:
+                await client.close()
+            # Every response has been received, so every request task
+            # should be gone; a yield lets done-callbacks run first.
+            await asyncio.sleep(0)
+            leaked = gateway.open_tasks
+        snapshot = service.snapshot()
+    finally:
+        service.shutdown()
+    return {
+        "requests": config.shed_requests,
+        "ok": ok,
+        "shed": shed,
+        "shed_rate": round(shed / config.shed_requests, 6),
+        "unexpected_errors": unexpected,
+        "retry_after_ms_mean": (
+            round(sum(retry_hints) / len(retry_hints), 3)
+            if retry_hints
+            else None
+        ),
+        "gateway_shed_counter": int(snapshot["counters"]["gateway_shed"]),
+        "leaked_tasks": leaked,
+        "clean_drain": leaked == 0 and not unexpected,
+        "latency": _latency_summary(wall_ms),
+    }
+
+
+def run_bench_gateway(
+    config: BenchGatewayConfig | None = None,
+) -> dict[str, object]:
+    """Run both phases; returns a JSON-able report."""
+    config = config or BenchGatewayConfig()
+    context, metasearcher = build_trained_testbed(
+        scale=config.scale,
+        seed=config.seed,
+        n_train=config.n_train,
+        n_test=config.n_test,
+        batch_size=config.batch_size,
+        train_queries_cap=config.train_queries_cap,
+    )
+    unique = [
+        " ".join(query.terms)
+        for query in context.test_queries[: config.coalesce_unique]
+    ]
+    if not unique:
+        raise ConfigurationError("testbed produced no test queries")
+
+    async def both() -> tuple[dict, dict]:
+        coalesce = await _coalesce_phase(metasearcher, unique, config)
+        shed = await _shed_phase(metasearcher, unique, config)
+        return coalesce, shed
+
+    coalesce, shed = asyncio.run(both())
+    return {
+        "config": {
+            "scale": config.scale,
+            "seed": config.seed,
+            "k": config.k,
+            "certainty": config.certainty,
+            "workers": config.workers,
+            "mean_latency_ms": config.mean_latency_ms,
+            "coalesce_requests": config.coalesce_requests,
+            "coalesce_unique": config.coalesce_unique,
+            "shed_requests": config.shed_requests,
+            "shed_queue": config.shed_queue,
+        },
+        "databases": len(context.mediator),
+        "coalesce": coalesce,
+        "shed": shed,
+    }
+
+
+def format_bench_gateway(report: dict) -> str:
+    """Human-readable benchmark summary (full report stays JSON)."""
+    coalesce = report["coalesce"]
+    shed = report["shed"]
+    lines = [
+        f"databases            : {report['databases']}",
+        "",
+        "coalesce phase (cache disabled):",
+        f"  requests           : {coalesce['requests']} "
+        f"({coalesce['unique_queries']} unique)",
+        f"  coalesced          : {coalesce['coalesced']} "
+        f"(hit rate {coalesce['coalesce_hit_rate']:.0%})",
+        f"  backend serves     : {coalesce['backend_serve_calls']}",
+        f"  latency p50/p95/p99: "
+        f"{coalesce['latency'].get('p50_ms', '-')} / "
+        f"{coalesce['latency'].get('p95_ms', '-')} / "
+        f"{coalesce['latency'].get('p99_ms', '-')} ms",
+        "",
+        "shed phase (max_inflight=1):",
+        f"  requests           : {shed['requests']}",
+        f"  ok / shed          : {shed['ok']} / {shed['shed']} "
+        f"(shed rate {shed['shed_rate']:.0%})",
+        f"  retry_after_ms mean: {shed['retry_after_ms_mean']}",
+        f"  clean drain        : {shed['clean_drain']} "
+        f"(leaked tasks: {shed['leaked_tasks']})",
+        "",
+        "report:",
+        json.dumps(report, indent=2, sort_keys=True),
+    ]
+    return "\n".join(lines)
+
+
+def validate_bench_gateway(report: dict) -> list[str]:
+    """The benchmark's acceptance checks; returns failure messages.
+
+    Empty list = the run demonstrated both mechanisms: coalescing
+    merged concurrent duplicates (hit rate > 0 and strictly fewer
+    backend serve calls than requests) and overload shed cleanly
+    (typed responses, no leaked tasks, clean drain).
+    """
+    failures = []
+    coalesce = report["coalesce"]
+    shed = report["shed"]
+    if coalesce["ok"] != coalesce["requests"]:
+        failures.append(
+            f"coalesce phase: {coalesce['ok']}/{coalesce['requests']} ok"
+        )
+    if coalesce["coalesced"] < 1:
+        failures.append("coalesce phase: no request was coalesced")
+    if coalesce["backend_serve_calls"] >= coalesce["requests"]:
+        failures.append(
+            "coalesce phase: backend served "
+            f"{coalesce['backend_serve_calls']} calls for "
+            f"{coalesce['requests']} requests (no collapsing)"
+        )
+    if shed["shed"] < 1:
+        failures.append("shed phase: nothing was shed")
+    if shed["ok"] + shed["shed"] != shed["requests"]:
+        failures.append(
+            f"shed phase: {shed['ok']} ok + {shed['shed']} shed != "
+            f"{shed['requests']} requests"
+        )
+    if shed["unexpected_errors"]:
+        failures.append(
+            f"shed phase: unexpected errors {shed['unexpected_errors']}"
+        )
+    if not shed["clean_drain"]:
+        failures.append(
+            f"shed phase: unclean drain ({shed['leaked_tasks']} tasks)"
+        )
+    return failures

@@ -1,0 +1,261 @@
+"""Clients for the `gateway/v1` protocol.
+
+:class:`GatewayClient` is the native asyncio client: one TCP
+connection, many in-flight requests, responses matched back to callers
+by request ``id``. :class:`SyncGatewayClient` wraps it for synchronous
+callers (scripts, benchmarks, notebooks) by running a private event
+loop on a background thread.
+
+Both raise :class:`~repro.gateway.protocol.GatewayError` on ``ok:
+false`` responses, so a shed request surfaces as a typed ``overloaded``
+error with ``retry_after_ms`` rather than a dict to pick apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections.abc import Coroutine
+
+from repro.exceptions import ReproError
+from repro.gateway.protocol import (
+    PROTOCOL_VERSION,
+    GatewayError,
+    decode,
+    encode,
+    error_from_payload,
+)
+
+__all__ = ["GatewayClient", "SyncGatewayClient"]
+
+
+class GatewayClient:
+    """Asyncio client for one gateway connection.
+
+    Use :meth:`connect` to build one; requests may be issued
+    concurrently from many tasks and are pipelined over the single
+    connection.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._conn_error: BaseException | None = None
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str, port: int, limit: int = 1 << 20
+    ) -> "GatewayClient":
+        """Open a connection to a gateway and return a ready client."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=limit
+        )
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        error: BaseException = ReproError("gateway connection closed")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                payload = decode(line)
+                future = self._pending.pop(payload.get("id"), None)
+                if future is None or future.done():
+                    continue  # unsolicited or abandoned response
+                if payload.get("ok"):
+                    future.set_result(payload.get("result"))
+                else:
+                    future.set_exception(error_from_payload(payload))
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail pending calls
+            error = exc
+        finally:
+            self._conn_error = error
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def _call(self, request: dict) -> object:
+        if self._closed:
+            raise ReproError("client is closed")
+        if self._reader_task.done():
+            # The reader loop has already failed every pending future; a
+            # future registered now would never be resolved.
+            raise self._conn_error or ReproError(
+                "gateway connection closed"
+            )
+        self._next_id += 1
+        request_id = self._next_id
+        request = {"v": PROTOCOL_VERSION, "id": request_id, **request}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode(request))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def search(
+        self,
+        query: str,
+        k: int,
+        certainty: float = 0.0,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """One selection request; returns the ``result`` object.
+
+        The result has a deterministic ``"answer"`` (selected databases,
+        certainty reached, probes spent, degradation marker) and a
+        timing-dependent ``"served"`` (cache/coalesce flags, wall time).
+        Raises :class:`GatewayError` on typed failures (overloaded,
+        shutting down, bad request...).
+        """
+        request: dict = {
+            "op": "search",
+            "query": query,
+            "k": k,
+            "certainty": certainty,
+        }
+        if deadline_ms is not None:
+            request["deadline_ms"] = deadline_ms
+        result = await self._call(request)
+        if not isinstance(result, dict):
+            raise ReproError(f"malformed gateway result: {result!r}")
+        return result
+
+    async def ping(self) -> dict:
+        """Liveness check; reports whether the gateway is draining."""
+        result = await self._call({"op": "ping"})
+        if not isinstance(result, dict):
+            raise ReproError(f"malformed gateway result: {result!r}")
+        return result
+
+    async def metrics(self) -> dict:
+        """The backend service's metrics snapshot."""
+        result = await self._call({"op": "metrics"})
+        if not isinstance(result, dict):
+            raise ReproError(f"malformed gateway result: {result!r}")
+        return result
+
+    async def close(self) -> None:
+        """Close the connection and fail any pending requests."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:  # noqa: BLE001 - peer may already be gone
+            pass
+        closed = ReproError("client closed")
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(closed)
+        self._pending.clear()
+
+    async def __aenter__(self) -> "GatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class SyncGatewayClient:
+    """Blocking facade over :class:`GatewayClient`.
+
+    Runs a private event loop on a daemon thread and bridges calls with
+    ``run_coroutine_threadsafe``, so synchronous code (CLI tools,
+    notebooks) can talk to a gateway without touching asyncio::
+
+        with SyncGatewayClient("127.0.0.1", 7070) as client:
+            result = client.search("breast cancer", k=3, certainty=0.9)
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout_s: float = 30.0
+    ) -> None:
+        self._timeout_s = timeout_s
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="gateway-client",
+            daemon=True,
+        )
+        self._thread.start()
+        try:
+            self._client: GatewayClient = self._run(
+                GatewayClient.connect(host, port)
+            )
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _run(self, coroutine: Coroutine) -> object:
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        try:
+            return future.result(timeout=self._timeout_s)
+        except TimeoutError:
+            future.cancel()
+            raise GatewayError(
+                "internal",
+                f"gateway call timed out after {self._timeout_s}s",
+            ) from None
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    def search(
+        self,
+        query: str,
+        k: int,
+        certainty: float = 0.0,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        """Blocking :meth:`GatewayClient.search`."""
+        return self._run(
+            self._client.search(
+                query, k, certainty=certainty, deadline_ms=deadline_ms
+            )
+        )
+
+    def ping(self) -> dict:
+        """Blocking :meth:`GatewayClient.ping`."""
+        return self._run(self._client.ping())
+
+    def metrics(self) -> dict:
+        """Blocking :meth:`GatewayClient.metrics`."""
+        return self._run(self._client.metrics())
+
+    def close(self) -> None:
+        """Close the connection and stop the background loop."""
+        try:
+            self._run(self._client.close())
+        finally:
+            self._stop_loop()
+
+    def __enter__(self) -> "SyncGatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

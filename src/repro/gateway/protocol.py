@@ -1,0 +1,263 @@
+"""`gateway/v1`: newline-delimited JSON framing with typed errors.
+
+One request per line, one response per line, UTF-8 JSON. Every message
+carries the protocol version under ``"v"`` so incompatible clients fail
+fast with a typed ``unsupported_version`` error instead of garbage.
+Responses echo the request ``"id"`` (client-chosen, opaque), which is
+what lets a client pipeline many requests over one connection and match
+responses arriving out of order.
+
+Request::
+
+    {"v": "gateway/v1", "id": 7, "op": "search",
+     "query": "breast cancer", "k": 3, "certainty": 0.9,
+     "deadline_ms": 250}
+
+Success response::
+
+    {"v": "gateway/v1", "id": 7, "ok": true,
+     "result": {"answer": {... deterministic selection ...},
+                "served": {"cache_hit": false, "coalesced": false,
+                           "wall_ms": 12.3}}}
+
+Error response::
+
+    {"v": "gateway/v1", "id": 7, "ok": false,
+     "error": {"code": "overloaded", "message": "...",
+               "retry_after_ms": 50}}
+
+The ``answer`` object is a pure function of the trained state, the
+request and the seed — byte-identical whether served through the
+gateway or by calling :meth:`MetasearchService.serve` directly — while
+``served`` carries the per-request, timing-dependent metadata. The
+split is what the gateway's byte-identity tests compare on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.exceptions import ReproError
+from repro.service.server import ServedAnswer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "OPS",
+    "ErrorCode",
+    "GatewayError",
+    "GatewayRequest",
+    "parse_request",
+    "answer_payload",
+    "ok_payload",
+    "error_payload",
+    "error_from_payload",
+    "encode",
+    "decode",
+]
+
+PROTOCOL_VERSION = "gateway/v1"
+
+#: Operations a gateway accepts.
+OPS = ("search", "ping", "metrics")
+
+
+class ErrorCode(str, Enum):
+    """Typed error codes of `gateway/v1` responses."""
+
+    BAD_REQUEST = "bad_request"
+    UNSUPPORTED_VERSION = "unsupported_version"
+    UNSUPPORTED_OP = "unsupported_op"
+    OVERLOADED = "overloaded"
+    SHUTTING_DOWN = "shutting_down"
+    INTERNAL = "internal"
+
+
+class GatewayError(ReproError):
+    """A typed `gateway/v1` error.
+
+    Raised server-side to produce an error response, and raised
+    client-side when a response carries ``ok: false``. ``retry_after_ms``
+    is set on load-shed (``overloaded``) errors: the client should back
+    off at least that long before retrying.
+    """
+
+    def __init__(
+        self,
+        code: ErrorCode,
+        message: str,
+        retry_after_ms: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = ErrorCode(code)
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass(frozen=True)
+class GatewayRequest:
+    """One validated `gateway/v1` request."""
+
+    op: str
+    id: object = None
+    query: str | None = None
+    k: int = 1
+    certainty: float = 0.0
+    deadline_ms: float | None = None
+
+    @property
+    def coalesce_key(self) -> tuple[str | None, int, float]:
+        """Single-flight identity: identical keys ride one backend call."""
+        return (self.query, self.k, self.certainty)
+
+
+def _bad(message: str) -> GatewayError:
+    return GatewayError(ErrorCode.BAD_REQUEST, message)
+
+
+def _require_number(
+    payload: dict, name: str, default: float | None
+) -> float | None:
+    value = payload.get(name, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(f"{name!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def parse_request(line: str | bytes) -> GatewayRequest:
+    """Validate one request line into a :class:`GatewayRequest`.
+
+    Raises :class:`GatewayError` with a precise code on any defect; the
+    caller turns that into the error response.
+    """
+    payload = decode(line)
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise GatewayError(
+            ErrorCode.UNSUPPORTED_VERSION,
+            f"expected v={PROTOCOL_VERSION!r}, got {version!r}",
+        )
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise _bad(f"'id' must be a string or integer, got {request_id!r}")
+    op = payload.get("op")
+    if op not in OPS:
+        raise GatewayError(
+            ErrorCode.UNSUPPORTED_OP,
+            f"'op' must be one of {OPS}, got {op!r}",
+        )
+    if op != "search":
+        return GatewayRequest(op=op, id=request_id)
+    query = payload.get("query")
+    if not isinstance(query, str) or not query.strip():
+        raise _bad(f"'query' must be a non-empty string, got {query!r}")
+    k = payload.get("k", 1)
+    if isinstance(k, bool) or not isinstance(k, int) or k < 1:
+        raise _bad(f"'k' must be an integer >= 1, got {k!r}")
+    certainty = _require_number(payload, "certainty", 0.0)
+    if not 0.0 <= certainty <= 1.0:
+        raise _bad(f"'certainty' must be in [0, 1], got {certainty!r}")
+    deadline_ms = _require_number(payload, "deadline_ms", None)
+    if deadline_ms is not None and deadline_ms < 0:
+        raise _bad(f"'deadline_ms' must be >= 0, got {deadline_ms!r}")
+    return GatewayRequest(
+        op="search",
+        id=request_id,
+        query=query,
+        k=k,
+        certainty=certainty,
+        deadline_ms=deadline_ms,
+    )
+
+
+def answer_payload(answer: ServedAnswer) -> dict[str, object]:
+    """The deterministic ``answer`` object of a search result.
+
+    Everything here is a pure function of (trained state, request,
+    seed); the timing-dependent fields (``wall_ms``, ``cache_hit``,
+    ``coalesced``) live in the ``served`` sibling instead.
+    """
+    return {
+        "query": list(answer.query.terms),
+        "k": answer.k,
+        "certainty_required": answer.certainty_required,
+        "selected": list(answer.selected),
+        "certainty": answer.certainty,
+        "probes": answer.probes,
+        "degraded": answer.degraded,
+    }
+
+
+def ok_payload(request_id: object, result: object) -> dict[str, object]:
+    """A success response envelope."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": True,
+        "result": result,
+    }
+
+
+def error_payload(
+    request_id: object,
+    code: ErrorCode | str,
+    message: str,
+    retry_after_ms: float | None = None,
+) -> dict[str, object]:
+    """An error response envelope."""
+    error: dict[str, object] = {
+        "code": ErrorCode(code).value,
+        "message": message,
+    }
+    if retry_after_ms is not None:
+        error["retry_after_ms"] = retry_after_ms
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": error,
+    }
+
+
+def error_from_payload(payload: dict) -> GatewayError:
+    """Rebuild the typed error of an ``ok: false`` response (client side)."""
+    error = payload.get("error") or {}
+    try:
+        code = ErrorCode(error.get("code"))
+    except ValueError:
+        code = ErrorCode.INTERNAL
+    return GatewayError(
+        code,
+        str(error.get("message", "")),
+        retry_after_ms=error.get("retry_after_ms"),
+    )
+
+
+def encode(payload: dict) -> bytes:
+    """One framed message: compact sorted JSON plus the line delimiter."""
+    return (
+        json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+        + b"\n"
+    )
+
+
+def decode(line: str | bytes) -> dict:
+    """Parse one received line into a JSON object (or ``bad_request``)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise _bad(f"request is not valid UTF-8: {error}") from error
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise _bad(f"request is not valid JSON: {error}") from error
+    if not isinstance(payload, dict):
+        raise _bad(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload

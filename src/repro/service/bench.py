@@ -43,6 +43,7 @@ from repro.summaries.estimators import TermIndependenceEstimator
 from repro.types import Query
 
 __all__ = [
+    "build_trained_testbed",
     "BenchServeConfig",
     "BenchServeReport",
     "run_bench_serve",
@@ -52,6 +53,41 @@ __all__ = [
     "run_bench_train",
     "format_bench_train",
 ]
+
+
+def build_trained_testbed(
+    scale: float = 0.05,
+    seed: int = 2004,
+    n_train: int = 200,
+    n_test: int = 80,
+    batch_size: int = 16,
+    train_queries_cap: int | None = None,
+    context: object | None = None,
+):
+    """Build the paper testbed and a trained metasearcher over it.
+
+    The shared front half of every serving entry point (``bench-serve``,
+    ``bench-gateway``, the ``serve`` and ``gateway`` CLI commands):
+    construct the scaled paper context, train a metasearcher on its
+    training queries (optionally capped), and return ``(context,
+    metasearcher)``. Pass *context* to reuse an already-built testbed.
+    """
+    if context is None:
+        context = build_paper_context(
+            PaperSetupConfig(
+                scale=scale, seed=seed, n_train=n_train, n_test=n_test
+            )
+        )
+    metasearcher = Metasearcher(
+        context.mediator,
+        MetasearcherConfig(probe_batch_size=batch_size),
+        analyzer=context.analyzer,
+    )
+    train = context.train_queries
+    if train_queries_cap is not None:
+        train = train[:train_queries_cap]
+    metasearcher.train(train)
+    return context, metasearcher
 
 
 @dataclass(frozen=True)
@@ -159,29 +195,34 @@ def run_bench_serve(
 ) -> BenchServeReport:
     """Run the serial-vs-concurrent serving benchmark."""
     config = config or BenchServeConfig()
-    context = config.context
-    if context is None:
-        context = build_paper_context(
-            PaperSetupConfig(
-                scale=config.scale,
-                seed=config.seed,
-                n_train=config.n_train,
-                n_test=config.n_test,
+    if config.metasearcher is None:
+        context, metasearcher = build_trained_testbed(
+            scale=config.scale,
+            seed=config.seed,
+            n_train=config.n_train,
+            n_test=config.n_test,
+            batch_size=config.batch_size,
+            train_queries_cap=config.train_queries_cap,
+            context=config.context,
+        )
+    else:
+        metasearcher = config.metasearcher
+        context = config.context
+        if context is None:
+            context = build_paper_context(
+                PaperSetupConfig(
+                    scale=config.scale,
+                    seed=config.seed,
+                    n_train=config.n_train,
+                    n_test=config.n_test,
+                )
             )
-        )
-    metasearcher = config.metasearcher
-    if metasearcher is None:
-        metasearcher = Metasearcher(
-            context.mediator,
-            MetasearcherConfig(probe_batch_size=config.batch_size),
-            analyzer=context.analyzer,
-        )
-    if not metasearcher.is_trained:
-        cap = config.train_queries_cap
-        train = context.train_queries if cap is None else (
-            context.train_queries[:cap]
-        )
-        metasearcher.train(train)
+        if not metasearcher.is_trained:
+            cap = config.train_queries_cap
+            train = context.train_queries if cap is None else (
+                context.train_queries[:cap]
+            )
+            metasearcher.train(train)
     stream = _build_stream(context.test_queries, config)
 
     with _service(metasearcher, config, workers=1) as serial_service:

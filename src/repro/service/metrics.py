@@ -5,7 +5,9 @@ threads:
 
 * :class:`Counter` — a monotonically increasing integer;
 * :class:`Histogram` — a value series reduced on snapshot to lifetime
-  count / sum / mean plus windowed min / max / percentiles.
+  count / sum / mean plus windowed min / max / percentiles;
+* :class:`Gauge` — a settable level (e.g. in-flight requests, queue
+  depth) snapshotted as its current value plus the high-water mark.
 
 Instruments are registered lazily through :class:`MetricsRegistry`,
 which is the only object handed around. A histogram may be marked
@@ -23,7 +25,7 @@ import threading
 
 from repro.exceptions import ConfigurationError
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 _PERCENTILES = (50.0, 90.0, 99.0)
 
@@ -53,6 +55,58 @@ class Counter:
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A thread-safe settable level with a high-water mark.
+
+    Levels (in-flight requests, queue depth) are not monotonic, so
+    neither :class:`Counter` nor :class:`Histogram` fits them: a gauge
+    reports the *current* value and the lifetime maximum. Gauges are
+    inherently timing-dependent, so they are excluded from
+    :meth:`MetricsRegistry.deterministic_snapshot`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._high_water = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        with self._lock:
+            self._value = float(value)
+            if self._value > self._high_water:
+                self._high_water = self._value
+
+    def add(self, delta: float) -> float:
+        """Adjust the level by *delta*; returns the new value."""
+        with self._lock:
+            self._value += float(delta)
+            if self._value > self._high_water:
+                self._high_water = self._value
+            return self._value
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        with self._lock:
+            return self._value
+
+    @property
+    def high_water(self) -> float:
+        """Highest level ever set."""
+        with self._lock:
+            return self._high_water
+
+    def summary(self) -> dict[str, float]:
+        """Current value plus the high-water mark."""
+        with self._lock:
+            return {"value": self._value, "high_water": self._high_water}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
 
 
 def _percentile(ordered: list[float], pct: float) -> float:
@@ -143,18 +197,38 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, Counter] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._gauges: dict[str, Gauge] = {}
         self._lock = threading.Lock()
+
+    def _check_unregistered(self, name: str, kind: str) -> None:
+        """Raise unless *name* is free in every other instrument family
+        (caller holds the lock)."""
+        families = {
+            "counter": self._counters,
+            "histogram": self._histograms,
+            "gauge": self._gauges,
+        }
+        for family, registered in families.items():
+            if family != kind and name in registered:
+                raise ConfigurationError(
+                    f"{name!r} is already registered as a {family}"
+                )
 
     def counter(self, name: str) -> Counter:
         """The counter called *name*, created on first use."""
         with self._lock:
-            if name in self._histograms:
-                raise ConfigurationError(
-                    f"{name!r} is already registered as a histogram"
-                )
+            self._check_unregistered(name, "counter")
             if name not in self._counters:
                 self._counters[name] = Counter(name)
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called *name*, created on first use."""
+        with self._lock:
+            self._check_unregistered(name, "gauge")
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
 
     def histogram(
         self, name: str, deterministic: bool = True
@@ -165,10 +239,7 @@ class MetricsRegistry:
         with a conflicting flag raise.
         """
         with self._lock:
-            if name in self._counters:
-                raise ConfigurationError(
-                    f"{name!r} is already registered as a counter"
-                )
+            self._check_unregistered(name, "histogram")
             if name not in self._histograms:
                 self._histograms[name] = Histogram(
                     name, deterministic=deterministic
@@ -186,10 +257,15 @@ class MetricsRegistry:
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
         return {
             "counters": {
                 name: counter.value
                 for name, counter in sorted(counters.items())
+            },
+            "gauges": {
+                name: gauge.summary()
+                for name, gauge in sorted(gauges.items())
             },
             "histograms": {
                 name: histogram.summary()
@@ -198,7 +274,8 @@ class MetricsRegistry:
         }
 
     def deterministic_snapshot(self) -> dict[str, object]:
-        """Like :meth:`snapshot`, excluding wall-clock histograms."""
+        """Like :meth:`snapshot`, excluding wall-clock histograms and
+        (inherently timing-dependent) gauges."""
         with self._lock:
             counters = dict(self._counters)
             histograms = dict(self._histograms)

@@ -23,6 +23,7 @@ import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
+from repro.core.deadline import Deadline
 from repro.core.probing import APro
 from repro.exceptions import ConfigurationError, ReproError
 from repro.metasearch.metasearcher import Metasearcher
@@ -67,6 +68,9 @@ class ServiceConfig:
     cache_enabled: bool = True
 
     def __post_init__(self) -> None:
+        # Validate everything here, at construction, so a bad value
+        # fails with a clear message instead of deep inside the pool or
+        # cache on the first request.
         if self.max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {self.max_workers}"
@@ -75,11 +79,31 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"batch_size must be >= 1, got {self.batch_size}"
             )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ConfigurationError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
+            )
+        if self.cache_ttl_s is not None and self.cache_ttl_s <= 0:
+            raise ConfigurationError(
+                f"cache_ttl_s must be > 0 (or None for no expiry), "
+                f"got {self.cache_ttl_s}"
+            )
+        if self.cache_entries < 1:
+            raise ConfigurationError(
+                f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
 
 
 @dataclass(frozen=True)
 class ServedAnswer:
-    """One served selection."""
+    """One served selection.
+
+    ``degraded`` is ``None`` for a full-quality answer; the value
+    ``"deadline"`` marks an answer whose probing loop was cut short by
+    an expiring wall-clock :class:`~repro.core.deadline.Deadline` —
+    ``certainty`` then reports what was actually reached, which may be
+    below ``certainty_required``. Degraded answers are never cached.
+    """
 
     query: Query
     k: int
@@ -89,6 +113,7 @@ class ServedAnswer:
     probes: int
     cache_hit: bool
     wall_ms: float
+    degraded: str | None = None
 
 
 class MetasearchService:
@@ -183,9 +208,22 @@ class MetasearchService:
         return self._metasearcher.config.probe_batch_size
 
     def serve(
-        self, query: Query | str, k: int, certainty: float = 0.0
+        self,
+        query: Query | str,
+        k: int,
+        certainty: float = 0.0,
+        deadline: Deadline | None = None,
     ) -> ServedAnswer:
-        """Answer one selection request (cache → probe → record)."""
+        """Answer one selection request (cache → probe → record).
+
+        With a *deadline*, probing stops once it expires and the answer
+        comes back marked ``degraded="deadline"`` with the certainty
+        actually reached — never an exception. An already-expired
+        deadline yields the pure no-probe RD-based selection (the
+        ``max_probes=0`` contract). Cache hits are free and are served
+        whatever the deadline; degraded answers are never cached, so a
+        later unhurried request recomputes at full quality.
+        """
         started = time.perf_counter()
         analyzed = self._metasearcher.analyze(query)
         analyze_ms = (time.perf_counter() - started) * 1000.0
@@ -210,6 +248,7 @@ class MetasearchService:
             metric=searcher_config.metric,
             max_probes=searcher_config.max_probes,
             batch_size=self._batch_size(),
+            deadline=deadline,
         )
         ended = time.perf_counter()
         self._metrics.histogram(
@@ -219,6 +258,7 @@ class MetasearchService:
             "stage_apro_ms", deterministic=False
         ).observe((ended - apro_started) * 1000.0)
         wall_ms = (ended - started) * 1000.0
+        degraded = "deadline" if session.deadline_expired else None
         answer = ServedAnswer(
             query=analyzed,
             k=k,
@@ -228,8 +268,12 @@ class MetasearchService:
             probes=session.num_probes,
             cache_hit=False,
             wall_ms=wall_ms,
+            degraded=degraded,
         )
-        if self._cache is not None:
+        if self._cache is not None and degraded is None:
+            # A deadline-degraded answer would poison the cache: an
+            # unhurried repeat of the same request must probe to full
+            # certainty, not inherit the cut-short one.
             self._cache.put(key, answer)
         self._observe_query(answer.probes, wall_ms, hit=False)
         return answer

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ConfigurationError, ReproError
-from repro.metasearch.metasearcher import Metasearcher
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
 from repro.service.faults import FaultInjector
 from repro.service.resilience import RetryPolicy
 from repro.service.server import MetasearchService, ServiceConfig
@@ -218,3 +218,119 @@ class TestConfigValidation:
             health_queries[57], k=1, certainty=0.95, batch_size=1
         )
         assert answer.probes == session.num_probes
+
+    def test_retry_must_be_a_retry_policy(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(retry={"max_retries": 3})
+
+    @pytest.mark.parametrize("ttl", [0.0, -1.0])
+    def test_invalid_cache_ttl(self, ttl):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(cache_ttl_s=ttl)
+
+    def test_cache_ttl_none_means_no_expiry(self):
+        ServiceConfig(cache_ttl_s=None)  # valid: entries never expire
+
+    def test_invalid_cache_entries(self):
+        with pytest.raises(ConfigurationError):
+            ServiceConfig(cache_entries=0)
+
+
+class TestNoProbeBudget:
+    """``max_probes=0`` end-to-end: pure RD-based selection, no probes."""
+
+    @pytest.fixture()
+    def no_probe_metasearcher(
+        self, tiny_mediator, trained_metasearcher, tmp_path
+    ):
+        # Same trained state, but with a zero probe budget: save the
+        # session-scoped instance and load it into a fresh pipeline.
+        path = tmp_path / "trained.json"
+        trained_metasearcher.save(path)
+        searcher = Metasearcher(
+            tiny_mediator, config=MetasearcherConfig(max_probes=0)
+        )
+        searcher.load(path)
+        return searcher
+
+    def test_serve_is_the_no_probe_selection(
+        self, no_probe_metasearcher, health_queries
+    ):
+        query = health_queries[50]
+        with make_service(no_probe_metasearcher) as service:
+            answer = service.serve(query, k=2, certainty=1.0)
+            counters = service.metrics.snapshot()["counters"]
+        direct = no_probe_metasearcher.select_without_probing(query, k=2)
+        assert answer.probes == 0
+        assert answer.selected == direct.names
+        assert answer.certainty == pytest.approx(
+            direct.expected_correctness
+        )
+        # A budget of zero is a configured ceiling, not a degradation.
+        assert answer.degraded is None
+        assert counters["probes_issued"] == 0
+
+    def test_no_probe_answers_are_cached(
+        self, no_probe_metasearcher, health_queries
+    ):
+        query = health_queries[51]
+        with make_service(no_probe_metasearcher) as service:
+            first = service.serve(query, k=2, certainty=1.0)
+            second = service.serve(query, k=2, certainty=1.0)
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.selected == first.selected
+
+
+class TestServeStreamParity:
+    """serve_stream must be observably identical to a serve() loop."""
+
+    def test_answers_match_serve_loop(
+        self, trained_metasearcher, health_queries
+    ):
+        stream = health_queries[64:69]
+        with make_service(trained_metasearcher) as streamed:
+            stream_answers = streamed.serve_stream(stream, k=2, certainty=0.9)
+        with make_service(trained_metasearcher) as looped:
+            loop_answers = [
+                looped.serve(q, k=2, certainty=0.9) for q in stream
+            ]
+        for via_stream, via_loop in zip(stream_answers, loop_answers):
+            assert via_stream.selected == via_loop.selected
+            assert via_stream.probes == via_loop.probes
+            assert via_stream.certainty == pytest.approx(via_loop.certainty)
+            assert via_stream.cache_hit == via_loop.cache_hit
+
+    def test_metrics_and_cache_parity_with_serve(
+        self, trained_metasearcher, health_queries
+    ):
+        # Repeats inside the stream exercise the cache path too.
+        stream = health_queries[64:68] + health_queries[64:66]
+
+        def deterministic_view(service):
+            snapshot = service.snapshot()
+            return {
+                "counters": snapshot["counters"],
+                "query_probes": snapshot["histograms"]["query_probes"],
+                "query_probes_uncached": snapshot["histograms"][
+                    "query_probes_uncached"
+                ],
+                "cache": {
+                    key: value
+                    for key, value in snapshot["cache"].items()
+                    if key != "hit_rate"
+                },
+            }
+
+        with make_service(trained_metasearcher) as streamed:
+            answers = streamed.serve_stream(stream, k=2, certainty=0.9)
+            stream_view = deterministic_view(streamed)
+        with make_service(trained_metasearcher) as looped:
+            for query in stream:
+                looped.serve(query, k=2, certainty=0.9)
+            loop_view = deterministic_view(looped)
+        assert stream_view == loop_view
+        # The two repeated queries were cache hits within the stream.
+        assert sum(1 for a in answers if a.cache_hit) == 2
+        assert stream_view["counters"]["cache_hits"] == 2
+        assert stream_view["counters"]["queries_served"] == len(stream)
