@@ -15,7 +15,9 @@ Nine commands:
   service: `gateway/v1` protocol, admission control, coalescing,
   deadlines (see ``docs/GATEWAY.md``);
 * ``bench-serve`` — benchmark the serving layer: serial vs concurrent
-  executor over a fault-injected testbed (see ``docs/SERVING.md``);
+  executor over a fault-injected testbed (see ``docs/SERVING.md``), or
+  with ``--snapshot`` the in-process-vs-pool selection-throughput grid
+  written to ``BENCH_serve.json`` (see ``docs/PERFORMANCE.md``);
 * ``bench-train`` — benchmark the offline phase: serial vs parallel ED
   training under injected probe latency (see ``docs/TRAINING.md``);
 * ``bench-core``  — time the per-query hot path (RD build, ``best_set``,
@@ -127,6 +129,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=8, help="probe thread-pool width"
     )
     serve.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help=(
+            "selection-pool worker processes (0 = in-process; default "
+            "reads REPRO_POOL_WORKERS)"
+        ),
+    )
+    serve.add_argument(
         "--cache-ttl",
         type=float,
         default=300.0,
@@ -169,6 +180,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=16, help="concurrent executor width"
     )
     bench.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        help=(
+            "selection-pool worker processes for the concurrent leg "
+            "(0 = in-process)"
+        ),
+    )
+    bench.add_argument(
         "--latency-ms",
         type=float,
         default=50.0,
@@ -194,6 +214,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the metrics snapshot JSON to this path",
     )
+    bench.add_argument(
+        "--snapshot",
+        nargs="?",
+        const="BENCH_serve.json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "instead of the serial-vs-concurrent comparison, measure "
+            "the in-process-vs-pool grid (pool sizes x concurrency) and "
+            "write the stable-schema snapshot JSON here "
+            "(default BENCH_serve.json)"
+        ),
+    )
+    bench.add_argument(
+        "--snapshot-pool-sizes",
+        default="0,1,2,4",
+        help="comma-separated pool sizes for the snapshot grid",
+    )
+    bench.add_argument(
+        "--snapshot-concurrency",
+        default="1,4",
+        help="comma-separated client concurrency levels for the grid",
+    )
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "with --snapshot: exit non-zero unless the document passes "
+            "schema validation and every grid cell matched the serial "
+            "in-process baseline (CI smoke mode)"
+        ),
+    )
 
     gateway = subparsers.add_parser(
         "gateway",
@@ -210,6 +262,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gateway.add_argument(
         "--workers", type=int, default=8, help="probe thread-pool width"
+    )
+    gateway.add_argument(
+        "--pool",
+        type=int,
+        default=None,
+        help=(
+            "selection-pool worker processes (0 = in-process; default "
+            "reads REPRO_POOL_WORKERS)"
+        ),
     )
     gateway.add_argument(
         "--cache-ttl",
@@ -259,6 +320,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_gateway.add_argument(
         "--workers", type=int, default=8, help="backend executor width"
+    )
+    bench_gateway.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        help="selection-pool worker processes (0 = in-process)",
     )
     bench_gateway.add_argument(
         "--latency-ms",
@@ -520,6 +587,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_size=args.batch,
         cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
         cache_enabled=args.cache_ttl > 0,
+        pool_workers=args.pool,
     )
     with MetasearchService(
         searcher, config=config, injector=injector
@@ -574,6 +642,7 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             batch_size=args.batch,
             cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
             cache_enabled=args.cache_ttl > 0,
+            pool_workers=args.pool,
         ),
         injector=injector,
     )
@@ -635,6 +704,7 @@ def _cmd_bench_gateway(args: argparse.Namespace) -> int:
             certainty=args.certainty,
             batch_size=args.batch,
             workers=args.workers,
+            pool_workers=args.pool,
             mean_latency_ms=args.latency_ms,
             coalesce_requests=args.requests,
             coalesce_unique=args.unique,
@@ -659,6 +729,73 @@ def _cmd_bench_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(raw: str, flag: str) -> tuple[int, ...]:
+    try:
+        return tuple(
+            int(part) for part in raw.split(",") if part.strip() != ""
+        )
+    except ValueError:
+        raise ReproError(
+            f"{flag} must be a comma-separated integer list, got {raw!r}"
+        ) from None
+
+
+def _cmd_bench_serve_snapshot(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.bench import (
+        BenchServeSnapshotConfig,
+        format_bench_serve_snapshot,
+        run_bench_serve_snapshot,
+        validate_bench_serve_snapshot,
+    )
+
+    pool_sizes = _parse_int_list(
+        args.snapshot_pool_sizes, "--snapshot-pool-sizes"
+    )
+    concurrency = _parse_int_list(
+        args.snapshot_concurrency, "--snapshot-concurrency"
+    )
+    print(
+        f"Measuring serving snapshot grid (scale={args.scale}, "
+        f"{args.queries} queries, pool sizes {list(pool_sizes)}, "
+        f"concurrency {list(concurrency)})...",
+        flush=True,
+    )
+    document = run_bench_serve_snapshot(
+        BenchServeSnapshotConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            queries=args.queries,
+            unique_queries=args.unique,
+            k=args.k,
+            certainty=args.certainty,
+            batch_size=args.batch,
+            max_workers=args.workers,
+            pool_sizes=pool_sizes,
+            concurrency=concurrency,
+        )
+    )
+    print(format_bench_serve_snapshot(document))
+    with open(args.snapshot, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Snapshot written to {args.snapshot}")
+    if args.check:
+        failures = validate_bench_serve_snapshot(document)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        print(
+            "check passed: schema valid, every grid cell identical "
+            "to the serial in-process baseline"
+        )
+    return 0
+
+
 def _cmd_bench_serve(args: argparse.Namespace) -> int:
     import json
 
@@ -668,6 +805,8 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
         run_bench_serve,
     )
 
+    if args.snapshot is not None:
+        return _cmd_bench_serve_snapshot(args)
     print(
         f"Benchmarking serving layer (scale={args.scale}, "
         f"{args.queries} queries, {args.workers} workers)...",
@@ -689,6 +828,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             error_rate=args.error_rate,
             timeout_ms=args.timeout_ms,
             max_retries=args.retries,
+            pool_workers=args.pool,
         )
     )
     print(format_bench_serve(report))

@@ -188,6 +188,16 @@ class APro:
         self._incremental = incremental
         self._policy_takes_deadline = _accepts_deadline(self._policy)
 
+    @property
+    def prober(self) -> BatchProber:
+        """The probe-execution strategy currently in use.
+
+        The multiprocess selection tier reads this at dispatch time so
+        pool workers' probe callbacks run through exactly the prober the
+        in-process path would use — including any test interposer.
+        """
+        return self._prober
+
     def run(
         self,
         query: Query,

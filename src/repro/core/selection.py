@@ -89,6 +89,26 @@ class RDBasedSelector:
         """Relevancy definition the selector operates under."""
         return self._definition
 
+    @property
+    def summaries(self) -> Mapping[str, ContentSummary]:
+        """Per-database content summaries (read-only view)."""
+        return dict(self._summaries)
+
+    @property
+    def estimator(self) -> RelevancyEstimator:
+        """The point estimator r̂."""
+        return self._estimator
+
+    @property
+    def error_model(self) -> ErrorModel:
+        """The trained error model."""
+        return self._error_model
+
+    @property
+    def classifier(self) -> QueryTypeClassifier:
+        """The query-type decision tree."""
+        return self._classifier
+
     # -- RD construction ----------------------------------------------------------
 
     def estimate(self, database_name: str, query: Query) -> float:

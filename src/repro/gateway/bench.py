@@ -59,6 +59,7 @@ class BenchGatewayConfig:
     certainty: float = 0.9
     batch_size: int = 16
     workers: int = 8
+    pool_workers: int = 0
     mean_latency_ms: float = 25.0
     latency_jitter: float = 0.5
     timeout_ms: float = 250.0
@@ -79,6 +80,8 @@ class BenchGatewayConfig:
             raise ConfigurationError("coalesce_unique must be >= 1")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.pool_workers < 0:
+            raise ConfigurationError("pool_workers must be >= 0")
 
 
 def _percentile(ordered: list[float], pct: float) -> float:
@@ -116,6 +119,7 @@ def _service(
             retry=RetryPolicy(timeout_s=config.timeout_ms / 1000.0),
             cache_ttl_s=None,
             cache_enabled=cache_enabled,
+            pool_workers=config.pool_workers,
         ),
         injector=injector,
     )
@@ -294,6 +298,7 @@ def run_bench_gateway(
             "k": config.k,
             "certainty": config.certainty,
             "workers": config.workers,
+            "pool_workers": config.pool_workers,
             "mean_latency_ms": config.mean_latency_ms,
             "coalesce_requests": config.coalesce_requests,
             "coalesce_unique": config.coalesce_unique,

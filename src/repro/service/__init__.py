@@ -16,6 +16,11 @@ probed concurrently:
   histograms exported as JSON;
 * :class:`~repro.service.cache.SelectionCache` — TTL-keyed memoization
   of selection results for repeated-query traffic;
+* :class:`~repro.service.pool.SelectionPool` /
+  :mod:`repro.service.worker` — the multiprocess selection tier: the
+  CPU-bound RD/APro stages run in long-lived worker processes (GIL-free
+  parallelism) while probe execution stays in the parent, with worker
+  lifecycle management and graceful in-process fallback;
 * :class:`~repro.service.server.MetasearchService` — the facade tying
   the above together behind ``serve()``;
 * :class:`~repro.service.training.ParallelEDTrainer` — the offline
@@ -29,7 +34,15 @@ tours.
 from repro.service.cache import CacheStats, SelectionCache
 from repro.service.executor import ProbeExecutor
 from repro.service.faults import FaultInjector, FaultPlan, InjectedFault
-from repro.service.metrics import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.service.pool import (
+    PoolExecutionError,
+    PoolRequest,
+    PoolResult,
+    PoolUnavailableError,
+    SelectionPool,
+    WorkerCrashedError,
+)
 from repro.service.resilience import (
     ProbeFailedError,
     ProbeTimeoutError,
@@ -38,23 +51,33 @@ from repro.service.resilience import (
 )
 from repro.service.server import MetasearchService, ServedAnswer, ServiceConfig
 from repro.service.training import ParallelEDTrainer
+from repro.service.worker import WorkerStateBlob, build_worker_blob
 
 __all__ = [
     "CacheStats",
     "Counter",
     "FaultInjector",
     "FaultPlan",
+    "Gauge",
     "Histogram",
     "InjectedFault",
     "MetasearchService",
     "MetricsRegistry",
     "ParallelEDTrainer",
+    "PoolExecutionError",
+    "PoolRequest",
+    "PoolResult",
+    "PoolUnavailableError",
     "ProbeExecutor",
     "ProbeFailedError",
     "ProbeTimeoutError",
     "ResilientDatabase",
     "RetryPolicy",
     "SelectionCache",
+    "SelectionPool",
     "ServedAnswer",
     "ServiceConfig",
+    "WorkerCrashedError",
+    "WorkerStateBlob",
+    "build_worker_blob",
 ]

@@ -23,7 +23,10 @@ end-to-end determinism checks.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import random
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -48,6 +51,11 @@ __all__ = [
     "BenchServeReport",
     "run_bench_serve",
     "format_bench_serve",
+    "BENCH_SERVE_SCHEMA_VERSION",
+    "BenchServeSnapshotConfig",
+    "run_bench_serve_snapshot",
+    "format_bench_serve_snapshot",
+    "validate_bench_serve_snapshot",
     "BenchTrainConfig",
     "BenchTrainReport",
     "run_bench_train",
@@ -111,6 +119,7 @@ class BenchServeConfig:
     max_retries: int = 2
     backoff_base_ms: float = 5.0
     cache_ttl_s: float | None = 300.0
+    pool_workers: int = 0
     train_queries_cap: int | None = None
     context: object | None = field(default=None, compare=False)
     metasearcher: Metasearcher | None = field(default=None, compare=False)
@@ -120,6 +129,8 @@ class BenchServeConfig:
             raise ConfigurationError("query counts must be >= 1")
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if self.pool_workers < 0:
+            raise ConfigurationError("pool_workers must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -137,6 +148,7 @@ class BenchServeReport:
     serial_selections: list[tuple[str, ...]]
     concurrent_selections: list[tuple[str, ...]]
     metrics: dict[str, object]
+    pool_workers: int = 0
 
     @property
     def speedup(self) -> float:
@@ -157,7 +169,10 @@ def _build_stream(
 
 
 def _service(
-    metasearcher: Metasearcher, config: BenchServeConfig, workers: int
+    metasearcher: Metasearcher,
+    config: BenchServeConfig,
+    workers: int,
+    pool_workers: int = 0,
 ) -> MetasearchService:
     injector = FaultInjector(
         seed=config.seed,
@@ -174,6 +189,7 @@ def _service(
             backoff_base_s=config.backoff_base_ms / 1000.0,
         ),
         cache_ttl_s=config.cache_ttl_s,
+        pool_workers=pool_workers,
     )
     return MetasearchService(
         metasearcher, config=service_config, injector=injector
@@ -227,8 +243,14 @@ def run_bench_serve(
 
     with _service(metasearcher, config, workers=1) as serial_service:
         serial_answers, serial_s = _replay(serial_service, stream, config)
+    # The concurrent leg optionally runs its selection stages on the
+    # multiprocess pool (``--pool N``); ``identical_selections`` then
+    # doubles as a thread-vs-pool identity check.
     with _service(
-        metasearcher, config, workers=config.workers
+        metasearcher,
+        config,
+        workers=config.workers,
+        pool_workers=config.pool_workers,
     ) as concurrent_service:
         concurrent_answers, concurrent_s = _replay(
             concurrent_service, stream, config
@@ -255,6 +277,7 @@ def run_bench_serve(
         serial_selections=serial_selections,
         concurrent_selections=concurrent_selections,
         metrics=metrics,
+        pool_workers=config.pool_workers,
     )
 
 
@@ -280,10 +303,16 @@ def format_bench_serve(report: BenchServeReport) -> str:
         f"serial (1 worker)    : {report.serial_s:.2f} s",
         f"concurrent ({report.workers:>2} wkrs) : "
         f"{report.concurrent_s:.2f} s",
+        f"selection pool       : "
+        + (
+            f"{report.pool_workers} worker processes"
+            if report.pool_workers
+            else "off (in-process)"
+        ),
         f"speedup              : {report.speedup:.2f}x",
         f"identical selections : {report.identical_selections}",
     ]
-    for stage in ("stage_analyze_ms", "stage_apro_ms"):
+    for stage in ("stage_analyze_ms", "stage_apro_ms", "stage_pool_ms"):
         line = _stage_summary(report.metrics, stage)
         if line is not None:
             lines.append(line)
@@ -292,6 +321,331 @@ def format_bench_serve(report: BenchServeReport) -> str:
         "metrics:",
         json.dumps(report.metrics, indent=2, sort_keys=True),
     ]
+    return "\n".join(lines)
+
+
+#: Version of the committed ``BENCH_serve.json`` document. Bump on any
+#: key change so trajectory tooling can refuse mixed-schema diffs.
+BENCH_SERVE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchServeSnapshotConfig:
+    """Knobs of the committed serving-throughput snapshot.
+
+    Unlike the classic ``bench-serve`` (which injects probe faults and
+    latency to exercise the executor), the snapshot grid measures
+    *selection* throughput: fault injection is off and the cache is
+    disabled, so every query pays the full CPU cost of RD construction
+    and the APro loop and the thread-vs-pool comparison isolates the
+    GIL. With no injector, probe results depend only on (query,
+    database), so every grid cell is comparable answer-for-answer with
+    the serial in-process baseline — identity failures mean a real
+    concurrency bug.
+    """
+
+    scale: float = 0.05
+    seed: int = 2004
+    n_train: int = 120
+    n_test: int = 60
+    queries: int = 48
+    unique_queries: int = 24
+    k: int = 3
+    certainty: float = 0.95
+    batch_size: int = 8
+    max_workers: int = 8
+    pool_sizes: tuple[int, ...] = (0, 1, 2, 4)
+    concurrency: tuple[int, ...] = (1, 4)
+    train_queries_cap: int | None = 60
+    context: object | None = field(default=None, compare=False)
+    metasearcher: Metasearcher | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.queries < 1 or self.unique_queries < 1:
+            raise ConfigurationError("query counts must be >= 1")
+        if not self.pool_sizes or any(p < 0 for p in self.pool_sizes):
+            raise ConfigurationError(
+                "pool_sizes must be non-empty, entries >= 0"
+            )
+        if not self.concurrency or any(c < 1 for c in self.concurrency):
+            raise ConfigurationError(
+                "concurrency must be non-empty, entries >= 1"
+            )
+
+
+def _snapshot_service(
+    metasearcher: Metasearcher,
+    config: BenchServeSnapshotConfig,
+    pool_workers: int,
+) -> MetasearchService:
+    return MetasearchService(
+        metasearcher,
+        config=ServiceConfig(
+            max_workers=config.max_workers,
+            batch_size=config.batch_size,
+            cache_enabled=False,
+            pool_workers=pool_workers,
+        ),
+    )
+
+
+def _replay_concurrent(
+    service: MetasearchService,
+    stream: list[Query],
+    config: BenchServeSnapshotConfig,
+    concurrency: int,
+) -> tuple[list[ServedAnswer], list[float], float]:
+    """Replay *stream* from *concurrency* closed-loop client threads.
+
+    Queries are partitioned round-robin so the answer list stays
+    index-aligned with the stream (and therefore with the baseline).
+    """
+    answers: list[ServedAnswer | None] = [None] * len(stream)
+    latencies: list[float] = [0.0] * len(stream)
+
+    def client(offset: int) -> None:
+        for i in range(offset, len(stream), concurrency):
+            started = time.perf_counter()
+            answers[i] = service.serve(
+                stream[i], k=config.k, certainty=config.certainty
+            )
+            latencies[i] = (time.perf_counter() - started) * 1000.0
+
+    wall_started = time.perf_counter()
+    if concurrency == 1:
+        client(0)
+    else:
+        threads = [
+            threading.Thread(target=client, args=(offset,))
+            for offset in range(concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    wall_s = time.perf_counter() - wall_started
+    return answers, latencies, wall_s  # type: ignore[return-value]
+
+
+def _latency_percentile(ordered: list[float], pct: float) -> float:
+    rank = max(1, round(pct / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def _identical_answers(
+    answers: list[ServedAnswer], baseline: list[ServedAnswer]
+) -> bool:
+    return all(
+        answer.selected == reference.selected
+        and answer.probe_order == reference.probe_order
+        and abs(answer.certainty - reference.certainty) <= 1e-9
+        for answer, reference in zip(answers, baseline)
+    )
+
+
+def run_bench_serve_snapshot(
+    config: BenchServeSnapshotConfig | None = None,
+) -> dict:
+    """Measure the in-process-vs-pool serving grid; returns the
+    ``BENCH_serve.json`` document (stable schema, JSON-able)."""
+    config = config or BenchServeSnapshotConfig()
+    metasearcher = config.metasearcher
+    context = config.context
+    if metasearcher is None:
+        context, metasearcher = build_trained_testbed(
+            scale=config.scale,
+            seed=config.seed,
+            n_train=config.n_train,
+            n_test=config.n_test,
+            batch_size=config.batch_size,
+            train_queries_cap=config.train_queries_cap,
+            context=context,
+        )
+    elif context is None:
+        raise ConfigurationError(
+            "a prebuilt metasearcher needs its context for test queries"
+        )
+    unique = context.test_queries[: config.unique_queries]
+    if not unique:
+        raise ConfigurationError("testbed produced no test queries")
+    rng = random.Random(config.seed + 77)
+    stream = [rng.choice(unique) for _ in range(config.queries)]
+
+    grid: list[dict] = []
+    baseline: list[ServedAnswer] | None = None
+    for pool_workers in config.pool_sizes:
+        with _snapshot_service(
+            metasearcher, config, pool_workers
+        ) as service:
+            if pool_workers:
+                # Spawn (and pay for) the workers before timing starts.
+                service.pool.ping()
+            for concurrency in config.concurrency:
+                answers, latencies, wall_s = _replay_concurrent(
+                    service, stream, config, concurrency
+                )
+                if baseline is None:
+                    baseline = answers
+                ordered = sorted(latencies)
+                grid.append(
+                    {
+                        "mode": "pool" if pool_workers else "thread",
+                        "pool_workers": pool_workers,
+                        "concurrency": concurrency,
+                        "queries": len(stream),
+                        "wall_s": round(wall_s, 6),
+                        "qps": round(len(stream) / wall_s, 3)
+                        if wall_s > 0
+                        else None,
+                        "latency_ms": {
+                            "p50": round(
+                                _latency_percentile(ordered, 50.0), 3
+                            ),
+                            "p95": round(
+                                _latency_percentile(ordered, 95.0), 3
+                            ),
+                        },
+                        "identical_to_baseline": _identical_answers(
+                            answers, baseline
+                        ),
+                    }
+                )
+
+    cpu_count = os.cpu_count() or 1
+    top_concurrency = max(config.concurrency)
+
+    def _qps(mode_workers: int) -> float | None:
+        for cell in grid:
+            if (
+                cell["pool_workers"] == mode_workers
+                and cell["concurrency"] == top_concurrency
+            ):
+                return cell["qps"]
+        return None
+
+    thread_qps, pool4_qps = _qps(0), _qps(4)
+    applicable = (
+        cpu_count >= 4
+        and thread_qps is not None
+        and pool4_qps is not None
+    )
+    return {
+        "schema_version": BENCH_SERVE_SCHEMA_VERSION,
+        "benchmark": "bench-serve",
+        "config": {
+            "scale": config.scale,
+            "seed": config.seed,
+            "queries": config.queries,
+            "unique_queries": len(unique),
+            "k": config.k,
+            "certainty": config.certainty,
+            "batch_size": config.batch_size,
+            "max_workers": config.max_workers,
+            "pool_sizes": list(config.pool_sizes),
+            "concurrency": list(config.concurrency),
+            "cache_enabled": False,
+            "fault_injection": False,
+        },
+        "machine": {
+            "cpu_count": cpu_count,
+            "platform": platform.system(),
+            "python": platform.python_version(),
+        },
+        "grid": grid,
+        "derived": {
+            # The >= 2.5x pool-of-4 criterion only means anything with
+            # >= 4 cores to scale onto; on smaller machines the speedup
+            # is recorded as measured but not judged.
+            "pool4_vs_thread_speedup": (
+                round(pool4_qps / thread_qps, 3)
+                if thread_qps and pool4_qps
+                else None
+            ),
+            "target_speedup": 2.5,
+            "scaling_check_applicable": applicable,
+            "meets_target": (
+                bool(pool4_qps / thread_qps >= 2.5)
+                if applicable
+                else None
+            ),
+        },
+    }
+
+
+def validate_bench_serve_snapshot(document: dict) -> list[str]:
+    """Schema and correctness failures of a snapshot document.
+
+    Used by ``bench-serve --snapshot --check`` (CI smoke): validates the
+    stable schema and that every grid cell returned answers identical to
+    the serial in-process baseline. Throughput numbers are recorded, not
+    judged — perf gating on shared CI hardware is noise.
+    """
+    failures: list[str] = []
+    if document.get("schema_version") != BENCH_SERVE_SCHEMA_VERSION:
+        failures.append(
+            f"schema_version must be {BENCH_SERVE_SCHEMA_VERSION}, "
+            f"got {document.get('schema_version')!r}"
+        )
+    for key in ("benchmark", "config", "machine", "grid", "derived"):
+        if key not in document:
+            failures.append(f"missing top-level key {key!r}")
+    grid = document.get("grid") or []
+    if not grid:
+        failures.append("grid is empty")
+    required = (
+        "mode",
+        "pool_workers",
+        "concurrency",
+        "queries",
+        "wall_s",
+        "qps",
+        "latency_ms",
+        "identical_to_baseline",
+    )
+    for i, cell in enumerate(grid):
+        for key in required:
+            if key not in cell:
+                failures.append(f"grid[{i}] missing key {key!r}")
+        if not cell.get("identical_to_baseline", False):
+            failures.append(
+                f"grid[{i}] (mode={cell.get('mode')}, "
+                f"pool_workers={cell.get('pool_workers')}, "
+                f"concurrency={cell.get('concurrency')}) answers "
+                f"differ from the serial in-process baseline"
+            )
+    return failures
+
+
+def format_bench_serve_snapshot(document: dict) -> str:
+    """Human-readable table of the snapshot grid."""
+    machine = document.get("machine", {})
+    lines = [
+        f"machine              : {machine.get('cpu_count')} cores, "
+        f"{machine.get('platform')} / python {machine.get('python')}",
+        f"{'mode':<8} {'pool':>4} {'conc':>4} {'wall s':>8} "
+        f"{'qps':>8} {'p50 ms':>8} {'p95 ms':>8}  identical",
+    ]
+    for cell in document.get("grid", []):
+        latency = cell.get("latency_ms", {})
+        lines.append(
+            f"{cell['mode']:<8} {cell['pool_workers']:>4} "
+            f"{cell['concurrency']:>4} {cell['wall_s']:>8.2f} "
+            f"{(cell['qps'] or 0):>8.2f} {latency.get('p50', 0):>8.2f} "
+            f"{latency.get('p95', 0):>8.2f}  "
+            f"{cell['identical_to_baseline']}"
+        )
+    derived = document.get("derived", {})
+    speedup = derived.get("pool4_vs_thread_speedup")
+    lines.append(
+        "pool4 vs thread      : "
+        + (f"{speedup:.2f}x" if speedup is not None else "n/a")
+        + (
+            ""
+            if derived.get("scaling_check_applicable")
+            else "  (scaling not judged: fewer than 4 cores "
+            "or no pool-4 leg)"
+        )
+    )
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ of metasearch. Result fusion stays on the caller's side.
 
 from __future__ import annotations
 
+import os
 import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
@@ -31,10 +32,25 @@ from repro.service.cache import SelectionCache
 from repro.service.executor import ProbeExecutor
 from repro.service.faults import FaultInjector
 from repro.service.metrics import MetricsRegistry
+from repro.service.pool import (
+    PoolExecutionError,
+    PoolRequest,
+    PoolResult,
+    PoolUnavailableError,
+    SelectionPool,
+    WorkerCrashedError,
+)
 from repro.service.resilience import RetryPolicy
+from repro.service.worker import build_worker_blob
 from repro.types import Query
 
 __all__ = ["ServiceConfig", "ServedAnswer", "MetasearchService"]
+
+#: Env knob: default number of selection-pool workers when
+#: ``ServiceConfig.pool_workers`` is left unset. Lets the whole test
+#: suite (and any deployment) opt into the multiprocess selection tier
+#: without touching call sites: ``REPRO_POOL_WORKERS=2 pytest ...``.
+POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -58,6 +74,27 @@ class ServiceConfig:
     cache_enabled:
         Turn the selection cache off entirely (benchmarking the raw
         probe path).
+    pool_workers:
+        Selection-pool width: number of worker *processes* running the
+        CPU-bound selection stages (``0`` = in-process selection, the
+        historical behaviour). ``None`` (the default) reads the
+        ``REPRO_POOL_WORKERS`` env knob, falling back to ``0``.
+    pool_mode:
+        Dispatch protocol. Only ``"query"`` (whole-query dispatch with
+        a probe callback over the worker pipe) is implemented — the
+        field exists so the alternative parent-driven-rounds protocol
+        has a configuration seam if it is ever needed; see
+        ``docs/PERFORMANCE.md`` for why whole-query won.
+    pool_tasks_per_worker:
+        Recycle a pool worker after this many requests (``None`` =
+        never). The standard hedge against slow leaks in long-lived
+        workers.
+    pool_lease_timeout_s:
+        How long a request may wait for a free pool worker before
+        falling back to in-process selection.
+    pool_max_pending:
+        Bound on requests waiting for a pool lease at once; beyond it
+        requests fall back in-process immediately.
     """
 
     max_workers: int = 8
@@ -66,6 +103,11 @@ class ServiceConfig:
     cache_ttl_s: float | None = 300.0
     cache_entries: int = 4096
     cache_enabled: bool = True
+    pool_workers: int | None = None
+    pool_mode: str = "query"
+    pool_tasks_per_worker: int | None = None
+    pool_lease_timeout_s: float = 5.0
+    pool_max_pending: int = 64
 
     def __post_init__(self) -> None:
         # Validate everything here, at construction, so a bad value
@@ -92,6 +134,41 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"cache_entries must be >= 1, got {self.cache_entries}"
             )
+        if self.pool_workers is None:
+            raw = os.environ.get(POOL_WORKERS_ENV, "").strip()
+            try:
+                resolved = int(raw) if raw else 0
+            except ValueError:
+                raise ConfigurationError(
+                    f"{POOL_WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+            object.__setattr__(self, "pool_workers", resolved)
+        if self.pool_workers < 0:
+            raise ConfigurationError(
+                f"pool_workers must be >= 0, got {self.pool_workers}"
+            )
+        if self.pool_mode != "query":
+            raise ConfigurationError(
+                f"pool_mode must be 'query' (whole-query dispatch with "
+                f"probe callback), got {self.pool_mode!r}"
+            )
+        if (
+            self.pool_tasks_per_worker is not None
+            and self.pool_tasks_per_worker < 1
+        ):
+            raise ConfigurationError(
+                f"pool_tasks_per_worker must be >= 1, "
+                f"got {self.pool_tasks_per_worker}"
+            )
+        if self.pool_lease_timeout_s <= 0:
+            raise ConfigurationError(
+                f"pool_lease_timeout_s must be > 0, "
+                f"got {self.pool_lease_timeout_s}"
+            )
+        if self.pool_max_pending < 1:
+            raise ConfigurationError(
+                f"pool_max_pending must be >= 1, got {self.pool_max_pending}"
+            )
 
 
 @dataclass(frozen=True)
@@ -103,6 +180,10 @@ class ServedAnswer:
     an expiring wall-clock :class:`~repro.core.deadline.Deadline` —
     ``certainty`` then reports what was actually reached, which may be
     below ``certainty_required``. Degraded answers are never cached.
+
+    ``probe_order`` lists the probed databases in execution order — the
+    pool-identity tests compare it exactly between in-process and
+    multiprocess execution.
     """
 
     query: Query
@@ -114,6 +195,7 @@ class ServedAnswer:
     cache_hit: bool
     wall_ms: float
     degraded: str | None = None
+    probe_order: tuple[str, ...] = ()
 
 
 class MetasearchService:
@@ -165,6 +247,17 @@ class MetasearchService:
         self._apro = APro(
             selector, policy=metasearcher.policy, prober=self._executor
         )
+        self._pool: SelectionPool | None = None
+        if self._config.pool_workers > 0:
+            self._pool = SelectionPool(
+                build_worker_blob(metasearcher),
+                prober=self._pool_probe,
+                workers=self._config.pool_workers,
+                metrics=self._metrics,
+                max_tasks_per_worker=self._config.pool_tasks_per_worker,
+                lease_timeout_s=self._config.pool_lease_timeout_s,
+                max_pending=self._config.pool_max_pending,
+            )
         self._cache: SelectionCache | None = None
         if self._config.cache_enabled:
             self._cache = SelectionCache(
@@ -175,17 +268,30 @@ class MetasearchService:
         # Pre-register every service-level instrument so the exported
         # key-set is identical across clean, faulty and cache-disabled
         # runs — snapshot diffing relies on stable keys.
-        for counter in ("queries_served", "cache_hits", "cache_misses"):
+        for counter in (
+            "queries_served",
+            "cache_hits",
+            "cache_misses",
+            # Pool instruments are registered whether or not the pool is
+            # enabled, so enabling it never changes the snapshot key-set.
+            "pool_dispatch",
+            "pool_worker_restarts",
+            "pool_worker_recycles",
+            "pool_fallback_total",
+        ):
             self._metrics.counter(counter)
+        self._metrics.gauge("pool_queue_depth")
         self._metrics.histogram("query_probes")
         self._metrics.histogram("query_probes_uncached")
         self._metrics.histogram("query_latency_wall_ms", deterministic=False)
         # Per-stage wall clocks of the uncached path: query analysis vs
         # the APro probing loop (the hot path docs/PERFORMANCE.md
         # profiles; stage_apro_ms is where the incremental-belief-update
-        # speedups land).
+        # speedups land; stage_pool_ms isolates the pool's
+        # lease+dispatch+conversation wall inside stage_apro_ms).
         self._metrics.histogram("stage_analyze_ms", deterministic=False)
         self._metrics.histogram("stage_apro_ms", deterministic=False)
+        self._metrics.histogram("stage_pool_ms", deterministic=False)
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -201,6 +307,23 @@ class MetasearchService:
     def executor(self) -> ProbeExecutor:
         """The probe executor."""
         return self._executor
+
+    @property
+    def pool(self) -> SelectionPool | None:
+        """The selection pool (``None`` when ``pool_workers == 0``)."""
+        return self._pool
+
+    def _pool_probe(
+        self, query: Query, indices: Sequence[int]
+    ) -> Sequence[float]:
+        """Parent-side probe callback for pool workers.
+
+        Reads ``self._apro.prober`` at call time — not at pool
+        construction — so whatever prober the in-process path would use
+        right now (including test interposers patched onto the APro)
+        also executes the pool's probe rounds.
+        """
+        return self._apro.prober.probe_batch(query, indices)
 
     def _batch_size(self) -> int:
         if self._config.batch_size is not None:
@@ -241,15 +364,7 @@ class MetasearchService:
                 return replace(cached, cache_hit=True, wall_ms=wall_ms)
             self._metrics.counter("cache_misses").inc()
         apro_started = time.perf_counter()
-        session = self._apro.run(
-            analyzed,
-            k=k,
-            threshold=certainty,
-            metric=searcher_config.metric,
-            max_probes=searcher_config.max_probes,
-            batch_size=self._batch_size(),
-            deadline=deadline,
-        )
+        selection = self._select(analyzed, k, certainty, deadline)
         ended = time.perf_counter()
         self._metrics.histogram(
             "stage_analyze_ms", deterministic=False
@@ -258,17 +373,18 @@ class MetasearchService:
             "stage_apro_ms", deterministic=False
         ).observe((ended - apro_started) * 1000.0)
         wall_ms = (ended - started) * 1000.0
-        degraded = "deadline" if session.deadline_expired else None
+        degraded = "deadline" if selection.deadline_expired else None
         answer = ServedAnswer(
             query=analyzed,
             k=k,
             certainty_required=certainty,
-            selected=session.final.names,
-            certainty=session.final.expected_correctness,
-            probes=session.num_probes,
+            selected=selection.selected,
+            certainty=selection.certainty,
+            probes=selection.probes,
             cache_hit=False,
             wall_ms=wall_ms,
             degraded=degraded,
+            probe_order=selection.probe_order,
         )
         if self._cache is not None and degraded is None:
             # A deadline-degraded answer would poison the cache: an
@@ -277,6 +393,81 @@ class MetasearchService:
             self._cache.put(key, answer)
         self._observe_query(answer.probes, wall_ms, hit=False)
         return answer
+
+    def _select(
+        self,
+        analyzed: Query,
+        k: int,
+        threshold: float,
+        deadline: Deadline | None,
+    ) -> PoolResult:
+        """Run the CPU-bound selection stages for one uncached request.
+
+        Pool-first: with a healthy pool the request runs on a worker
+        process (probe rounds still execute parent-side through
+        :meth:`_pool_probe`). Any pool-side problem — no free worker,
+        dispatch queue full, a crashed worker, an unhealthy pool —
+        degrades to in-process execution and increments
+        ``pool_fallback_total``: slower, never an outage. Both paths
+        return the same :class:`~repro.service.pool.PoolResult` shape
+        and, by construction, the same answer (see the pool-identity
+        tests).
+        """
+        searcher_config = self._metasearcher.config
+        if self._pool is not None and not self._pool.healthy:
+            # Configured for the pool but it gave up (too many
+            # consecutive crashes): every request degrades in-process,
+            # visibly.
+            self._metrics.counter("pool_fallback_total").inc()
+        elif self._pool is not None:
+            # Deadlines cross the process boundary as a remaining-time
+            # budget: the worker re-anchors it on its own monotonic
+            # clock, so an expired deadline (0 remaining) stays expired
+            # and a live one keeps counting down while the worker runs.
+            pool_started = time.perf_counter()
+            request = PoolRequest(
+                query=analyzed,
+                k=k,
+                threshold=threshold,
+                metric_name=searcher_config.metric.name,
+                fingerprint=self._pool.fingerprint,
+                max_probes=searcher_config.max_probes,
+                batch_size=self._batch_size(),
+                deadline_s=(
+                    None if deadline is None else deadline.remaining_s()
+                ),
+            )
+            try:
+                result = self._pool.execute(request)
+            except (
+                PoolUnavailableError,
+                WorkerCrashedError,
+                PoolExecutionError,
+            ):
+                self._metrics.counter("pool_fallback_total").inc()
+            else:
+                self._metrics.histogram(
+                    "stage_pool_ms", deterministic=False
+                ).observe((time.perf_counter() - pool_started) * 1000.0)
+                return result
+        session = self._apro.run(
+            analyzed,
+            k=k,
+            threshold=threshold,
+            metric=searcher_config.metric,
+            max_probes=searcher_config.max_probes,
+            batch_size=self._batch_size(),
+            deadline=deadline,
+        )
+        return PoolResult(
+            selected=session.final.names,
+            certainty=session.final.expected_correctness,
+            probes=session.num_probes,
+            probe_order=tuple(
+                record.database for record in session.records
+            ),
+            deadline_expired=session.deadline_expired,
+        )
 
     def serve_stream(
         self,
@@ -316,7 +507,9 @@ class MetasearchService:
         return out
 
     def shutdown(self) -> None:
-        """Release executor threads."""
+        """Release executor threads and stop pool workers."""
+        if self._pool is not None:
+            self._pool.shutdown()
         self._executor.shutdown()
 
     def __enter__(self) -> "MetasearchService":
@@ -328,6 +521,7 @@ class MetasearchService:
     def __repr__(self) -> str:
         return (
             f"MetasearchService(workers={self._config.max_workers}, "
+            f"pool={self._config.pool_workers}, "
             f"cache={self._cache is not None})"
         )
 

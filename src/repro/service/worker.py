@@ -1,0 +1,325 @@
+"""Worker-side half of the multiprocess selection tier.
+
+A :class:`~repro.service.pool.SelectionPool` worker is a long-lived
+``spawn``-ed process that runs the CPU-bound per-query stages — RD
+construction, :class:`~repro.core.topk.TopKComputer` belief math and the
+:class:`~repro.core.probing.APro` loop — outside the parent's GIL.
+Probe *execution* stays in the parent (the existing
+``ProbeExecutor``/``ResilientDatabase`` path): when APro needs a probe
+round, the worker's :class:`ConnProber` sends the chosen indices back
+over the worker's pipe and blocks until the parent returns the
+observations, so fault injection, retries, timeouts and probe metrics
+all keep running exactly where they always did.
+
+State shipping happens **once, at worker start**: the parent builds a
+:class:`WorkerStateBlob` (content summaries, the trained
+``ErrorModel.state_dict()``, classifier configuration, relevancy
+definition, database names in mediation order, plus the live policy and
+estimator objects) and passes it as the spawn argument. Per-request
+messages carry only the analyzed query terms and a few scalars — no
+summaries, no ED state — plus the blob's *fingerprint*; a worker whose
+state does not match the request's fingerprint refuses the work with a
+``stale-state`` error instead of silently computing against the wrong
+model.
+
+Because the worker rebuilds its selector from the same serialized forms
+the persistence layer round-trips (``ContentSummary.to_dict`` /
+``ErrorModel.state_dict``), and observations are produced by the parent,
+pool selections are bit-identical to in-process execution: same answer
+sets, same probe orders, certainties equal to floating point.
+
+Wire protocol (pickled tuples over a duplex ``multiprocessing.Pipe``):
+
+====================  =========================================
+parent -> worker      ``("run", request_dict)``, ``("ping",)``,
+                      ``("obs", [floats])``, ``("abort", msg)``,
+                      ``("stop",)``
+worker -> parent      ``("probe", [indices])``,
+                      ``("result", result_dict)``,
+                      ``("error", message)``, ``("pong", fingerprint)``
+====================  =========================================
+
+The module is import-safe under the ``spawn`` start method: it imports
+no service-layer machinery at module load beyond what the selection math
+itself needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.core.deadline import Deadline
+from repro.core.policies import ProbePolicy
+from repro.core.probing import APro
+from repro.core.query_types import QueryTypeClassifier
+from repro.core.selection import RDBasedSelector
+from repro.core.topk import CorrectnessMetric
+from repro.core.training import ErrorModel
+from repro.exceptions import ProbingError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.summaries.estimators import RelevancyEstimator
+from repro.summaries.summary import ContentSummary
+from repro.types import Query
+
+__all__ = [
+    "WorkerStateBlob",
+    "build_worker_blob",
+    "worker_main",
+]
+
+#: Env knob read at request time inside the worker: a query containing
+#: this term makes the worker die with ``os._exit`` mid-request. Only
+#: the fault tests set it; it exists because a worker in another process
+#: cannot be monkeypatched from the test.
+CRASH_TERM_ENV = "REPRO_POOL_CRASH_TERM"
+
+
+@dataclass(frozen=True)
+class _NamedStub:
+    """A database stand-in carrying only its name.
+
+    The worker never probes databases itself (probe execution stays in
+    the parent), so the selector and APro only ever ask a database for
+    its ``name``.
+    """
+
+    name: str
+
+
+class _StubMediator:
+    """Duck-typed mediator over :class:`_NamedStub` entries.
+
+    Provides exactly the surface :class:`RDBasedSelector` and
+    :class:`~repro.core.probing.APro` use: iteration, ``len`` and
+    integer indexing in mediation order.
+    """
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self._entries = [_NamedStub(name) for name in names]
+
+    def __iter__(self) -> Iterator[_NamedStub]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __getitem__(self, index: int) -> _NamedStub:
+        return self._entries[index]
+
+
+@dataclass(frozen=True)
+class WorkerStateBlob:
+    """Everything a selection worker needs, shipped once at start.
+
+    All model state is in the same serialized forms the persistence
+    layer round-trips exactly (so worker-side RDs are bit-identical to
+    parent-side ones); the policy and estimator ride along as live
+    picklable objects. ``fingerprint`` is a stable hash of the
+    JSON-able state plus the policy/estimator identity — requests carry
+    it, and a worker refuses work under a different fingerprint.
+    """
+
+    database_names: tuple[str, ...]
+    summaries: dict[str, dict]
+    error_model_state: dict
+    estimate_thresholds: tuple[float, ...]
+    term_counts: tuple[int, ...]
+    definition_value: str
+    estimator: RelevancyEstimator
+    policy: ProbePolicy
+    fingerprint: str
+    incremental: bool = True
+
+
+def _state_fingerprint(
+    database_names: Sequence[str],
+    summaries: dict[str, dict],
+    error_model_state: dict,
+    estimate_thresholds: Sequence[float],
+    term_counts: Sequence[int],
+    definition_value: str,
+    estimator: RelevancyEstimator,
+    policy: ProbePolicy,
+) -> str:
+    canonical = json.dumps(
+        {
+            "databases": list(database_names),
+            "summaries": summaries,
+            "error_model": error_model_state,
+            "estimate_thresholds": list(estimate_thresholds),
+            "term_counts": list(term_counts),
+            "definition": definition_value,
+            "estimator": repr(estimator),
+            "policy": repr(policy),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def build_worker_blob(metasearcher) -> WorkerStateBlob:
+    """Extract the read-only selection state of a trained metasearcher.
+
+    Raises whatever the trained-state accessors raise on an untrained
+    instance. The blob is what the pool pickles into every worker at
+    spawn time — per-request payloads never repeat any of it.
+    """
+    selector = metasearcher.selector
+    classifier = selector.classifier
+    database_names = tuple(db.name for db in selector.mediator)
+    summaries = {
+        name: summary.to_dict()
+        for name, summary in sorted(selector.summaries.items())
+    }
+    error_model_state = selector.error_model.state_dict()
+    fingerprint = _state_fingerprint(
+        database_names,
+        summaries,
+        error_model_state,
+        classifier.estimate_thresholds,
+        classifier.term_counts,
+        selector.definition.value,
+        selector.estimator,
+        metasearcher.policy,
+    )
+    return WorkerStateBlob(
+        database_names=database_names,
+        summaries=summaries,
+        error_model_state=error_model_state,
+        estimate_thresholds=tuple(classifier.estimate_thresholds),
+        term_counts=tuple(classifier.term_counts),
+        definition_value=selector.definition.value,
+        estimator=selector.estimator,
+        policy=metasearcher.policy,
+        fingerprint=fingerprint,
+    )
+
+
+class ConnProber:
+    """The worker's :class:`~repro.core.probing.BatchProber`.
+
+    Sends each probe round's indices to the parent over the worker pipe
+    and blocks until the observations come back. The parent aborting a
+    request (``("abort", msg)``) surfaces as a :class:`ProbingError`.
+    """
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def probe_batch(
+        self, query: Query, indices: Sequence[int]
+    ) -> list[float]:
+        self._conn.send(("probe", list(indices)))
+        message = self._conn.recv()
+        if message[0] == "abort":
+            raise ProbingError(f"parent aborted probe round: {message[1]}")
+        if message[0] != "obs":
+            raise ProbingError(
+                f"protocol violation: expected obs, got {message[0]!r}"
+            )
+        observations = message[1]
+        if len(observations) != len(indices):
+            raise ProbingError(
+                f"parent returned {len(observations)} observations "
+                f"for a round of {len(indices)}"
+            )
+        return [float(value) for value in observations]
+
+
+def _rebuild_apro(blob: WorkerStateBlob, conn) -> APro:
+    summaries = {
+        name: ContentSummary.from_dict(state)
+        for name, state in blob.summaries.items()
+    }
+    selector = RDBasedSelector(
+        mediator=_StubMediator(blob.database_names),
+        summaries=summaries,
+        estimator=blob.estimator,
+        error_model=ErrorModel.from_state_dict(blob.error_model_state),
+        classifier=QueryTypeClassifier(
+            estimate_thresholds=blob.estimate_thresholds,
+            term_counts=blob.term_counts,
+        ),
+        definition=RelevancyDefinition(blob.definition_value),
+    )
+    return APro(
+        selector,
+        policy=blob.policy,
+        prober=ConnProber(conn),
+        incremental=blob.incremental,
+    )
+
+
+def _run_request(apro: APro, blob: WorkerStateBlob, request: dict) -> dict:
+    if request.get("fingerprint") != blob.fingerprint:
+        raise _StaleStateError(
+            f"stale-state: worker holds {blob.fingerprint}, request "
+            f"expects {request.get('fingerprint')!r}"
+        )
+    crash_term = os.environ.get(CRASH_TERM_ENV)
+    terms = tuple(request["terms"])
+    if crash_term and crash_term in terms:
+        os._exit(17)  # the fault tests' deterministic mid-request crash
+    deadline_s = request.get("deadline_s")
+    session = apro.run(
+        Query(terms),
+        k=request["k"],
+        threshold=request["threshold"],
+        metric=CorrectnessMetric[request["metric"]],
+        max_probes=request.get("max_probes"),
+        batch_size=request.get("batch_size", 1),
+        deadline=(
+            None if deadline_s is None else Deadline.after(deadline_s)
+        ),
+    )
+    return {
+        "selected": list(session.final.names),
+        "certainty": session.final.expected_correctness,
+        "probes": session.num_probes,
+        "probe_order": [record.database for record in session.records],
+        "deadline_expired": session.deadline_expired,
+    }
+
+
+class _StaleStateError(Exception):
+    """Request fingerprint does not match this worker's shipped state."""
+
+
+def worker_main(conn, blob: WorkerStateBlob) -> None:
+    """The worker process entry point: serve requests until stopped.
+
+    One message loop, one request at a time (the pool leases a worker
+    exclusively for the duration of a request's conversation). Errors
+    inside a request are reported over the pipe and the worker stays
+    alive; only ``("stop",)`` or a closed pipe ends the loop.
+    """
+    apro = _rebuild_apro(blob, conn)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            if kind == "ping":
+                conn.send(("pong", blob.fingerprint))
+                continue
+            if kind == "run":
+                try:
+                    result = _run_request(apro, blob, message[1])
+                except Exception as error:  # noqa: BLE001 - boundary
+                    conn.send(
+                        ("error", f"{type(error).__name__}: {error}")
+                    )
+                else:
+                    conn.send(("result", result))
+                continue
+            conn.send(("error", f"unknown message kind {kind!r}"))
+    finally:
+        conn.close()

@@ -23,11 +23,12 @@ class FakeClock:
         self.now += seconds
 
 
-def make_service(trained_metasearcher, **kwargs):
+def make_service(trained_metasearcher, pool_workers=0, **kwargs):
     config = kwargs.pop("config", None) or ServiceConfig(
         max_workers=4,
         batch_size=2,
         retry=RetryPolicy(backoff_base_s=0.0),
+        pool_workers=pool_workers,
     )
     kwargs.setdefault("sleeper", lambda s: None)
     return MetasearchService(trained_metasearcher, config=config, **kwargs)
@@ -226,9 +227,13 @@ def _uncertain_queries(metasearcher, queries, k=2):
     ]
 
 
+@pytest.mark.parametrize("pool_workers", [0, 2])
 class TestServeDeadline:
+    # Parametrized over the selection pool: deadline semantics — honest
+    # degraded answers, never cached — must be identical whether the
+    # APro loop runs in-process or inside a worker process.
     def test_expired_deadline_serves_degraded_answer(
-        self, trained_metasearcher, health_queries
+        self, trained_metasearcher, health_queries, pool_workers
     ):
         candidates = _uncertain_queries(
             trained_metasearcher, health_queries[40:]
@@ -236,7 +241,9 @@ class TestServeDeadline:
         assert candidates, "testbed has no uncertain queries"
         query = candidates[0]
         clock = FakeClock()
-        with make_service(trained_metasearcher) as service:
+        with make_service(
+            trained_metasearcher, pool_workers=pool_workers
+        ) as service:
             answer = service.serve(
                 query,
                 k=2,
@@ -254,7 +261,7 @@ class TestServeDeadline:
         )
 
     def test_degraded_answers_are_not_cached(
-        self, trained_metasearcher, health_queries
+        self, trained_metasearcher, health_queries, pool_workers
     ):
         candidates = _uncertain_queries(
             trained_metasearcher, health_queries[40:]
@@ -262,7 +269,9 @@ class TestServeDeadline:
         assert len(candidates) >= 2, "testbed has no uncertain queries"
         query = candidates[1]
         clock = FakeClock()
-        with make_service(trained_metasearcher) as service:
+        with make_service(
+            trained_metasearcher, pool_workers=pool_workers
+        ) as service:
             degraded = service.serve(
                 query,
                 k=2,
@@ -278,10 +287,12 @@ class TestServeDeadline:
         assert full.certainty >= 1.0
 
     def test_full_quality_answers_still_cached_under_deadline(
-        self, trained_metasearcher, health_queries
+        self, trained_metasearcher, health_queries, pool_workers
     ):
         query = health_queries[62]
-        with make_service(trained_metasearcher) as service:
+        with make_service(
+            trained_metasearcher, pool_workers=pool_workers
+        ) as service:
             first = service.serve(
                 query, k=2, certainty=0.9, deadline=Deadline.after(60.0)
             )

@@ -176,8 +176,12 @@ class TestByteIdentity:
 
 
 class TestDeadlines:
+    # Both deadline tests run in-process and against the multiprocess
+    # selection pool: deadlines must cut probing short inside a worker
+    # and come back as the same honest degraded answer.
+    @pytest.mark.parametrize("pool_workers", [0, 2])
     def test_expired_deadline_returns_wellformed_degraded_answer(
-        self, trained_metasearcher, health_queries
+        self, trained_metasearcher, health_queries, pool_workers
     ):
         query = next(
             q
@@ -197,6 +201,7 @@ class TestDeadlines:
                     batch_size=2,
                     retry=RetryPolicy(backoff_base_s=0.0),
                     cache_enabled=False,
+                    pool_workers=pool_workers,
                 ),
             ) as service:
                 gateway = await start_gateway(service)
@@ -228,8 +233,9 @@ class TestDeadlines:
             direct.expected_correctness
         )
 
+    @pytest.mark.parametrize("pool_workers", [0, 2])
     def test_default_deadline_applies_when_request_has_none(
-        self, trained_metasearcher, health_queries
+        self, trained_metasearcher, health_queries, pool_workers
     ):
         query = next(
             q
@@ -249,6 +255,7 @@ class TestDeadlines:
                     batch_size=2,
                     retry=RetryPolicy(backoff_base_s=0.0),
                     cache_enabled=False,
+                    pool_workers=pool_workers,
                 ),
             ) as service:
                 gateway = await start_gateway(
