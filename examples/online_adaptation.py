@@ -1,0 +1,132 @@
+"""Online adaptation: drift detection and zero-downtime model swap.
+
+Trains a metasearcher on a health testbed, then changes part of the
+corpus *under the live service* — the hidden-web reality the offline
+training phase cannot see. The service's observation loop
+(`ServiceConfig(adapt=True)`) turns every served probe into a
+training sample; the drift detector flags the databases whose recent
+errors no longer match their trained error distributions; a hot swap
+installs a refreshed model without dropping a request.
+
+Run:  python examples/online_adaptation.py
+
+Environment knobs (used by CI to smoke-run at a tiny scale):
+REPRO_EXAMPLE_SCALE, REPRO_EXAMPLE_TRAIN.
+
+See docs/ADAPTATION.md for the full loop, including how the swap
+propagates to selection-pool workers.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import (
+    Mediator,
+    Metasearcher,
+    MetasearcherConfig,
+    MetasearchService,
+    ServiceConfig,
+    build_health_testbed,
+)
+from repro.corpus import default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.querylog import QueryTraceGenerator
+from repro.text.analyzer import Analyzer
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.1"))
+N_TRAIN = int(os.environ.get("REPRO_EXAMPLE_TRAIN", "300"))
+N_SERVE = 40
+
+
+class SwitchableDatabase:
+    """A proxy whose backing database can be replaced mid-flight —
+    the same name, suddenly different content."""
+
+    def __init__(self, target):
+        self._target = target
+
+    def switch(self, target):
+        self._target = target
+
+    def __getattr__(self, attribute):
+        return getattr(self._target, attribute)
+
+
+def main() -> None:
+    analyzer = Analyzer()
+    print("Indexing two renditions of the testbed...")
+    original = Mediator.from_documents(
+        build_health_testbed(scale=SCALE), analyzer=analyzer
+    )
+    # The drifted world: same database names, re-generated content.
+    drifted = Mediator.from_documents(
+        build_health_testbed(scale=SCALE, seed=7777), analyzer=analyzer
+    )
+    proxies = [SwitchableDatabase(original[name]) for name in original.names]
+    mediator = Mediator(proxies)
+
+    trace = QueryTraceGenerator(
+        default_topic_registry(seed=2004),
+        ZipfVocabulary(4000, seed=2005),
+        analyzer=analyzer,
+        seed=17,
+    )
+    searcher = Metasearcher(
+        mediator, MetasearcherConfig(probe_batch_size=4), analyzer=analyzer
+    )
+    print(f"Training on {N_TRAIN} trace queries...")
+    searcher.train(trace.generate(N_TRAIN))
+
+    config = ServiceConfig(
+        cache_enabled=False,
+        adapt=True,              # observation windows + drift checks
+        adapt_window=128,
+        adapt_check_every=40,
+        adapt_min_samples=24,
+        adapt_significance=0.01,
+    )
+    queries = list(trace.generate(N_SERVE))
+    with MetasearchService(searcher, config=config) as service:
+        print(f"\nServing {len(queries)} queries on the trained content...")
+        for query in queries:
+            service.serve(query, k=3, certainty=0.9)
+        sink = service.observations
+        print(
+            f"  {sink.total} probe observations across "
+            f"{len(sink.databases())} databases; "
+            f"drift flagged: {service.adaptation.drifted or 'none'}"
+        )
+
+        print("\nContent shifts under the live service...")
+        for name, proxy in zip(original.names, proxies):
+            proxy.switch(drifted[name])
+        for query in queries:
+            service.serve(query, k=3, certainty=0.9)
+        status = service.adaptation.status
+        flagged = service.adaptation.drifted
+        print(f"  drift checks flagged: {', '.join(flagged) or 'none yet'}")
+        for name in flagged[:3]:
+            print(
+                f"    {name}: p={status[name].p_value:.2e} over "
+                f"{status[name].samples} recent samples"
+            )
+
+        before = service.state_fingerprint
+        report = service.adaptation.swap_now()
+        print(
+            f"\nHot swap: {before} -> {report.fingerprint} "
+            f"(built from {report.observations_used} windowed samples)"
+        )
+        for query in queries[:10]:
+            service.serve(query, k=3, certainty=0.9)
+        counters = service.metrics.snapshot()["counters"]
+        print(
+            f"Served on the refreshed model; swaps={counters['adapt_swaps_total']}, "
+            f"checks={counters['adapt_drift_checks']}, "
+            f"observations={counters['adapt_observations_total']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

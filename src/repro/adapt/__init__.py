@@ -1,0 +1,45 @@
+"""Online adaptation: serve-time observation, drift detection, hot swap.
+
+The paper trains error distributions once, offline; hidden-web
+databases drift. This package closes the loop the offline design
+leaves open:
+
+* :mod:`repro.adapt.observations` — tap every served probe as a free
+  labeled training sample into per-database sliding windows;
+* :mod:`repro.adapt.accumulator` — turn windows into recent EDs and
+  refreshed :class:`~repro.core.training.ErrorModel` instances;
+* :mod:`repro.adapt.drift` — the paper's Pearson-χ² test pointed at
+  time: recent window vs. trained per-database ED;
+* :mod:`repro.adapt.coordinator` — the cadence and swap policy, built
+  over the serving layer's zero-downtime model hot-swap;
+* :mod:`repro.adapt.bench` — ``bench-drift``: a topic-shifting corpus
+  replayed against adapted vs. frozen services.
+
+See ``docs/ADAPTATION.md`` for the loop end to end, including the
+swap protocol's consistency contract.
+"""
+
+from repro.adapt.accumulator import EDAccumulator
+from repro.adapt.coordinator import (
+    AdaptationConfig,
+    ModelSwapCoordinator,
+    SwapReport,
+)
+from repro.adapt.drift import DriftDetector, DriftStatus
+from repro.adapt.observations import (
+    Observation,
+    ObservationSink,
+    ObservingProber,
+)
+
+__all__ = [
+    "Observation",
+    "ObservationSink",
+    "ObservingProber",
+    "EDAccumulator",
+    "DriftDetector",
+    "DriftStatus",
+    "AdaptationConfig",
+    "SwapReport",
+    "ModelSwapCoordinator",
+]

@@ -1,0 +1,84 @@
+"""Sliding-window ED accumulation: turning observations into models.
+
+Two distinct products come out of the same windows:
+
+* :meth:`EDAccumulator.recent_ed` — the ED of *only* the windowed
+  samples for one database. This is what the drift detector tests
+  against the trained baseline: pure recent evidence, no prior, so a
+  genuine shift is not diluted by the training mass.
+* :meth:`EDAccumulator.refreshed_model` — a full
+  :class:`~repro.core.training.ErrorModel` ready to swap into the
+  serving stack: the trained baseline replayed as a prior, plus every
+  windowed sample on top. The baseline keeps sparsely-observed
+  (database, type) slices usable through the model's pooled-fallback
+  chain; the window moves the slices that are actually drifting.
+
+Replaying through the baseline's own serialized state
+(``from_state_dict(state_dict())``) guarantees the refresh is built on
+an exact copy — with an *empty* window the refreshed state is
+bit-identical to the baseline, so the downstream content-addressed
+fingerprint is unchanged and the swap is a free no-op.
+"""
+
+from __future__ import annotations
+
+from repro.adapt.observations import ObservationSink
+from repro.core.errors import ErrorDistribution
+from repro.core.training import ErrorModel
+
+__all__ = ["EDAccumulator"]
+
+
+class EDAccumulator:
+    """Builds recent EDs and refreshed models from a sink's windows.
+
+    Parameters
+    ----------
+    baseline:
+        The trained model the service started with. Its serialized
+        state is snapshotted once at construction; later mutations of
+        the live object do not leak into refreshes.
+    sink:
+        The observation windows to accumulate from.
+    """
+
+    def __init__(self, baseline: ErrorModel, sink: ObservationSink) -> None:
+        self._baseline_state = baseline.state_dict()
+        self._edges = tuple(self._baseline_state["edges"])
+        self._sink = sink
+
+    @property
+    def sink(self) -> ObservationSink:
+        """The windows being accumulated."""
+        return self._sink
+
+    def recent_ed(self, database: str) -> ErrorDistribution:
+        """The ED of *database*'s windowed samples alone.
+
+        Uses the baseline's bin edges so a χ² against any baseline
+        slice is well-formed. Empty windows yield an empty ED (the
+        detector's sample floor handles those).
+        """
+        ed = ErrorDistribution(self._edges)
+        ed.observe_all(
+            observation.error
+            for observation in self._sink.observations(database)
+        )
+        return ed
+
+    def refreshed_model(self) -> ErrorModel:
+        """Baseline-as-prior plus every windowed sample, as a new model."""
+        model = ErrorModel.from_state_dict(self._baseline_state)
+        for database in self._sink.databases():
+            for observation in self._sink.observations(database):
+                model.observe(
+                    database, observation.query_type, observation.error
+                )
+        return model
+
+    def refreshed_state(self) -> dict:
+        """:meth:`refreshed_model`, serialized (what a swap ships)."""
+        return self.refreshed_model().state_dict()
+
+    def __repr__(self) -> str:
+        return f"EDAccumulator(sink={self._sink!r})"

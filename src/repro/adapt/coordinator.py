@@ -1,0 +1,258 @@
+"""The adaptation control loop: observe → check → (maybe) swap.
+
+:class:`ModelSwapCoordinator` closes the loop the other modules open.
+It owns the cadence (a drift check every ``check_every`` observations),
+the decision (any flagged database triggers a swap when ``auto_swap``
+is on; otherwise operators read :attr:`status` and call
+:meth:`swap_now` themselves), and the re-baselining discipline: after a
+swap the refreshed model *is* the new trained state, so the detector's
+reference moves with it and the windows are cleared — the evidence was
+incorporated, testing against it again would re-flag forever.
+
+The coordinator is deliberately ignorant of *how* a swap propagates:
+it calls one ``swap`` callable with the refreshed
+:class:`~repro.core.training.ErrorModel` and trusts it to return the
+new state fingerprint. The serving layer's implementation
+(``MetasearchService.swap_model``) rebuilds the in-process selector and
+hot-swaps the worker pool; see ``docs/ADAPTATION.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.adapt.accumulator import EDAccumulator
+from repro.adapt.drift import DriftDetector, DriftStatus
+from repro.adapt.observations import ObservationSink
+from repro.core.training import ErrorModel
+from repro.exceptions import ConfigurationError
+from repro.service.metrics import MetricsRegistry
+
+__all__ = ["AdaptationConfig", "SwapReport", "ModelSwapCoordinator"]
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Tunables of the online-adaptation loop.
+
+    Parameters
+    ----------
+    window:
+        Serve-time samples retained per database (sliding window).
+    check_every:
+        Observations between drift checks. The unit is *observations*,
+        not queries: probe volume is what fills windows, so the check
+        cadence tracks the actual evidence rate.
+    significance:
+        χ² p-value at or below which a database counts as drifted.
+    min_samples:
+        Window floor below which a database is never flagged.
+    auto_swap:
+        Swap automatically when a check flags drift. Off by default:
+        observe-and-flag is the safe mode, and a χ² on APro-selected
+        probes can flag a stationary corpus given enough checks
+        (selection bias — the probed mix is not the trained mix).
+    """
+
+    window: int = 256
+    check_every: int = 64
+    significance: float = 0.01
+    min_samples: int = 48
+    auto_swap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(
+                f"window must be >= 1, got {self.window}"
+            )
+        if self.check_every < 1:
+            raise ConfigurationError(
+                f"check_every must be >= 1, got {self.check_every}"
+            )
+        if not 0.0 < self.significance < 1.0:
+            raise ConfigurationError(
+                f"significance must be in (0, 1), got {self.significance}"
+            )
+        if self.min_samples < 1:
+            raise ConfigurationError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SwapReport:
+    """What one completed swap did."""
+
+    fingerprint: str
+    drifted: tuple[str, ...]
+    observations_used: int
+
+
+class ModelSwapCoordinator:
+    """Drives drift checks and model swaps for one service.
+
+    Parameters
+    ----------
+    baseline:
+        The trained model currently serving.
+    sink:
+        The observation windows the serving stack feeds.
+    config:
+        Loop tunables.
+    swap:
+        Callable that installs a refreshed model across the serving
+        stack and returns the new state fingerprint.
+    metrics:
+        Registry for ``adapt_drift_checks`` / ``adapt_drift_flagged``
+        (swap metrics are the swap callable's responsibility).
+    """
+
+    def __init__(
+        self,
+        baseline: ErrorModel,
+        sink: ObservationSink,
+        config: AdaptationConfig,
+        swap: Callable[[ErrorModel], str],
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self._sink = sink
+        self._config = config
+        self._swap = swap
+        self._metrics = metrics or MetricsRegistry()
+        self._accumulator = EDAccumulator(baseline, sink)
+        self._detector = DriftDetector(
+            baseline,
+            self._accumulator,
+            significance=config.significance,
+            min_samples=config.min_samples,
+        )
+        self._status: dict[str, DriftStatus] = {}
+        self._checked_at_total = 0
+        self._checks = 0
+        self._swaps: list[SwapReport] = []
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def config(self) -> AdaptationConfig:
+        """The loop tunables."""
+        return self._config
+
+    @property
+    def sink(self) -> ObservationSink:
+        """The observation windows."""
+        return self._sink
+
+    @property
+    def status(self) -> dict[str, DriftStatus]:
+        """Per-database result of the most recent drift check."""
+        return dict(self._status)
+
+    @property
+    def drifted(self) -> tuple[str, ...]:
+        """Databases the last check flagged, sorted."""
+        return tuple(
+            sorted(
+                name
+                for name, status in self._status.items()
+                if status.drifted
+            )
+        )
+
+    @property
+    def checks(self) -> int:
+        """Drift checks run so far."""
+        return self._checks
+
+    @property
+    def swaps(self) -> tuple[SwapReport, ...]:
+        """Completed swaps, oldest first."""
+        return tuple(self._swaps)
+
+    # -- the loop -------------------------------------------------------------
+
+    def maybe_step(self) -> DriftStatus | None:
+        """Advance the loop if enough new observations arrived.
+
+        Called by the service after each uncached request. Runs a
+        drift check every ``check_every`` observations; with
+        ``auto_swap`` a flagged check triggers :meth:`swap_now`.
+        Returns the worst (lowest p-value) status when a check ran,
+        ``None`` otherwise.
+        """
+        total = self._sink.total
+        if total - self._checked_at_total < self._config.check_every:
+            return None
+        self._checked_at_total = total
+        status = self.check_now()
+        if self.drifted and self._config.auto_swap:
+            self.swap_now()
+        return status
+
+    def check_now(self) -> DriftStatus | None:
+        """Run one drift check unconditionally; returns the worst status."""
+        self._checks += 1
+        self._metrics.counter("adapt_drift_checks").inc()
+        self._status = self._detector.check()
+        flagged = sum(
+            1 for status in self._status.values() if status.drifted
+        )
+        if flagged:
+            self._metrics.counter("adapt_drift_flagged").inc(flagged)
+        if not self._status:
+            return None
+        return min(self._status.values(), key=lambda s: s.p_value)
+
+    def swap_now(self) -> SwapReport:
+        """Build the refreshed model, install it, re-baseline the loop.
+
+        The refreshed model becomes the detector's new reference and
+        the windows are cleared: the incorporated evidence would
+        otherwise keep re-flagging the very drift the swap absorbed.
+        """
+        drifted = self.drifted
+        observations_used = sum(
+            self._sink.count(name) for name in self._sink.databases()
+        )
+        refreshed = self._accumulator.refreshed_model()
+        # The swap callable owns propagation *and* the swap metrics
+        # (adapt_swaps_total / adapt_swap_ms) — manual swaps through
+        # MetasearchService.swap_model must count identically.
+        fingerprint = self._swap(refreshed)
+        self._accumulator = EDAccumulator(refreshed, self._sink)
+        self._detector = DriftDetector(
+            refreshed,
+            self._accumulator,
+            significance=self._config.significance,
+            min_samples=self._config.min_samples,
+        )
+        self._sink.clear()
+        self._status = {}
+        report = SwapReport(
+            fingerprint=fingerprint,
+            drifted=drifted,
+            observations_used=observations_used,
+        )
+        self._swaps.append(report)
+        return report
+
+    def snapshot(self) -> dict:
+        """JSON-able view of the loop's state (service snapshots)."""
+        return {
+            "checks": self._checks,
+            "swaps": len(self._swaps),
+            "observations_total": self._sink.total,
+            "status": {
+                name: status.as_dict()
+                for name, status in sorted(self._status.items())
+            },
+            "drifted": list(self.drifted),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ModelSwapCoordinator(checks={self._checks}, "
+            f"swaps={len(self._swaps)}, "
+            f"auto_swap={self._config.auto_swap})"
+        )

@@ -1,0 +1,140 @@
+"""Per-database drift detection via the paper's Pearson-χ² test.
+
+The paper uses Pearson-χ² (§4.2) to judge whether a *sample* ED is
+statistically indistinguishable from an ideal one — their "goodness"
+measure for choosing a training size. Drift detection is the same test
+pointed at time instead of sample size: the recent window of serve-time
+errors is the sample, the trained per-database ED is the reference, and
+a p-value at or below the significance level means the database no
+longer errs the way the model was trained to expect.
+
+The per-database pooled slice (:meth:`ErrorModel.database_ed`) is the
+reference rather than per-(database, type) slices: it aggregates all
+the training mass for the database, so the test has the most power the
+trained state can offer, and serve-time windows — whose type mix is
+whatever users happened to ask — compare against a reference with the
+same any-type composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.adapt.accumulator import EDAccumulator
+from repro.core.training import ErrorModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DriftStatus", "DriftDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class DriftStatus:
+    """One database's recent-vs-trained comparison."""
+
+    database: str
+    samples: int
+    statistic: float
+    dof: int
+    p_value: float
+    drifted: bool
+
+    def as_dict(self) -> dict:
+        """JSON-able form (snapshots, bench output)."""
+        return {
+            "database": self.database,
+            "samples": self.samples,
+            "statistic": round(self.statistic, 6),
+            "dof": self.dof,
+            "p_value": round(self.p_value, 9),
+            "drifted": self.drifted,
+        }
+
+
+class DriftDetector:
+    """Runs recent-vs-trained χ² per database.
+
+    Parameters
+    ----------
+    baseline:
+        The trained model whose per-database EDs are the references.
+    accumulator:
+        Source of the recent (windowed) EDs.
+    significance:
+        Drift is flagged when ``p_value <= significance``. Kept low by
+        default: a swap rebuilds state across the whole serving stack,
+        so false alarms are the expensive error.
+    min_samples:
+        Windows smaller than this are never flagged — the χ² of a
+        handful of samples says nothing (and the executor's
+        estimate-fallback samples could dominate a tiny window).
+    """
+
+    def __init__(
+        self,
+        baseline: ErrorModel,
+        accumulator: EDAccumulator,
+        significance: float = 0.01,
+        min_samples: int = 48,
+    ) -> None:
+        if not 0.0 < significance < 1.0:
+            raise ConfigurationError(
+                f"significance must be in (0, 1), got {significance}"
+            )
+        if min_samples < 1:
+            raise ConfigurationError(
+                f"min_samples must be >= 1, got {min_samples}"
+            )
+        self._baseline = baseline
+        self._accumulator = accumulator
+        self._significance = significance
+        self._min_samples = min_samples
+
+    @property
+    def significance(self) -> float:
+        """The flagging threshold on the p-value."""
+        return self._significance
+
+    @property
+    def min_samples(self) -> int:
+        """Window floor below which drift is never flagged."""
+        return self._min_samples
+
+    def check_database(self, database: str) -> DriftStatus:
+        """Recent-vs-trained χ² for one database."""
+        recent = self._accumulator.recent_ed(database)
+        samples = recent.sample_count
+        reference = self._baseline.database_ed(database)
+        if reference is None or samples < self._min_samples:
+            # No trained reference (database never sampled in training)
+            # or not enough recent evidence: report the degenerate
+            # "nothing to distinguish" result, never a flag.
+            return DriftStatus(
+                database=database,
+                samples=samples,
+                statistic=0.0,
+                dof=1,
+                p_value=1.0,
+                drifted=False,
+            )
+        result = recent.chi2_against(reference)
+        return DriftStatus(
+            database=database,
+            samples=samples,
+            statistic=result.statistic,
+            dof=result.dof,
+            p_value=result.p_value,
+            drifted=not result.accepted(self._significance),
+        )
+
+    def check(self) -> dict[str, DriftStatus]:
+        """χ² every database with windowed observations."""
+        return {
+            database: self.check_database(database)
+            for database in self._accumulator.sink.databases()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftDetector(significance={self._significance}, "
+            f"min_samples={self._min_samples})"
+        )

@@ -1,0 +1,204 @@
+"""Serve-time observation capture: the input side of the closed loop.
+
+Every probe the serving stack executes is a free labeled training
+sample: the selector computed r̂(db, q) to build the RD, the probe
+returned the true r(db, q), and the pair's relative error is exactly
+what offline ED training records (Eq. 2). The offline phase pays for
+these samples with dedicated training probes; the online phase gets
+them as a by-product of answering queries — discarding them, as the
+serving layer did before this module, throws away the only signal that
+can tell a drifted database from a stale model.
+
+:class:`ObservingProber` is the tap: it wraps whatever
+:class:`~repro.core.probing.BatchProber` the service already uses and
+feeds each observation into an :class:`ObservationSink`, a thread-safe
+per-database sliding window. Both execution paths flow through it —
+the in-process APro loop probes through ``apro.prober`` directly, and
+pool workers' probe rounds execute parent-side through the same
+attribute (see ``MetasearchService._pool_probe``) — so one wrapper
+covers the whole serving stack.
+
+Caveat: when the probe executor degrades a failed database to its
+point estimate, the "observed" value *is* r̂, so the sample's error is
+≈ 0. Under heavy fault injection this biases windows toward "estimator
+is perfect"; the drift detector's minimum-sample floor keeps isolated
+fallbacks from mattering.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.errors import relative_error
+from repro.core.query_types import QueryType
+from repro.core.selection import RDBasedSelector
+from repro.exceptions import ConfigurationError
+from repro.service.metrics import MetricsRegistry
+from repro.types import Query
+
+__all__ = ["Observation", "ObservationSink", "ObservingProber"]
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One serve-time probe outcome, in training-sample form."""
+
+    database: str
+    query_type: QueryType
+    estimate: float
+    actual: float
+    error: float
+
+
+class ObservationSink:
+    """Thread-safe per-database sliding windows of probe observations.
+
+    The window bound (``maxlen`` of each deque) is what makes the
+    accumulated EDs *recent*: old samples fall out as new ones arrive,
+    so a refreshed model tracks the database as it is now, not as it
+    was over the service's whole lifetime.
+
+    Parameters
+    ----------
+    window:
+        Samples retained per database (the sliding-window length).
+    metrics:
+        Optional registry; every recorded sample increments
+        ``adapt_observations_total``.
+    """
+
+    def __init__(
+        self, window: int = 256, metrics: MetricsRegistry | None = None
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(
+                f"observation window must be >= 1, got {window}"
+            )
+        self._window = window
+        self._metrics = metrics
+        self._per_db: dict[str, deque[Observation]] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    @property
+    def window(self) -> int:
+        """Samples retained per database."""
+        return self._window
+
+    @property
+    def total(self) -> int:
+        """Lifetime number of recorded observations (not windowed)."""
+        with self._lock:
+            return self._total
+
+    def record(self, observation: Observation) -> None:
+        """Append one observation to its database's window."""
+        with self._lock:
+            window = self._per_db.get(observation.database)
+            if window is None:
+                window = self._per_db[observation.database] = deque(
+                    maxlen=self._window
+                )
+            window.append(observation)
+            self._total += 1
+        if self._metrics is not None:
+            self._metrics.counter("adapt_observations_total").inc()
+
+    def databases(self) -> list[str]:
+        """Databases with at least one windowed observation, sorted."""
+        with self._lock:
+            return sorted(self._per_db)
+
+    def count(self, database: str) -> int:
+        """Observations currently windowed for *database*."""
+        with self._lock:
+            window = self._per_db.get(database)
+            return len(window) if window else 0
+
+    def observations(self, database: str) -> tuple[Observation, ...]:
+        """Snapshot of *database*'s window, oldest first."""
+        with self._lock:
+            window = self._per_db.get(database)
+            return tuple(window) if window else ()
+
+    def clear(self) -> None:
+        """Drop every window (lifetime total is preserved)."""
+        with self._lock:
+            self._per_db.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ObservationSink(window={self._window}, "
+                f"databases={len(self._per_db)}, total={self._total})"
+            )
+
+
+class ObservingProber:
+    """A :class:`~repro.core.probing.BatchProber` that records samples.
+
+    Wraps an inner prober; every observation that comes back is paired
+    with the estimate and query type the selector would assign it
+    (estimates depend only on summaries and the estimator, which
+    serve-time adaptation never changes, so the pairing is stable
+    across model swaps) and recorded into the sink. Probe semantics are
+    untouched — same indices in, same observations out.
+    """
+
+    def __init__(
+        self,
+        inner,
+        selector: RDBasedSelector,
+        sink: ObservationSink,
+    ) -> None:
+        self._inner = inner
+        self._selector = selector
+        self._sink = sink
+
+    @property
+    def inner(self):
+        """The wrapped prober (tests unwrap through this)."""
+        return self._inner
+
+    @property
+    def sink(self) -> ObservationSink:
+        """Where the samples go."""
+        return self._sink
+
+    def retarget(self, selector: RDBasedSelector) -> None:
+        """Point the estimate/type lookup at a new selector.
+
+        Called after a model swap. Estimates are swap-invariant, so
+        this only matters for object hygiene — the old selector would
+        keep producing identical samples.
+        """
+        self._selector = selector
+
+    def probe_batch(
+        self, query: Query, indices: Sequence[int]
+    ) -> Sequence[float]:
+        observations = self._inner.probe_batch(query, indices)
+        selector = self._selector
+        floor = selector.error_model.estimate_floor
+        classifier = selector.classifier
+        for index, actual in zip(indices, observations):
+            name = selector.mediator[index].name
+            estimate = selector.estimate(name, query)
+            self._sink.record(
+                Observation(
+                    database=name,
+                    query_type=classifier.classify(query, estimate),
+                    estimate=estimate,
+                    actual=float(actual),
+                    error=relative_error(
+                        float(actual), estimate, estimate_floor=floor
+                    ),
+                )
+            )
+        return observations
+
+    def __repr__(self) -> str:
+        return f"ObservingProber(inner={self._inner!r})"

@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-metasearch``.
 
-Nine commands:
+Ten commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
@@ -25,7 +25,10 @@ Nine commands:
   write ``BENCH_core.json`` (see ``docs/PERFORMANCE.md``);
 * ``bench-gateway`` — load-test the gateway: coalescing under a
   duplicate burst and clean shedding under overload, with p50/p95/p99
-  latency (see ``docs/GATEWAY.md``).
+  latency (see ``docs/GATEWAY.md``);
+* ``bench-drift`` — replay a topic-shifting corpus against an adapting
+  vs. a frozen service and write ``BENCH_drift.json`` (see
+  ``docs/ADAPTATION.md``).
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -51,6 +54,53 @@ from repro.experiments.setup import PaperSetupConfig, build_paper_context
 from repro.experiments.threshold_probes import probes_per_threshold
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_adapt_arguments(sub: argparse.ArgumentParser) -> None:
+    """The online-adaptation knobs shared by ``serve`` and ``gateway``."""
+    sub.add_argument(
+        "--adapt",
+        action="store_true",
+        default=None,
+        help=(
+            "enable online ED adaptation (observation windows + drift "
+            "checks; default reads REPRO_ADAPT)"
+        ),
+    )
+    sub.add_argument(
+        "--adapt-window",
+        type=int,
+        default=256,
+        help="serve-time samples retained per database (default 256)",
+    )
+    sub.add_argument(
+        "--adapt-check-every",
+        type=int,
+        default=64,
+        help="observations between drift checks (default 64)",
+    )
+    sub.add_argument(
+        "--adapt-significance",
+        type=float,
+        default=0.01,
+        help="chi-square p-value at or below which a database is "
+        "flagged as drifted (default 0.01)",
+    )
+    sub.add_argument(
+        "--adapt-min-samples",
+        type=int,
+        default=48,
+        help="window floor below which a database is never flagged "
+        "(default 48)",
+    )
+    sub.add_argument(
+        "--adapt-auto-swap",
+        action="store_true",
+        help=(
+            "hot-swap a refreshed model automatically when drift is "
+            "flagged (default: observe and flag only)"
+        ),
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -160,6 +210,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the metrics snapshot JSON to this path",
     )
+    _add_adapt_arguments(serve)
 
     bench = subparsers.add_parser(
         "bench-serve",
@@ -308,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="deadline applied to requests without their own (ms)",
     )
+    _add_adapt_arguments(gateway)
 
     bench_gateway = subparsers.add_parser(
         "bench-gateway",
@@ -484,6 +536,59 @@ def build_parser() -> argparse.ArgumentParser:
             "the incremental path matches the rebuild path (CI smoke mode)"
         ),
     )
+
+    bench_drift = subparsers.add_parser(
+        "bench-drift",
+        help=(
+            "replay a topic-shifting corpus: online adaptation vs. a "
+            "frozen model"
+        ),
+    )
+    bench_drift.add_argument("--k", type=int, default=3)
+    bench_drift.add_argument(
+        "--certainty",
+        type=float,
+        default=0.5,
+        help=(
+            "required expected correctness (default 0.5: the "
+            "probe-frugal regime where the model carries the answer)"
+        ),
+    )
+    bench_drift.add_argument(
+        "--queries-per-phase",
+        type=int,
+        default=60,
+        help="stream length of each phase (pre / post_early / post_late)",
+    )
+    bench_drift.add_argument(
+        "--batch", type=int, default=8, help="probes per APro round"
+    )
+    bench_drift.add_argument(
+        "--max-probes",
+        type=int,
+        default=None,
+        help="hard probe budget per query (default: none)",
+    )
+    bench_drift.add_argument(
+        "--drift-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of databases whose content shifts (default 0.5)",
+    )
+    bench_drift.add_argument(
+        "--out",
+        default="BENCH_drift.json",
+        help="path of the report JSON (default BENCH_drift.json)",
+    )
+    bench_drift.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless the document passes schema validation, "
+            "drift was detected and swapped, no request was lost, and "
+            "the adapted run recovered in post_late (CI smoke mode)"
+        ),
+    )
     return parser
 
 
@@ -588,6 +693,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
         cache_enabled=args.cache_ttl > 0,
         pool_workers=args.pool,
+        adapt=args.adapt,
+        adapt_window=args.adapt_window,
+        adapt_check_every=args.adapt_check_every,
+        adapt_significance=args.adapt_significance,
+        adapt_min_samples=args.adapt_min_samples,
+        adapt_auto_swap=args.adapt_auto_swap,
     )
     with MetasearchService(
         searcher, config=config, injector=injector
@@ -643,6 +754,12 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             cache_ttl_s=args.cache_ttl if args.cache_ttl > 0 else None,
             cache_enabled=args.cache_ttl > 0,
             pool_workers=args.pool,
+            adapt=args.adapt,
+            adapt_window=args.adapt_window,
+            adapt_check_every=args.adapt_check_every,
+            adapt_significance=args.adapt_significance,
+            adapt_min_samples=args.adapt_min_samples,
+            adapt_auto_swap=args.adapt_auto_swap,
         ),
         injector=injector,
     )
@@ -949,6 +1066,54 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_drift(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.adapt.bench import (
+        BenchDriftConfig,
+        format_bench_drift,
+        run_bench_drift,
+        validate_bench_drift,
+    )
+
+    print(
+        f"Benchmarking drift adaptation (scale={args.scale}, "
+        f"{args.queries_per_phase} queries/phase, "
+        f"drift fraction {args.drift_fraction})...",
+        flush=True,
+    )
+    document = run_bench_drift(
+        BenchDriftConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            queries_per_phase=args.queries_per_phase,
+            k=args.k,
+            certainty=args.certainty,
+            batch_size=args.batch,
+            max_probes=args.max_probes,
+            drift_fraction=args.drift_fraction,
+        )
+    )
+    print(format_bench_drift(document))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Report written to {args.out}")
+    if args.check:
+        failures = validate_bench_drift(document)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        print(
+            "check passed: drift detected, model swapped, no request "
+            "lost, adaptation recovered in post_late"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -962,6 +1127,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench-train": _cmd_bench_train,
         "bench-core": _cmd_bench_core,
         "bench-gateway": _cmd_bench_gateway,
+        "bench-drift": _cmd_bench_drift,
     }
     try:
         return handlers[args.command](args)

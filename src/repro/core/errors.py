@@ -24,7 +24,17 @@ from repro.stats.chisquare import ChiSquareResult, pearson_chi2_test
 from repro.stats.distribution import DiscreteDistribution
 from repro.stats.histogram import Histogram
 
-__all__ = ["relative_error", "DEFAULT_ERROR_EDGES", "ErrorDistribution"]
+__all__ = [
+    "relative_error",
+    "DEFAULT_ERROR_EDGES",
+    "ED_STATE_VERSION",
+    "ErrorDistribution",
+]
+
+#: Schema version written into :meth:`ErrorDistribution.state`. Bump on
+#: any incompatible change to the serialized shape; :meth:`from_state`
+#: accepts version-less dicts (the pre-versioning format) as version 1.
+ED_STATE_VERSION = 1
 
 #: Default estimate floor: the denominator of Eq. 2 is clamped to this
 #: value so the relative error stays finite when the independence product
@@ -127,6 +137,7 @@ class ErrorDistribution:
         """JSON-serializable state (edges, per-bin counts and sums)."""
         histogram = self._histogram
         return {
+            "version": ED_STATE_VERSION,
             "edges": [float(e) for e in histogram.edges],
             "counts": [int(c) for c in histogram.counts],
             "sums": [float(s) for s in histogram.sums],
@@ -134,7 +145,18 @@ class ErrorDistribution:
 
     @classmethod
     def from_state(cls, state: dict) -> "ErrorDistribution":
-        """Reconstruct an ED from :meth:`state` output."""
+        """Reconstruct an ED from :meth:`state` output.
+
+        Accepts version-less dicts (written before the state schema was
+        versioned) as version 1; any other version is refused rather
+        than misread.
+        """
+        version = state.get("version", ED_STATE_VERSION)
+        if version != ED_STATE_VERSION:
+            raise DistributionError(
+                f"unsupported ErrorDistribution state version {version!r} "
+                f"(this build reads version {ED_STATE_VERSION})"
+            )
         ed = cls(edges=state["edges"])
         ed._histogram = Histogram.from_state(
             state["edges"], state["counts"], state["sums"]

@@ -27,7 +27,17 @@ from repro.summaries.estimators import RelevancyEstimator
 from repro.summaries.summary import ContentSummary
 from repro.types import Query
 
-__all__ = ["ErrorModel", "EDTrainer", "PlannedProbe"]
+__all__ = [
+    "ERROR_MODEL_STATE_VERSION",
+    "ErrorModel",
+    "EDTrainer",
+    "PlannedProbe",
+]
+
+#: Schema version written into :meth:`ErrorModel.state_dict`. Bump on
+#: any incompatible change; :meth:`ErrorModel.from_state_dict` accepts
+#: version-less dicts (the pre-versioning format) as version 1.
+ERROR_MODEL_STATE_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -140,6 +150,16 @@ class ErrorModel:
         """The exact (db, type) ED regardless of sample count."""
         return self._per_type.get((database_name, query_type))
 
+    def database_ed(self, database_name: str) -> ErrorDistribution | None:
+        """The ED pooled over every query type of one database.
+
+        The drift detector compares recent serve-time errors against
+        this per-database slice: it aggregates all the training mass
+        for the database, so a recent-vs-trained χ² over it is the
+        best-powered per-database test available.
+        """
+        return self._per_db.get(database_name)
+
     def types_for(self, database_name: str) -> list[QueryType]:
         """Query types with a trained ED for *database_name*."""
         return sorted(
@@ -151,6 +171,7 @@ class ErrorModel:
     def state_dict(self) -> dict:
         """JSON-serializable snapshot of the whole trained model."""
         return {
+            "version": ERROR_MODEL_STATE_VERSION,
             "edges": [float(e) for e in self._edges],
             "min_samples": self._min_samples,
             "estimate_floor": self.estimate_floor,
@@ -176,7 +197,17 @@ class ErrorModel:
 
     @classmethod
     def from_state_dict(cls, state: dict) -> "ErrorModel":
-        """Reconstruct a trained model from :meth:`state_dict` output."""
+        """Reconstruct a trained model from :meth:`state_dict` output.
+
+        Version-less dicts (written before the schema was versioned)
+        load as version 1; any other version is refused.
+        """
+        version = state.get("version", ERROR_MODEL_STATE_VERSION)
+        if version != ERROR_MODEL_STATE_VERSION:
+            raise TrainingError(
+                f"unsupported ErrorModel state version {version!r} "
+                f"(this build reads version {ERROR_MODEL_STATE_VERSION})"
+            )
         model = cls(
             edges=state["edges"],
             min_samples=state["min_samples"],

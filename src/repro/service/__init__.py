@@ -41,6 +41,7 @@ from repro.service.pool import (
     PoolResult,
     PoolUnavailableError,
     SelectionPool,
+    StaleRequestError,
     WorkerCrashedError,
 )
 from repro.service.resilience import (
@@ -51,7 +52,11 @@ from repro.service.resilience import (
 )
 from repro.service.server import MetasearchService, ServedAnswer, ServiceConfig
 from repro.service.training import ParallelEDTrainer
-from repro.service.worker import WorkerStateBlob, build_worker_blob
+from repro.service.worker import (
+    WorkerStateBlob,
+    build_worker_blob,
+    refresh_worker_blob,
+)
 
 __all__ = [
     "CacheStats",
@@ -77,7 +82,9 @@ __all__ = [
     "SelectionPool",
     "ServedAnswer",
     "ServiceConfig",
+    "StaleRequestError",
     "WorkerCrashedError",
     "WorkerStateBlob",
     "build_worker_blob",
+    "refresh_worker_blob",
 ]

@@ -40,10 +40,20 @@ Lifecycle management:
   in-process (``pool_fallback_total``), metrics-visible, never an
   outage.
 
+* **Hot state swap** — :meth:`SelectionPool.update_state` replaces the
+  model blob without stopping the pool: idle workers are reloaded in
+  place immediately, busy workers finish their in-flight request under
+  the old state and are reloaded lazily the first time they refuse a
+  request under the new fingerprint (``("stale", fp)`` →
+  ``("reload", blob)`` → re-dispatch, counted by
+  ``pool_stale_refusals``). Zero requests are dropped across a swap;
+  see ``docs/ADAPTATION.md``.
+
 All pool instruments (``pool_dispatch``, ``pool_queue_depth``,
 ``pool_worker_restarts``, ``pool_worker_recycles``,
-``pool_fallback_total``, ``stage_pool_ms``) are pre-registered by the
-service at construction, per the stable-snapshot-key-set contract.
+``pool_fallback_total``, ``pool_stale_refusals``, ``stage_pool_ms``)
+are pre-registered by the service at construction, per the
+stable-snapshot-key-set contract.
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ __all__ = [
     "PoolUnavailableError",
     "WorkerCrashedError",
     "PoolExecutionError",
+    "StaleRequestError",
     "SelectionPool",
 ]
 
@@ -85,6 +96,21 @@ class WorkerCrashedError(ReproError):
 
 class PoolExecutionError(ReproError):
     """The worker reported an error for this request (worker survives)."""
+
+
+class StaleRequestError(PoolExecutionError):
+    """The request's fingerprint predates the pool's current state.
+
+    Raised when a worker refuses a request whose fingerprint matches
+    *neither* the worker's state nor the pool's current blob — i.e. the
+    request was built against a model that a hot-swap has since retired.
+    The caller should rebuild the request against the pool's current
+    :attr:`SelectionPool.fingerprint` and re-dispatch (the answer is
+    then computed under the new model, which is exactly what a request
+    that had not yet started is entitled to). Subclasses
+    :class:`PoolExecutionError` so callers that only know the old
+    contract still degrade gracefully in-process.
+    """
 
 
 @dataclass(frozen=True)
@@ -261,6 +287,13 @@ class SelectionPool:
         return self._workers
 
     @property
+    def blob(self) -> WorkerStateBlob:
+        """The state blob workers currently hold (callers build
+        refreshed blobs from it for :meth:`update_state`)."""
+        with self._lock:
+            return self._blob
+
+    @property
     def fingerprint(self) -> str:
         """The state fingerprint every request must carry."""
         return self._blob.fingerprint
@@ -346,6 +379,53 @@ class SelectionPool:
             else:
                 self._replace(handle)
         return healthy
+
+    def update_state(self, blob: WorkerStateBlob) -> int:
+        """Hot-swap *blob* in as the pool's model state; returns the
+        number of workers reloaded in place.
+
+        Zero-downtime by construction: the pool keeps serving while the
+        swap propagates. Idle workers are reloaded here, synchronously;
+        workers busy with an in-flight request are left alone — they
+        finish that request under the state its fingerprint names, and
+        are reloaded lazily the first time they refuse a new-fingerprint
+        request (see :meth:`_converse`). Fingerprints are content
+        hashes, so swapping in a bit-identical state is a no-op.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailableError("selection pool is closed")
+            unchanged = blob.fingerprint == self._blob.fingerprint
+            self._blob = blob
+        if unchanged or not self._started:
+            # A cold pool simply spawns with the new blob on first
+            # dispatch; nothing to reload.
+            return 0
+        drained: list[_WorkerHandle] = []
+        while True:
+            try:
+                drained.append(self._idle.get_nowait())
+            except queue.Empty:
+                break
+        reloaded = 0
+        for handle in drained:
+            if self._reload(handle, blob):
+                reloaded += 1
+                self._idle.put(handle)
+            else:
+                self._replace(handle)
+        return reloaded
+
+    def _reload(self, handle: _WorkerHandle, blob: WorkerStateBlob) -> bool:
+        """Ship *blob* to one worker and await its acknowledgement."""
+        try:
+            handle.conn.send(("reload", blob))
+            if not handle.conn.poll(self._step_timeout_s):
+                return False
+            kind, fingerprint = handle.conn.recv()
+            return kind == "reloaded" and fingerprint == blob.fingerprint
+        except (OSError, EOFError, BrokenPipeError, ValueError):
+            return False
 
     def _replace(self, dead: _WorkerHandle) -> None:
         """Kill *dead*, spawn a successor into the idle set."""
@@ -435,6 +515,11 @@ class SelectionPool:
                 if self._consecutive_crashes >= self._unhealthy_after:
                     self._unhealthy = True
             self._replace(handle)
+            raise
+        except StaleRequestError:
+            # The worker is healthy and current — it *refused* cleanly,
+            # pipe drained. Only the request needs rebuilding.
+            self._idle.put(handle)
             raise
         except BaseException:
             # Protocol desync (including an interrupt mid-conversation)
@@ -530,6 +615,33 @@ class SelectionPool:
                     probe_order=tuple(payload["probe_order"]),
                     deadline_expired=bool(payload["deadline_expired"]),
                 )
+            elif kind == "stale":
+                self._metrics.counter("pool_stale_refusals").inc()
+                with self._lock:
+                    current = self._blob
+                if request.fingerprint != current.fingerprint:
+                    # The *request* is behind: a swap retired its model
+                    # between build and dispatch. The caller rebuilds it
+                    # against the current fingerprint and re-dispatches.
+                    raise StaleRequestError(
+                        f"stale-state: request expects "
+                        f"{request.fingerprint}, pool now holds "
+                        f"{current.fingerprint}"
+                    )
+                # The *worker* is behind: it was busy (or queued) when
+                # update_state propagated. Reload it in place and
+                # re-dispatch the same request — never an error for the
+                # caller.
+                if not self._reload(handle, current):
+                    raise WorkerCrashedError(
+                        "worker failed to reload after a state swap"
+                    )
+                try:
+                    handle.conn.send(("run", request.wire()))
+                except (OSError, ValueError, BrokenPipeError) as error:
+                    raise WorkerCrashedError(
+                        f"worker died on post-reload dispatch: {error}"
+                    ) from None
             elif kind == "error":
                 raise PoolExecutionError(message[1])
             else:

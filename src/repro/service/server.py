@@ -10,7 +10,11 @@ Ties the serving subsystem together around a trained
 * repeated ``(query, k, certainty)`` requests are answered from a
   TTL-keyed :class:`SelectionCache`;
 * every request feeds the :class:`MetricsRegistry` (probes, retries,
-  timeouts, fallbacks, cache hits, per-query latency and probe counts).
+  timeouts, fallbacks, cache hits, per-query latency and probe counts);
+* with ``adapt`` on, every served probe also feeds the online
+  adaptation loop (:mod:`repro.adapt`), and :meth:`swap_model`
+  hot-swaps a refreshed error model into both execution paths with
+  zero dropped requests.
 
 The service serves *selections* — which databases to route a query to
 and with what certainty — which is the expensive, probe-consuming part
@@ -26,6 +30,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.deadline import Deadline
 from repro.core.probing import APro
+from repro.core.selection import RDBasedSelector
 from repro.exceptions import ConfigurationError, ReproError
 from repro.metasearch.metasearcher import Metasearcher
 from repro.service.cache import SelectionCache
@@ -38,10 +43,11 @@ from repro.service.pool import (
     PoolResult,
     PoolUnavailableError,
     SelectionPool,
+    StaleRequestError,
     WorkerCrashedError,
 )
 from repro.service.resilience import RetryPolicy
-from repro.service.worker import build_worker_blob
+from repro.service.worker import build_worker_blob, refresh_worker_blob
 from repro.types import Query
 
 __all__ = ["ServiceConfig", "ServedAnswer", "MetasearchService"]
@@ -51,6 +57,11 @@ __all__ = ["ServiceConfig", "ServedAnswer", "MetasearchService"]
 #: suite (and any deployment) opt into the multiprocess selection tier
 #: without touching call sites: ``REPRO_POOL_WORKERS=2 pytest ...``.
 POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
+
+#: Env knob: default for ``ServiceConfig.adapt`` when left unset. Any
+#: non-zero integer turns the online-adaptation loop on for every
+#: service constructed in the process: ``REPRO_ADAPT=1 pytest ...``.
+ADAPT_ENV = "REPRO_ADAPT"
 
 
 @dataclass(frozen=True)
@@ -95,6 +106,24 @@ class ServiceConfig:
     pool_max_pending:
         Bound on requests waiting for a pool lease at once; beyond it
         requests fall back in-process immediately.
+    adapt:
+        Enable the online-adaptation loop (:mod:`repro.adapt`): every
+        served probe is recorded as a labeled sample, drift checks run
+        on a cadence, and — with ``adapt_auto_swap`` — a refreshed
+        model is hot-swapped into the live service. ``None`` (the
+        default) reads the ``REPRO_ADAPT`` env knob, falling back to
+        off.
+    adapt_window:
+        Serve-time samples retained per database.
+    adapt_check_every:
+        Observations between drift checks.
+    adapt_significance:
+        χ² p-value at or below which a database counts as drifted.
+    adapt_min_samples:
+        Window floor below which a database is never flagged.
+    adapt_auto_swap:
+        Swap automatically when a check flags drift (off = observe and
+        flag only; operators or the bench call ``swap_model``).
     """
 
     max_workers: int = 8
@@ -108,6 +137,12 @@ class ServiceConfig:
     pool_tasks_per_worker: int | None = None
     pool_lease_timeout_s: float = 5.0
     pool_max_pending: int = 64
+    adapt: bool | None = None
+    adapt_window: int = 256
+    adapt_check_every: int = 64
+    adapt_significance: float = 0.01
+    adapt_min_samples: int = 48
+    adapt_auto_swap: bool = False
 
     def __post_init__(self) -> None:
         # Validate everything here, at construction, so a bad value
@@ -168,6 +203,34 @@ class ServiceConfig:
         if self.pool_max_pending < 1:
             raise ConfigurationError(
                 f"pool_max_pending must be >= 1, got {self.pool_max_pending}"
+            )
+        if self.adapt is None:
+            raw = os.environ.get(ADAPT_ENV, "").strip()
+            try:
+                resolved = bool(int(raw)) if raw else False
+            except ValueError:
+                raise ConfigurationError(
+                    f"{ADAPT_ENV} must be an integer, got {raw!r}"
+                ) from None
+            object.__setattr__(self, "adapt", resolved)
+        if self.adapt_window < 1:
+            raise ConfigurationError(
+                f"adapt_window must be >= 1, got {self.adapt_window}"
+            )
+        if self.adapt_check_every < 1:
+            raise ConfigurationError(
+                f"adapt_check_every must be >= 1, "
+                f"got {self.adapt_check_every}"
+            )
+        if not 0.0 < self.adapt_significance < 1.0:
+            raise ConfigurationError(
+                f"adapt_significance must be in (0, 1), "
+                f"got {self.adapt_significance}"
+            )
+        if self.adapt_min_samples < 1:
+            raise ConfigurationError(
+                f"adapt_min_samples must be >= 1, "
+                f"got {self.adapt_min_samples}"
             )
 
 
@@ -247,10 +310,14 @@ class MetasearchService:
         self._apro = APro(
             selector, policy=metasearcher.policy, prober=self._executor
         )
+        # The fingerprinted state blob is built whether or not the pool
+        # is enabled: it names the model version in cache keys and is
+        # what a hot swap refreshes.
+        self._blob = build_worker_blob(metasearcher)
         self._pool: SelectionPool | None = None
         if self._config.pool_workers > 0:
             self._pool = SelectionPool(
-                build_worker_blob(metasearcher),
+                self._blob,
                 prober=self._pool_probe,
                 workers=self._config.pool_workers,
                 metrics=self._metrics,
@@ -278,9 +345,16 @@ class MetasearchService:
             "pool_worker_restarts",
             "pool_worker_recycles",
             "pool_fallback_total",
+            "pool_stale_refusals",
+            # Adaptation instruments, likewise always registered.
+            "adapt_observations_total",
+            "adapt_drift_checks",
+            "adapt_drift_flagged",
+            "adapt_swaps_total",
         ):
             self._metrics.counter(counter)
         self._metrics.gauge("pool_queue_depth")
+        self._metrics.histogram("adapt_swap_ms", deterministic=False)
         self._metrics.histogram("query_probes")
         self._metrics.histogram("query_probes_uncached")
         self._metrics.histogram("query_latency_wall_ms", deterministic=False)
@@ -292,6 +366,42 @@ class MetasearchService:
         self._metrics.histogram("stage_analyze_ms", deterministic=False)
         self._metrics.histogram("stage_apro_ms", deterministic=False)
         self._metrics.histogram("stage_pool_ms", deterministic=False)
+        self._observations = None
+        self._adaptation = None
+        if self._config.adapt:
+            # Imported lazily: repro.adapt itself imports service
+            # modules, and this module is imported by the package init.
+            from repro.adapt import (
+                AdaptationConfig,
+                ModelSwapCoordinator,
+                ObservationSink,
+                ObservingProber,
+            )
+
+            self._observations = ObservationSink(
+                window=self._config.adapt_window, metrics=self._metrics
+            )
+            # The tap wraps whatever prober the APro holds; both the
+            # in-process loop and pool workers' parent-side probe
+            # rounds flow through this attribute.
+            self._apro._prober = ObservingProber(
+                self._apro.prober,
+                selector=selector,
+                sink=self._observations,
+            )
+            self._adaptation = ModelSwapCoordinator(
+                baseline=metasearcher.error_model,
+                sink=self._observations,
+                config=AdaptationConfig(
+                    window=self._config.adapt_window,
+                    check_every=self._config.adapt_check_every,
+                    significance=self._config.adapt_significance,
+                    min_samples=self._config.adapt_min_samples,
+                    auto_swap=self._config.adapt_auto_swap,
+                ),
+                swap=self.swap_model,
+                metrics=self._metrics,
+            )
 
     @property
     def metrics(self) -> MetricsRegistry:
@@ -312,6 +422,70 @@ class MetasearchService:
     def pool(self) -> SelectionPool | None:
         """The selection pool (``None`` when ``pool_workers == 0``)."""
         return self._pool
+
+    @property
+    def state_fingerprint(self) -> str:
+        """Content fingerprint of the model state currently serving."""
+        return self._blob.fingerprint
+
+    @property
+    def adaptation(self):
+        """The :class:`~repro.adapt.ModelSwapCoordinator`, or ``None``."""
+        return self._adaptation
+
+    @property
+    def observations(self):
+        """The :class:`~repro.adapt.ObservationSink`, or ``None``."""
+        return self._observations
+
+    def swap_model(self, error_model) -> str:
+        """Hot-swap a refreshed error model into the live service.
+
+        Zero-downtime across both execution paths: the in-process
+        selector/APro are rebuilt (keeping the current prober, so probe
+        taps and test interposers survive), the fingerprinted state
+        blob is refreshed, and a running pool is updated in place —
+        idle workers reload immediately, busy ones finish their
+        in-flight request under the old state and reload lazily (see
+        :meth:`SelectionPool.update_state`). Requests that began before
+        the swap answer under the model their fingerprint names;
+        requests that begin after it answer under the new one. Returns
+        the new fingerprint.
+
+        Fingerprints are content hashes: swapping in a bit-identical
+        model state yields the same fingerprint, every cache key stays
+        valid, and the pool reload short-circuits — a no-op swap is
+        free and answer-invariant.
+        """
+        started = time.perf_counter()
+        # The trained selector's non-model state (mediator, summaries,
+        # estimator, classifier, definition) is swap-invariant; only
+        # the error model moves.
+        old_selector = self._metasearcher.selector
+        new_selector = RDBasedSelector(
+            mediator=old_selector.mediator,
+            summaries=old_selector.summaries,
+            estimator=old_selector.estimator,
+            error_model=error_model,
+            classifier=old_selector.classifier,
+            definition=old_selector.definition,
+        )
+        prober = self._apro.prober
+        self._apro = APro(
+            new_selector, policy=self._metasearcher.policy, prober=prober
+        )
+        if self._observations is not None and hasattr(prober, "retarget"):
+            prober.retarget(new_selector)
+        self._blob = refresh_worker_blob(
+            self._blob, error_model.state_dict()
+        )
+        if self._pool is not None:
+            self._pool.update_state(self._blob)
+        self._metrics.counter("adapt_swaps_total").inc()
+        self._metrics.histogram(
+            "adapt_swap_ms", deterministic=False
+        ).observe((time.perf_counter() - started) * 1000.0)
+        return self._blob.fingerprint
 
     def _pool_probe(
         self, query: Query, indices: Sequence[int]
@@ -351,7 +525,18 @@ class MetasearchService:
         analyzed = self._metasearcher.analyze(query)
         analyze_ms = (time.perf_counter() - started) * 1000.0
         searcher_config = self._metasearcher.config
-        key = (analyzed, k, certainty, searcher_config.metric.name)
+        # The state fingerprint keys the cache entry to the model that
+        # computed it: a hot swap retires old entries wholesale (they
+        # age out unreferenced) instead of serving selections a retired
+        # model chose. Read once — a request that raced a swap lands
+        # fully under one fingerprint or the other, never a mixture.
+        key = (
+            self._blob.fingerprint,
+            analyzed,
+            k,
+            certainty,
+            searcher_config.metric.name,
+        )
         if self._cache is not None:
             cached = self._cache.get(key)
             if cached is not None:
@@ -392,6 +577,8 @@ class MetasearchService:
             # certainty, not inherit the cut-short one.
             self._cache.put(key, answer)
         self._observe_query(answer.probes, wall_ms, hit=False)
+        if self._adaptation is not None:
+            self._adaptation.maybe_step()
         return answer
 
     def _select(
@@ -425,25 +612,39 @@ class MetasearchService:
             # clock, so an expired deadline (0 remaining) stays expired
             # and a live one keeps counting down while the worker runs.
             pool_started = time.perf_counter()
-            request = PoolRequest(
-                query=analyzed,
-                k=k,
-                threshold=threshold,
-                metric_name=searcher_config.metric.name,
-                fingerprint=self._pool.fingerprint,
-                max_probes=searcher_config.max_probes,
-                batch_size=self._batch_size(),
-                deadline_s=(
-                    None if deadline is None else deadline.remaining_s()
-                ),
-            )
-            try:
-                result = self._pool.execute(request)
-            except (
-                PoolUnavailableError,
-                WorkerCrashedError,
-                PoolExecutionError,
-            ):
+            result: PoolResult | None = None
+            # Two attempts: a request built just before a hot swap
+            # lands carries the retired fingerprint; the pool refuses
+            # it with StaleRequestError and the request is rebuilt
+            # against the new state — the answer a not-yet-started
+            # request is entitled to. A second refusal (a swap storm)
+            # degrades in-process like any other pool problem.
+            for _ in range(2):
+                request = PoolRequest(
+                    query=analyzed,
+                    k=k,
+                    threshold=threshold,
+                    metric_name=searcher_config.metric.name,
+                    fingerprint=self._pool.fingerprint,
+                    max_probes=searcher_config.max_probes,
+                    batch_size=self._batch_size(),
+                    deadline_s=(
+                        None if deadline is None else deadline.remaining_s()
+                    ),
+                )
+                try:
+                    result = self._pool.execute(request)
+                except StaleRequestError:
+                    continue
+                except (
+                    PoolUnavailableError,
+                    WorkerCrashedError,
+                    PoolExecutionError,
+                ):
+                    break
+                else:
+                    break
+            if result is None:
                 self._metrics.counter("pool_fallback_total").inc()
             else:
                 self._metrics.histogram(
@@ -504,6 +705,8 @@ class MetasearchService:
                 "size": stats.size,
                 "hit_rate": round(stats.hit_rate, 6),
             }
+        if self._adaptation is not None:
+            out["adaptation"] = self._adaptation.snapshot()
         return out
 
     def shutdown(self) -> None:

@@ -28,15 +28,27 @@ the persistence layer round-trips (``ContentSummary.to_dict`` /
 pool selections are bit-identical to in-process execution: same answer
 sets, same probe orders, certainties equal to floating point.
 
+State is *versioned*, not frozen: the adaptation layer
+(:mod:`repro.adapt`) can hot-swap a refreshed model into a running pool.
+``("reload", blob)`` replaces a worker's state in place (acknowledged
+with ``("reloaded", fingerprint)``), and a worker that receives a
+request for a fingerprint it does not hold answers ``("stale",
+held_fingerprint)`` instead of computing against the wrong model — the
+parent then either reloads the worker and re-dispatches (worker behind a
+swap) or tells the caller to rebuild the request (request behind a
+swap). See ``docs/ADAPTATION.md`` for the full swap protocol.
+
 Wire protocol (pickled tuples over a duplex ``multiprocessing.Pipe``):
 
 ====================  =========================================
 parent -> worker      ``("run", request_dict)``, ``("ping",)``,
                       ``("obs", [floats])``, ``("abort", msg)``,
-                      ``("stop",)``
+                      ``("reload", blob)``, ``("stop",)``
 worker -> parent      ``("probe", [indices])``,
                       ``("result", result_dict)``,
-                      ``("error", message)``, ``("pong", fingerprint)``
+                      ``("error", message)``, ``("pong", fingerprint)``,
+                      ``("stale", fingerprint)``,
+                      ``("reloaded", fingerprint)``
 ====================  =========================================
 
 The module is import-safe under the ``spawn`` start method: it imports
@@ -50,7 +62,7 @@ import hashlib
 import json
 import os
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.deadline import Deadline
 from repro.core.policies import ProbePolicy
@@ -68,6 +80,7 @@ from repro.types import Query
 __all__ = [
     "WorkerStateBlob",
     "build_worker_blob",
+    "refresh_worker_blob",
     "worker_main",
 ]
 
@@ -199,6 +212,32 @@ def build_worker_blob(metasearcher) -> WorkerStateBlob:
     )
 
 
+def refresh_worker_blob(
+    blob: WorkerStateBlob, error_model_state: dict
+) -> WorkerStateBlob:
+    """A new blob carrying *error_model_state*, re-fingerprinted.
+
+    This is the adaptation layer's swap primitive: summaries, classifier
+    configuration, policy and estimator are unchanged (serve-time
+    observations cannot refresh them), only the error model moves. The
+    fingerprint is a content hash, so refreshing with a bit-identical
+    model state yields the *same* fingerprint — a no-op swap is free.
+    """
+    fingerprint = _state_fingerprint(
+        blob.database_names,
+        blob.summaries,
+        error_model_state,
+        blob.estimate_thresholds,
+        blob.term_counts,
+        blob.definition_value,
+        blob.estimator,
+        blob.policy,
+    )
+    return replace(
+        blob, error_model_state=error_model_state, fingerprint=fingerprint
+    )
+
+
 class ConnProber:
     """The worker's :class:`~repro.core.probing.BatchProber`.
 
@@ -255,11 +294,6 @@ def _rebuild_apro(blob: WorkerStateBlob, conn) -> APro:
 
 
 def _run_request(apro: APro, blob: WorkerStateBlob, request: dict) -> dict:
-    if request.get("fingerprint") != blob.fingerprint:
-        raise _StaleStateError(
-            f"stale-state: worker holds {blob.fingerprint}, request "
-            f"expects {request.get('fingerprint')!r}"
-        )
     crash_term = os.environ.get(CRASH_TERM_ENV)
     terms = tuple(request["terms"])
     if crash_term and crash_term in terms:
@@ -285,10 +319,6 @@ def _run_request(apro: APro, blob: WorkerStateBlob, request: dict) -> dict:
     }
 
 
-class _StaleStateError(Exception):
-    """Request fingerprint does not match this worker's shipped state."""
-
-
 def worker_main(conn, blob: WorkerStateBlob) -> None:
     """The worker process entry point: serve requests until stopped.
 
@@ -296,6 +326,13 @@ def worker_main(conn, blob: WorkerStateBlob) -> None:
     exclusively for the duration of a request's conversation). Errors
     inside a request are reported over the pipe and the worker stays
     alive; only ``("stop",)`` or a closed pipe ends the loop.
+
+    A ``("run", ...)`` whose fingerprint does not match the state this
+    worker holds is *refused* with ``("stale", held_fingerprint)`` —
+    never computed against the wrong model — and a ``("reload", blob)``
+    replaces the worker's state in place (the zero-downtime half of the
+    model hot-swap: the process, its pipe and its warm imports all
+    survive the swap).
     """
     apro = _rebuild_apro(blob, conn)
     try:
@@ -310,9 +347,18 @@ def worker_main(conn, blob: WorkerStateBlob) -> None:
             if kind == "ping":
                 conn.send(("pong", blob.fingerprint))
                 continue
+            if kind == "reload":
+                blob = message[1]
+                apro = _rebuild_apro(blob, conn)
+                conn.send(("reloaded", blob.fingerprint))
+                continue
             if kind == "run":
+                request = message[1]
+                if request.get("fingerprint") != blob.fingerprint:
+                    conn.send(("stale", blob.fingerprint))
+                    continue
                 try:
-                    result = _run_request(apro, blob, message[1])
+                    result = _run_request(apro, blob, request)
                 except Exception as error:  # noqa: BLE001 - boundary
                     conn.send(
                         ("error", f"{type(error).__name__}: {error}")

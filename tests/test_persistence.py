@@ -37,6 +37,27 @@ class TestErrorDistributionState:
         restored = ErrorDistribution.from_state(json.loads(text))
         assert restored.sample_count == 2
 
+    def test_state_carries_version(self):
+        from repro.core.errors import ED_STATE_VERSION
+
+        assert ErrorDistribution().state()["version"] == ED_STATE_VERSION
+
+    def test_versionless_state_accepted_as_v1(self):
+        ed = ErrorDistribution()
+        ed.observe_all([0.25, -0.75])
+        state = ed.state()
+        state.pop("version")
+        restored = ErrorDistribution.from_state(state)
+        assert restored.sample_count == 2
+
+    def test_unknown_version_rejected(self):
+        from repro.exceptions import DistributionError
+
+        state = ErrorDistribution().state()
+        state["version"] = 999
+        with pytest.raises(DistributionError, match="version"):
+            ErrorDistribution.from_state(state)
+
 
 class TestErrorModelState:
     def test_round_trip_preserves_lookups(self):
@@ -57,6 +78,28 @@ class TestErrorModelState:
                     assert loaded.to_distribution().allclose(
                         original.to_distribution()
                     )
+
+    def test_state_carries_version(self):
+        from repro.core.training import ERROR_MODEL_STATE_VERSION
+
+        state = ErrorModel().state_dict()
+        assert state["version"] == ERROR_MODEL_STATE_VERSION
+
+    def test_versionless_state_accepted_as_v1(self):
+        model = ErrorModel(min_samples=2)
+        model.observe("db-a", QueryType(2, 0), -0.5)
+        state = model.state_dict()
+        state.pop("version")
+        restored = ErrorModel.from_state_dict(state)
+        assert restored.database_ed("db-a").sample_count == 1
+
+    def test_unknown_version_rejected(self):
+        from repro.exceptions import TrainingError
+
+        state = ErrorModel().state_dict()
+        state["version"] = 999
+        with pytest.raises(TrainingError, match="version"):
+            ErrorModel.from_state_dict(state)
 
     def test_round_trip_preserves_config(self):
         model = ErrorModel(min_samples=7, estimate_floor=0.25)

@@ -231,6 +231,38 @@ class TestPearsonChi2:
         result = pearson_chi2_test(observed, proportions)
         assert result.p_value < 1e-6
 
+    def test_empty_reference_degenerate(self):
+        # A reference with no mass at all: nothing to test against.
+        result = pearson_chi2_test(np.array([5.0, 5.0]), np.zeros(2))
+        assert result.p_value == 1.0
+        assert result.dof == 1
+        assert result.accepted()
+
+    def test_all_reference_mass_in_one_bin(self):
+        # One live reference bin and the sample sits in it: after the
+        # zero-proportion bins are dropped a single bin remains, which
+        # can never disagree with itself — degenerate acceptance.
+        observed = np.array([0.0, 40.0, 0.0])
+        proportions = np.array([0.0, 1.0, 0.0])
+        result = pearson_chi2_test(observed, proportions)
+        assert result.statistic == 0.0
+        assert result.dof == 1
+        assert result.p_value == 1.0
+
+    def test_merge_chain_collapses_to_single_bin(self):
+        # Every expected count sits below the floor, so the validity
+        # merge cascades until one bin holds everything: degenerate
+        # p = 1, never a division blow-up or a spurious rejection.
+        observed = np.array([1.0, 0.0, 1.0, 0.0])
+        proportions = np.array([0.25, 0.25, 0.25, 0.25])
+        result = pearson_chi2_test(
+            observed, proportions, min_expected=5.0
+        )
+        assert result.statistic == 0.0
+        assert result.dof == 1
+        assert result.p_value == 1.0
+        assert result.accepted(0.05)
+
     def test_shape_mismatch(self):
         with pytest.raises(ValueError):
             pearson_chi2_test(np.ones(3), np.ones(4))
