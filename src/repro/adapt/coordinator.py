@@ -27,6 +27,7 @@ from repro.adapt.drift import DriftDetector, DriftStatus
 from repro.adapt.observations import ObservationSink
 from repro.core.training import ErrorModel
 from repro.exceptions import ConfigurationError
+from repro.obs import span
 from repro.service.metrics import MetricsRegistry
 
 __all__ = ["AdaptationConfig", "SwapReport", "ModelSwapCoordinator"]
@@ -192,17 +193,19 @@ class ModelSwapCoordinator:
 
     def check_now(self) -> DriftStatus | None:
         """Run one drift check unconditionally; returns the worst status."""
-        self._checks += 1
-        self._metrics.counter("adapt_drift_checks").inc()
-        self._status = self._detector.check()
-        flagged = sum(
-            1 for status in self._status.values() if status.drifted
-        )
-        if flagged:
-            self._metrics.counter("adapt_drift_flagged").inc(flagged)
-        if not self._status:
-            return None
-        return min(self._status.values(), key=lambda s: s.p_value)
+        with span("adapt.check") as check_span:
+            self._checks += 1
+            self._metrics.counter("adapt_drift_checks").inc()
+            self._status = self._detector.check()
+            flagged = sum(
+                1 for status in self._status.values() if status.drifted
+            )
+            if flagged:
+                check_span.set_outcome("drifted")
+                self._metrics.counter("adapt_drift_flagged").inc(flagged)
+            if not self._status:
+                return None
+            return min(self._status.values(), key=lambda s: s.p_value)
 
     def swap_now(self) -> SwapReport:
         """Build the refreshed model, install it, re-baseline the loop.

@@ -266,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the metrics snapshot JSON to this path",
     )
     bench.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace the concurrent leg: write NDJSON span records to "
+            "PATH and report a per-tier latency breakdown "
+            "(see docs/OBSERVABILITY.md)"
+        ),
+    )
+    bench.add_argument(
         "--snapshot",
         nargs="?",
         const="BENCH_serve.json",
@@ -407,6 +417,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         default="bench_gateway.json",
         help="path of the report JSON (default bench_gateway.json)",
+    )
+    bench_gateway.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "trace the coalesce phase: write NDJSON span records to "
+            "PATH and report a per-tier latency breakdown "
+            "(see docs/OBSERVABILITY.md)"
+        ),
     )
     bench_gateway.add_argument(
         "--check",
@@ -826,6 +846,7 @@ def _cmd_bench_gateway(args: argparse.Namespace) -> int:
             coalesce_requests=args.requests,
             coalesce_unique=args.unique,
             shed_requests=args.shed_requests,
+            trace_path=args.trace,
         )
     )
     print(format_bench_gateway(report))
@@ -946,6 +967,7 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
             timeout_ms=args.timeout_ms,
             max_retries=args.retries,
             pool_workers=args.pool,
+            trace_path=args.trace,
         )
     )
     print(format_bench_serve(report))

@@ -34,6 +34,12 @@ from repro.exceptions import ConfigurationError
 from repro.gateway.client import GatewayClient
 from repro.gateway.gateway import GatewayConfig, MetasearchGateway
 from repro.gateway.protocol import ErrorCode, GatewayError
+from repro.obs import (
+    FileTraceSink,
+    format_tier_breakdown,
+    load_spans,
+    tier_breakdown,
+)
 from repro.service.bench import build_trained_testbed
 from repro.service.faults import FaultInjector
 from repro.service.resilience import RetryPolicy
@@ -72,6 +78,10 @@ class BenchGatewayConfig:
     shed_requests: int = 24
     shed_queue: int = 2
     shed_interval_ms: float = 1.0
+    # When set, both phases run with tracing enabled, span records
+    # stream to this NDJSON file, and the report carries a per-tier
+    # latency breakdown (see docs/OBSERVABILITY.md).
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.coalesce_requests < 1 or self.shed_requests < 1:
@@ -103,7 +113,10 @@ def _latency_summary(wall_ms: list[float]) -> dict[str, float]:
 
 
 def _service(
-    metasearcher, config: BenchGatewayConfig, cache_enabled: bool
+    metasearcher,
+    config: BenchGatewayConfig,
+    cache_enabled: bool,
+    trace_sink: FileTraceSink | None = None,
 ) -> MetasearchService:
     injector = FaultInjector(
         seed=config.seed,
@@ -120,17 +133,24 @@ def _service(
             cache_ttl_s=None,
             cache_enabled=cache_enabled,
             pool_workers=config.pool_workers,
+            trace=True if trace_sink is not None else None,
         ),
         injector=injector,
+        trace_sink=trace_sink,
     )
 
 
 async def _coalesce_phase(
-    metasearcher, queries: list[str], config: BenchGatewayConfig
+    metasearcher,
+    queries: list[str],
+    config: BenchGatewayConfig,
+    trace_sink: FileTraceSink | None = None,
 ) -> dict[str, object]:
     # Cache off: every answer the backend does NOT compute is
     # attributable to coalescing alone.
-    service = _service(metasearcher, config, cache_enabled=False)
+    service = _service(
+        metasearcher, config, cache_enabled=False, trace_sink=trace_sink
+    )
     gateway = MetasearchGateway(
         service,
         GatewayConfig(
@@ -285,12 +305,30 @@ def run_bench_gateway(
     if not unique:
         raise ConfigurationError("testbed produced no test queries")
 
+    # One span file spans both phases (the shed phase runs untraced —
+    # its service exists to be overloaded, not measured tier-by-tier).
+    trace_sink = (
+        None
+        if config.trace_path is None
+        else FileTraceSink(config.trace_path)
+    )
+
     async def both() -> tuple[dict, dict]:
-        coalesce = await _coalesce_phase(metasearcher, unique, config)
+        coalesce = await _coalesce_phase(
+            metasearcher, unique, config, trace_sink=trace_sink
+        )
         shed = await _shed_phase(metasearcher, unique, config)
         return coalesce, shed
 
     coalesce, shed = asyncio.run(both())
+    trace: dict[str, object] | None = None
+    if trace_sink is not None:
+        trace_sink.close()
+        trace = {
+            "path": config.trace_path,
+            "spans": trace_sink.emitted,
+            "breakdown": tier_breakdown(load_spans(config.trace_path)),
+        }
     return {
         "config": {
             "scale": config.scale,
@@ -308,6 +346,7 @@ def run_bench_gateway(
         "databases": len(context.mediator),
         "coalesce": coalesce,
         "shed": shed,
+        "trace": trace,
     }
 
 
@@ -336,6 +375,16 @@ def format_bench_gateway(report: dict) -> str:
         f"  retry_after_ms mean: {shed['retry_after_ms_mean']}",
         f"  clean drain        : {shed['clean_drain']} "
         f"(leaked tasks: {shed['leaked_tasks']})",
+    ]
+    if report.get("trace"):
+        trace = report["trace"]
+        lines += [
+            "",
+            f"per-tier latency breakdown ({trace['spans']} spans "
+            f"-> {trace['path']}):",
+            format_tier_breakdown(trace["breakdown"]),
+        ]
+    lines += [
         "",
         "report:",
         json.dumps(report, indent=2, sort_keys=True),
@@ -381,4 +430,11 @@ def validate_bench_gateway(report: dict) -> list[str]:
         failures.append(
             f"shed phase: unclean drain ({shed['leaked_tasks']} tasks)"
         )
+    trace = report.get("trace")
+    if trace is not None:
+        if trace["spans"] < 1:
+            failures.append("trace: traced run emitted no spans")
+        for name in ("gateway.request", "service.serve"):
+            if name not in trace["breakdown"]:
+                failures.append(f"trace: no {name!r} spans recorded")
     return failures

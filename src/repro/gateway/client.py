@@ -151,6 +151,17 @@ class GatewayClient:
             raise ReproError(f"malformed gateway result: {result!r}")
         return result
 
+    async def trace(self, limit: int = 256) -> dict:
+        """Recent span records from the backend's trace ring buffer.
+
+        Returns ``{"enabled": bool, "spans": [...]}``; ``spans`` is
+        empty when tracing is off (see ``docs/OBSERVABILITY.md``).
+        """
+        result = await self._call({"op": "trace", "limit": limit})
+        if not isinstance(result, dict):
+            raise ReproError(f"malformed gateway result: {result!r}")
+        return result
+
     async def close(self) -> None:
         """Close the connection and fail any pending requests."""
         if self._closed:
@@ -246,6 +257,10 @@ class SyncGatewayClient:
     def metrics(self) -> dict:
         """Blocking :meth:`GatewayClient.metrics`."""
         return self._run(self._client.metrics())
+
+    def trace(self, limit: int = 256) -> dict:
+        """Blocking :meth:`GatewayClient.trace`."""
+        return self._run(self._client.trace(limit))
 
     def close(self) -> None:
         """Close the connection and stop the background loop."""

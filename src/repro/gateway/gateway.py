@@ -11,14 +11,19 @@ deployment puts in front of resource selection:
   response carrying ``retry_after_ms``, so an overloaded gateway stays
   responsive instead of building an unbounded backlog.
 * **Single-flight coalescing** — concurrent requests with an identical
-  ``(query, k, certainty)`` ride one backend ``serve`` call: one leader
-  executes, followers await its future. This is what the selection
-  cache cannot do for *concurrent* duplicates (they all miss before the
-  first completes) and it turns a thundering herd of popular queries
-  into one probe session.
+  ``(query, k, certainty)`` and the same deadline *presence* ride one
+  backend ``serve`` call: one leader executes, followers await its
+  future. This is what the selection cache cannot do for *concurrent*
+  duplicates (they all miss before the first completes) and it turns a
+  thundering herd of popular queries into one probe session. A
+  degraded answer is never handed to a caller with budget left: a
+  deadline-free request never coalesces onto a deadline-bounded
+  leader, and a follower whose own deadline has not expired when the
+  leader's answer arrives ``degraded="deadline"`` re-dispatches once
+  under its own budget.
 * **Per-request wall-clock deadlines** — ``deadline_ms`` becomes a
-  :class:`~repro.core.deadline.Deadline` at admission, so queue wait
-  consumes budget too. An expiring deadline stops APro early and the
+  :class:`~repro.core.deadline.Deadline` at arrival, so coalescing and
+  queue wait consume budget too. An expiring deadline stops APro early and the
   answer returns *degraded*, never an exception; an already-expired
   deadline yields the pure no-probe RD selection (``max_probes=0``
   contract).
@@ -32,15 +37,25 @@ sized to ``max_inflight``, bridging service threads and the event loop
 without touching the existing ``ProbeExecutor``.
 
 Every gateway instrument (``gateway_inflight``, ``gateway_queue_depth``,
-``gateway_shed``, ``gateway_coalesced``, ``gateway_deadline_hits``,
+``gateway_shed``, ``gateway_coalesced``, ``gateway_coalesce_redispatch``,
+``gateway_deadline_hits``, ``gateway_degraded_served``,
 ``gateway_request_ms``) is pre-registered at construction, per the
-serving layer's stable-key-set convention.
+serving layer's stable-key-set convention. ``gateway_deadline_hits``
+counts *backend calls* that came back deadline-degraded;
+``gateway_degraded_served`` counts *responses* that carried a degraded
+answer to a client — with coalescing the two legitimately differ.
+
+With tracing enabled on the backend service (see :mod:`repro.obs`),
+every search request runs under a ``gateway.request`` root span with
+``gateway.admit`` / ``gateway.queue`` children, and the ``trace`` op
+returns the ring buffer's recent span records.
 """
 
 from __future__ import annotations
 
 import asyncio
 import contextlib
+import contextvars
 import functools
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -58,6 +73,7 @@ from repro.gateway.protocol import (
     ok_payload,
     parse_request,
 )
+from repro.obs import current_trace_id, span
 from repro.service.server import MetasearchService, ServedAnswer
 
 __all__ = ["GatewayConfig", "MetasearchGateway"]
@@ -161,7 +177,9 @@ class MetasearchGateway:
             "gateway_requests",
             "gateway_shed",
             "gateway_coalesced",
+            "gateway_coalesce_redispatch",
             "gateway_deadline_hits",
+            "gateway_degraded_served",
         ):
             self._metrics.counter(name)
         self._metrics.histogram("gateway_request_ms", deterministic=False)
@@ -369,8 +387,17 @@ class MetasearchGateway:
                 )
             elif request.op == "metrics":
                 payload = ok_payload(request_id, self._service.snapshot())
+            elif request.op == "trace":
+                tracer = self._service.tracer
+                payload = ok_payload(
+                    request_id,
+                    {
+                        "enabled": tracer is not None,
+                        "spans": self._service.trace_spans(request.limit),
+                    },
+                )
             else:
-                result = await self._search(request)
+                result = await self._traced_search(request)
                 payload = ok_payload(request_id, result)
         except asyncio.CancelledError:
             raise
@@ -394,8 +421,36 @@ class MetasearchGateway:
 
     # -- search path -----------------------------------------------------------
 
+    async def _traced_search(self, request: GatewayRequest) -> dict:
+        """Run one search under a ``gateway.request`` root span.
+
+        The root span covers exactly the interval ``gateway_request_ms``
+        measures — parse already done, response write not included — so
+        per-tier child spans sum to it. Without a tracer this is just
+        :meth:`_search`.
+        """
+        tracer = self._service.tracer
+        if tracer is None:
+            return await self._search(request)
+        with tracer.trace(
+            "gateway.request", fingerprint=self._service.state_fingerprint
+        ) as root:
+            try:
+                result = await self._search(request)
+            except GatewayError as error:
+                root.set_outcome(error.code.value)
+                raise
+            if result["answer"]["degraded"] is not None:
+                root.set_outcome("degraded")
+            return result
+
     async def _search(self, request: GatewayRequest) -> dict:
         started = time.perf_counter()
+        # The deadline starts at arrival — before coalescing — so a
+        # follower's budget is its own: what remains when the leader's
+        # answer arrives decides whether a degraded answer is
+        # acceptable or the follower re-dispatches.
+        deadline = self._deadline(request)
         if self._config.coalesce:
             leader_future = self._calls_inflight.get(request.coalesce_key)
             if leader_future is not None:
@@ -404,13 +459,28 @@ class MetasearchGateway:
                 # from under the leader and its other followers.
                 self._metrics.counter("gateway_coalesced").inc()
                 answer = await asyncio.shield(leader_future)
+                if answer.degraded == "deadline" and (
+                    deadline is None or not deadline.expired
+                ):
+                    # The *leader* ran out of budget; this follower has
+                    # budget left and is entitled to a full-quality
+                    # answer. Re-dispatch once under its own deadline
+                    # (no second retry: by then the budget picture is
+                    # this request's own).
+                    self._metrics.counter(
+                        "gateway_coalesce_redispatch"
+                    ).inc()
+                    answer = await self._admit_and_serve(request, deadline)
+                    return self._result(
+                        answer, started, coalesced=True, redispatched=True
+                    )
                 return self._result(answer, started, coalesced=True)
             future: asyncio.Future = (
                 asyncio.get_running_loop().create_future()
             )
             self._calls_inflight[request.coalesce_key] = future
             try:
-                answer = await self._admit_and_serve(request)
+                answer = await self._admit_and_serve(request, deadline)
             except BaseException as error:
                 # Followers receive the same outcome (a shed leader sheds
                 # its followers too — they arrived in the same overload).
@@ -425,25 +495,37 @@ class MetasearchGateway:
             finally:
                 del self._calls_inflight[request.coalesce_key]
             return self._result(answer, started, coalesced=False)
-        answer = await self._admit_and_serve(request)
+        answer = await self._admit_and_serve(request, deadline)
         return self._result(answer, started, coalesced=False)
 
     def _result(
-        self, answer: ServedAnswer, started: float, coalesced: bool
+        self,
+        answer: ServedAnswer,
+        started: float,
+        coalesced: bool,
+        redispatched: bool = False,
     ) -> dict:
         wall_ms = (time.perf_counter() - started) * 1000.0
         self._metrics.histogram(
             "gateway_request_ms", deterministic=False
         ).observe(wall_ms)
-        if answer.degraded == "deadline":
-            self._metrics.counter("gateway_deadline_hits").inc()
+        if answer.degraded is not None:
+            # The per-response view; the per-backend-call view
+            # (gateway_deadline_hits) is counted in _admit_and_serve,
+            # once, however many coalesced followers share the answer.
+            self._metrics.counter("gateway_degraded_served").inc()
+        served: dict[str, object] = {
+            "cache_hit": answer.cache_hit,
+            "coalesced": coalesced,
+            "redispatched": redispatched,
+            "wall_ms": wall_ms,
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            served["trace_id"] = trace_id
         return {
             "answer": answer_payload(answer),
-            "served": {
-                "cache_hit": answer.cache_hit,
-                "coalesced": coalesced,
-                "wall_ms": wall_ms,
-            },
+            "served": served,
         }
 
     def _deadline(self, request: GatewayRequest) -> Deadline | None:
@@ -452,38 +534,54 @@ class MetasearchGateway:
             deadline_ms = self._config.default_deadline_ms
         if deadline_ms is None:
             return None
-        # Started at admission, so time spent waiting in the queue
-        # consumes the budget too.
+        # Started at arrival, so time spent coalescing or waiting in
+        # the queue consumes the budget too.
         return Deadline.after_ms(deadline_ms)
 
-    async def _admit_and_serve(self, request: GatewayRequest) -> ServedAnswer:
-        if self._draining:
-            raise GatewayError(
-                ErrorCode.SHUTTING_DOWN, "gateway is draining"
-            )
-        assert self._semaphore is not None and self._pool is not None
-        queued = self._admitted - self._inflight
-        if queued >= self._config.max_queue and self._semaphore.locked():
-            self._metrics.counter("gateway_shed").inc()
-            fullness = queued / max(1, self._config.max_queue)
-            retry_after = self._config.shed_retry_after_ms * (1.0 + fullness)
-            raise GatewayError(
-                ErrorCode.OVERLOADED,
-                f"admission queue full ({queued} waiting, "
-                f"{self._inflight} in flight)",
-                retry_after_ms=round(retry_after, 3),
-            )
-        deadline = self._deadline(request)
+    async def _admit_and_serve(
+        self, request: GatewayRequest, deadline: Deadline | None
+    ) -> ServedAnswer:
+        with span("gateway.admit") as admit_span:
+            if self._draining:
+                admit_span.set_outcome("refused")
+                raise GatewayError(
+                    ErrorCode.SHUTTING_DOWN, "gateway is draining"
+                )
+            assert self._semaphore is not None and self._pool is not None
+            queued = self._admitted - self._inflight
+            if (
+                queued >= self._config.max_queue
+                and self._semaphore.locked()
+            ):
+                admit_span.set_outcome("shed")
+                self._metrics.counter("gateway_shed").inc()
+                fullness = queued / max(1, self._config.max_queue)
+                retry_after = self._config.shed_retry_after_ms * (
+                    1.0 + fullness
+                )
+                raise GatewayError(
+                    ErrorCode.OVERLOADED,
+                    f"admission queue full ({queued} waiting, "
+                    f"{self._inflight} in flight)",
+                    retry_after_ms=round(retry_after, 3),
+                )
         self._admitted += 1
         self._observe_depths()
         try:
-            async with self._semaphore:
+            with span("gateway.queue"):
+                await self._semaphore.acquire()
+            try:
                 self._inflight += 1
                 self._observe_depths()
                 try:
                     loop = asyncio.get_running_loop()
-                    return await loop.run_in_executor(
+                    # copy_context() carries the request's active trace
+                    # into the backend thread, where service.serve opens
+                    # its child spans.
+                    context = contextvars.copy_context()
+                    answer = await loop.run_in_executor(
                         self._pool,
+                        context.run,
                         functools.partial(
                             self._service.serve,
                             request.query,
@@ -494,9 +592,18 @@ class MetasearchGateway:
                     )
                 finally:
                     self._inflight -= 1
+            finally:
+                self._semaphore.release()
         finally:
             self._admitted -= 1
             self._observe_depths()
+        if answer.degraded == "deadline":
+            # Counted here — once per backend call — not per response:
+            # N coalesced followers sharing one degraded answer are one
+            # deadline hit, not N+1 (they are counted per-response in
+            # gateway_degraded_served instead).
+            self._metrics.counter("gateway_deadline_hits").inc()
+        return answer
 
     def _observe_depths(self) -> None:
         self._metrics.gauge("gateway_inflight").set(self._inflight)

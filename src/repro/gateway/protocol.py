@@ -60,7 +60,7 @@ __all__ = [
 PROTOCOL_VERSION = "gateway/v1"
 
 #: Operations a gateway accepts.
-OPS = ("search", "ping", "metrics")
+OPS = ("search", "ping", "metrics", "trace")
 
 
 class ErrorCode(str, Enum):
@@ -96,7 +96,11 @@ class GatewayError(ReproError):
 
 @dataclass(frozen=True)
 class GatewayRequest:
-    """One validated `gateway/v1` request."""
+    """One validated `gateway/v1` request.
+
+    ``limit`` applies to the ``trace`` op only: how many recent span
+    records to return.
+    """
 
     op: str
     id: object = None
@@ -104,11 +108,22 @@ class GatewayRequest:
     k: int = 1
     certainty: float = 0.0
     deadline_ms: float | None = None
+    limit: int = 256
 
     @property
-    def coalesce_key(self) -> tuple[str | None, int, float]:
-        """Single-flight identity: identical keys ride one backend call."""
-        return (self.query, self.k, self.certainty)
+    def coalesce_key(self) -> tuple[str | None, int, float, bool]:
+        """Single-flight identity: identical keys ride one backend call.
+
+        Partitioned by deadline *presence*: a deadline-free request
+        must never ride a deadline-bounded leader, whose answer may
+        come back ``degraded="deadline"`` — an unhurried caller is
+        entitled to a full-quality answer. Requests that do carry
+        deadlines may still coalesce with each other; a follower whose
+        own budget remains when the leader's answer arrives degraded
+        re-dispatches instead of accepting it (see
+        ``MetasearchGateway._search``).
+        """
+        return (self.query, self.k, self.certainty, self.deadline_ms is None)
 
 
 def _bad(message: str) -> GatewayError:
@@ -148,6 +163,11 @@ def parse_request(line: str | bytes) -> GatewayRequest:
             ErrorCode.UNSUPPORTED_OP,
             f"'op' must be one of {OPS}, got {op!r}",
         )
+    if op == "trace":
+        limit = payload.get("limit", 256)
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+            raise _bad(f"'limit' must be an integer >= 1, got {limit!r}")
+        return GatewayRequest(op=op, id=request_id, limit=limit)
     if op != "search":
         return GatewayRequest(op=op, id=request_id)
     query = payload.get("query")

@@ -33,6 +33,12 @@ from dataclasses import dataclass, field
 from repro.exceptions import ConfigurationError
 from repro.experiments.setup import PaperSetupConfig, build_paper_context
 from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.obs import (
+    FileTraceSink,
+    format_tier_breakdown,
+    load_spans,
+    tier_breakdown,
+)
 from repro.service.faults import FaultInjector
 from repro.service.resilience import RetryPolicy
 from repro.service.server import (
@@ -121,6 +127,10 @@ class BenchServeConfig:
     cache_ttl_s: float | None = 300.0
     pool_workers: int = 0
     train_queries_cap: int | None = None
+    # When set, the concurrent leg runs with tracing enabled, span
+    # records stream to this NDJSON file, and the report carries a
+    # per-tier latency breakdown (see docs/OBSERVABILITY.md).
+    trace_path: str | None = None
     context: object | None = field(default=None, compare=False)
     metasearcher: Metasearcher | None = field(default=None, compare=False)
 
@@ -149,6 +159,11 @@ class BenchServeReport:
     concurrent_selections: list[tuple[str, ...]]
     metrics: dict[str, object]
     pool_workers: int = 0
+    # Per-tier latency stats from the concurrent leg's span file
+    # (``None`` unless the run traced); see repro.obs.tier_breakdown.
+    trace_breakdown: dict[str, dict] | None = None
+    trace_path: str | None = None
+    trace_spans: int = 0
 
     @property
     def speedup(self) -> float:
@@ -173,6 +188,7 @@ def _service(
     config: BenchServeConfig,
     workers: int,
     pool_workers: int = 0,
+    trace_sink: FileTraceSink | None = None,
 ) -> MetasearchService:
     injector = FaultInjector(
         seed=config.seed,
@@ -190,9 +206,13 @@ def _service(
         ),
         cache_ttl_s=config.cache_ttl_s,
         pool_workers=pool_workers,
+        trace=True if trace_sink is not None else None,
     )
     return MetasearchService(
-        metasearcher, config=service_config, injector=injector
+        metasearcher,
+        config=service_config,
+        injector=injector,
+        trace_sink=trace_sink,
     )
 
 
@@ -245,17 +265,31 @@ def run_bench_serve(
         serial_answers, serial_s = _replay(serial_service, stream, config)
     # The concurrent leg optionally runs its selection stages on the
     # multiprocess pool (``--pool N``); ``identical_selections`` then
-    # doubles as a thread-vs-pool identity check.
+    # doubles as a thread-vs-pool identity check. With ``trace_path``
+    # set it also runs traced, streaming span records to the NDJSON
+    # file the per-tier breakdown is computed from.
+    trace_sink = (
+        None
+        if config.trace_path is None
+        else FileTraceSink(config.trace_path)
+    )
     with _service(
         metasearcher,
         config,
         workers=config.workers,
         pool_workers=config.pool_workers,
+        trace_sink=trace_sink,
     ) as concurrent_service:
         concurrent_answers, concurrent_s = _replay(
             concurrent_service, stream, config
         )
         metrics = concurrent_service.snapshot()
+    trace_breakdown = None
+    trace_spans = 0
+    if trace_sink is not None:
+        trace_sink.close()
+        trace_spans = trace_sink.emitted
+        trace_breakdown = tier_breakdown(load_spans(config.trace_path))
 
     serial_selections = [answer.selected for answer in serial_answers]
     concurrent_selections = [
@@ -278,6 +312,9 @@ def run_bench_serve(
         concurrent_selections=concurrent_selections,
         metrics=metrics,
         pool_workers=config.pool_workers,
+        trace_breakdown=trace_breakdown,
+        trace_path=config.trace_path,
+        trace_spans=trace_spans,
     )
 
 
@@ -316,6 +353,13 @@ def format_bench_serve(report: BenchServeReport) -> str:
         line = _stage_summary(report.metrics, stage)
         if line is not None:
             lines.append(line)
+    if report.trace_breakdown is not None:
+        lines += [
+            "",
+            f"per-tier latency breakdown ({report.trace_spans} spans "
+            f"-> {report.trace_path}):",
+            format_tier_breakdown(report.trace_breakdown),
+        ]
     lines += [
         "",
         "metrics:",

@@ -18,12 +18,14 @@ query.
 
 from __future__ import annotations
 
+import contextvars
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.exceptions import ConfigurationError
 from repro.hiddenweb.database import RelevancyDefinition
 from repro.hiddenweb.mediator import Mediator
+from repro.obs import span
 from repro.service.faults import FaultInjector
 from repro.service.metrics import MetricsRegistry
 from repro.service.resilience import (
@@ -127,21 +129,31 @@ class ProbeExecutor:
         """Probe *indices* concurrently; observations in choice order."""
         if not indices:
             return []
+        # Each submit copies the caller's contextvars so a probe thread
+        # sees the request's active trace (a Context can only be
+        # entered once at a time, hence one copy per future).
         futures = [
-            self._pool.submit(self._probe_one, index, query)
+            self._pool.submit(
+                contextvars.copy_context().run,
+                self._probe_one,
+                index,
+                query,
+            )
             for index in indices
         ]
         return [future.result() for future in futures]
 
     def _probe_one(self, index: int, query: Query) -> float:
         database = self._databases[index]
-        try:
-            return database.probe_relevancy(query, self._definition)
-        except ProbeFailedError:
-            if self._fallback is None:
-                raise
-            self._metrics.counter("probe_fallbacks").inc()
-            return self._fallback(database.name, query)
+        with span(f"probe.{database.name}") as probe_span:
+            try:
+                return database.probe_relevancy(query, self._definition)
+            except ProbeFailedError:
+                if self._fallback is None:
+                    raise
+                probe_span.set_outcome("fallback")
+                self._metrics.counter("probe_fallbacks").inc()
+                return self._fallback(database.name, query)
 
     def shutdown(self) -> None:
         """Release the worker threads."""

@@ -130,9 +130,13 @@ class PoolRequest:
     max_probes: int | None = None
     batch_size: int = 1
     deadline_s: float | None = None
+    # Wire-serialized trace position (repro.obs.wire_context()); only
+    # present on the wire when the request is actually traced, so the
+    # payload stays byte-identical with tracing off.
+    trace: dict | None = None
 
     def wire(self) -> dict:
-        return {
+        payload = {
             "terms": list(self.query.terms),
             "k": self.k,
             "threshold": self.threshold,
@@ -142,17 +146,28 @@ class PoolRequest:
             "batch_size": self.batch_size,
             "deadline_s": self.deadline_s,
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
 
 @dataclass(frozen=True)
 class PoolResult:
-    """What a worker computed for one request."""
+    """What a worker computed for one request.
+
+    ``spans`` carries the worker-side span records of a traced request
+    back across the process boundary (empty otherwise); the parent
+    replays them into its own trace. It deliberately does not
+    participate in answer identity — the pool-identity tests compare
+    the selection fields.
+    """
 
     selected: tuple[str, ...]
     certainty: float
     probes: int
     probe_order: tuple[str, ...]
     deadline_expired: bool
+    spans: tuple = ()
 
 
 class _WorkerHandle:
@@ -614,6 +629,7 @@ class SelectionPool:
                     probes=int(payload["probes"]),
                     probe_order=tuple(payload["probe_order"]),
                     deadline_expired=bool(payload["deadline_expired"]),
+                    spans=tuple(payload.get("spans", ())),
                 )
             elif kind == "stale":
                 self._metrics.counter("pool_stale_refusals").inc()

@@ -33,6 +33,17 @@ from repro.core.probing import APro
 from repro.core.selection import RDBasedSelector
 from repro.exceptions import ConfigurationError, ReproError
 from repro.metasearch.metasearcher import Metasearcher
+from repro.obs import (
+    TRACE_ENV,
+    MultiTraceSink,
+    RingBufferTraceSink,
+    StderrTraceSink,
+    Tracer,
+    replay_spans,
+    span,
+    trace_active,
+    wire_context,
+)
 from repro.service.cache import SelectionCache
 from repro.service.executor import ProbeExecutor
 from repro.service.faults import FaultInjector
@@ -124,6 +135,18 @@ class ServiceConfig:
     adapt_auto_swap:
         Swap automatically when a check flags drift (off = observe and
         flag only; operators or the bench call ``swap_model``).
+    trace:
+        Enable request tracing (:mod:`repro.obs`): every request grows
+        a span tree recorded in an in-memory ring buffer, readable via
+        :meth:`MetasearchService.trace_spans` and the gateway's
+        ``trace`` op. ``None`` (the default) reads the ``REPRO_TRACE``
+        env knob (``1`` = on, ``stderr`` = on + NDJSON span log to
+        stderr), falling back to off.
+    trace_stderr:
+        Additionally log every span record to stderr as NDJSON.
+    trace_buffer:
+        Ring-buffer capacity in span records (oldest evicted beyond
+        it; evictions count in ``trace_spans_dropped``).
     """
 
     max_workers: int = 8
@@ -143,6 +166,9 @@ class ServiceConfig:
     adapt_significance: float = 0.01
     adapt_min_samples: int = 48
     adapt_auto_swap: bool = False
+    trace: bool | None = None
+    trace_stderr: bool = False
+    trace_buffer: int = 2048
 
     def __post_init__(self) -> None:
         # Validate everything here, at construction, so a bad value
@@ -232,6 +258,24 @@ class ServiceConfig:
                 f"adapt_min_samples must be >= 1, "
                 f"got {self.adapt_min_samples}"
             )
+        if self.trace is None:
+            raw = os.environ.get(TRACE_ENV, "").strip().lower()
+            if raw == "stderr":
+                object.__setattr__(self, "trace", True)
+                object.__setattr__(self, "trace_stderr", True)
+            else:
+                try:
+                    resolved = bool(int(raw)) if raw else False
+                except ValueError:
+                    raise ConfigurationError(
+                        f"{TRACE_ENV} must be an integer or 'stderr', "
+                        f"got {raw!r}"
+                    ) from None
+                object.__setattr__(self, "trace", resolved)
+        if self.trace_buffer < 1:
+            raise ConfigurationError(
+                f"trace_buffer must be >= 1, got {self.trace_buffer}"
+            )
 
 
 @dataclass(frozen=True)
@@ -278,6 +322,10 @@ class MetasearchService:
         Monotonic clock for cache expiry (injectable for tests).
     sleeper:
         Forwarded to the resilient wrappers (tests inject a recorder).
+    trace_sink:
+        Extra :class:`~repro.obs.TraceSink` to fan span records into
+        alongside the ring buffer (benches pass a file sink). Ignored
+        when tracing is off.
     """
 
     def __init__(
@@ -288,6 +336,7 @@ class MetasearchService:
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
         sleeper: Callable[[float], None] | None = None,
+        trace_sink=None,
     ) -> None:
         if not metasearcher.is_trained:
             raise ReproError(
@@ -351,6 +400,9 @@ class MetasearchService:
             "adapt_drift_checks",
             "adapt_drift_flagged",
             "adapt_swaps_total",
+            # Tracing instruments, likewise always registered.
+            "trace_spans_total",
+            "trace_spans_dropped",
         ):
             self._metrics.counter(counter)
         self._metrics.gauge("pool_queue_depth")
@@ -366,6 +418,22 @@ class MetasearchService:
         self._metrics.histogram("stage_analyze_ms", deterministic=False)
         self._metrics.histogram("stage_apro_ms", deterministic=False)
         self._metrics.histogram("stage_pool_ms", deterministic=False)
+        self._tracer: Tracer | None = None
+        self._trace_ring: RingBufferTraceSink | None = None
+        if self._config.trace:
+            self._trace_ring = RingBufferTraceSink(
+                self._config.trace_buffer,
+                on_drop=self._metrics.counter("trace_spans_dropped").inc,
+            )
+            sinks: list = [self._trace_ring]
+            if self._config.trace_stderr:
+                sinks.append(StderrTraceSink())
+            if trace_sink is not None:
+                sinks.append(trace_sink)
+            self._tracer = Tracer(
+                sinks[0] if len(sinks) == 1 else MultiTraceSink(*sinks),
+                on_emit=self._metrics.counter("trace_spans_total").inc,
+            )
         self._observations = None
         self._adaptation = None
         if self._config.adapt:
@@ -434,6 +502,21 @@ class MetasearchService:
         return self._adaptation
 
     @property
+    def tracer(self) -> Tracer | None:
+        """The request tracer (``None`` when tracing is disabled)."""
+        return self._tracer
+
+    def trace_spans(self, limit: int | None = None) -> list[dict]:
+        """Recent span records from the ring buffer, oldest first.
+
+        Empty when tracing is disabled — callers need no enabled
+        check before asking.
+        """
+        if self._tracer is None:
+            return []
+        return self._tracer.recent(limit)
+
+    @property
     def observations(self):
         """The :class:`~repro.adapt.ObservationSink`, or ``None``."""
         return self._observations
@@ -457,6 +540,12 @@ class MetasearchService:
         valid, and the pool reload short-circuits — a no-op swap is
         free and answer-invariant.
         """
+        with span("adapt.swap") as swap_span:
+            fingerprint = self._swap_model(error_model)
+            swap_span.set_fingerprint(fingerprint)
+            return fingerprint
+
+    def _swap_model(self, error_model) -> str:
         started = time.perf_counter()
         # The trained selector's non-model state (mediator, summaries,
         # estimator, classifier, definition) is swap-invariant; only
@@ -520,9 +609,37 @@ class MetasearchService:
         ``max_probes=0`` contract). Cache hits are free and are served
         whatever the deadline; degraded answers are never cached, so a
         later unhurried request recomputes at full quality.
+
+        With tracing on, the request runs under a ``service.serve``
+        span — a child of the caller's active trace (the gateway's
+        ``gateway.request``) when there is one, else a new root for
+        direct callers.
         """
+        if self._tracer is None and not trace_active():
+            return self._serve(query, k, certainty, deadline)
+        context = (
+            span("service.serve", fingerprint=self._blob.fingerprint)
+            if trace_active()
+            else self._tracer.trace(
+                "service.serve", fingerprint=self._blob.fingerprint
+            )
+        )
+        with context as serve_span:
+            answer = self._serve(query, k, certainty, deadline)
+            if answer.degraded is not None:
+                serve_span.set_outcome("degraded")
+            return answer
+
+    def _serve(
+        self,
+        query: Query | str,
+        k: int,
+        certainty: float,
+        deadline: Deadline | None,
+    ) -> ServedAnswer:
         started = time.perf_counter()
-        analyzed = self._metasearcher.analyze(query)
+        with span("service.analyze"):
+            analyzed = self._metasearcher.analyze(query)
         analyze_ms = (time.perf_counter() - started) * 1000.0
         searcher_config = self._metasearcher.config
         # The state fingerprint keys the cache entry to the model that
@@ -538,7 +655,9 @@ class MetasearchService:
             searcher_config.metric.name,
         )
         if self._cache is not None:
-            cached = self._cache.get(key)
+            with span("service.cache") as cache_span:
+                cached = self._cache.get(key)
+                cache_span.set_outcome("hit" if cached else "miss")
             if cached is not None:
                 self._metrics.counter("cache_hits").inc()
                 wall_ms = (time.perf_counter() - started) * 1000.0
@@ -620,30 +739,41 @@ class MetasearchService:
             # request is entitled to. A second refusal (a swap storm)
             # degrades in-process like any other pool problem.
             for _ in range(2):
-                request = PoolRequest(
-                    query=analyzed,
-                    k=k,
-                    threshold=threshold,
-                    metric_name=searcher_config.metric.name,
-                    fingerprint=self._pool.fingerprint,
-                    max_probes=searcher_config.max_probes,
-                    batch_size=self._batch_size(),
-                    deadline_s=(
-                        None if deadline is None else deadline.remaining_s()
-                    ),
-                )
-                try:
-                    result = self._pool.execute(request)
-                except StaleRequestError:
-                    continue
-                except (
-                    PoolUnavailableError,
-                    WorkerCrashedError,
-                    PoolExecutionError,
-                ):
-                    break
-                else:
-                    break
+                # The dispatch span opens before the wire context is
+                # captured, so the worker-side ``pool.worker`` span
+                # (and the parent-side ``probe.*`` spans the worker's
+                # callback rounds run) nest under ``pool.dispatch``.
+                with span("pool.dispatch") as dispatch_span:
+                    request = PoolRequest(
+                        query=analyzed,
+                        k=k,
+                        threshold=threshold,
+                        metric_name=searcher_config.metric.name,
+                        fingerprint=self._pool.fingerprint,
+                        max_probes=searcher_config.max_probes,
+                        batch_size=self._batch_size(),
+                        deadline_s=(
+                            None
+                            if deadline is None
+                            else deadline.remaining_s()
+                        ),
+                        trace=wire_context(),
+                    )
+                    try:
+                        result = self._pool.execute(request)
+                    except StaleRequestError:
+                        dispatch_span.set_outcome("stale_retry")
+                        continue
+                    except (
+                        PoolUnavailableError,
+                        WorkerCrashedError,
+                        PoolExecutionError,
+                    ):
+                        dispatch_span.set_outcome("fallback")
+                        break
+                    else:
+                        replay_spans(result.spans)
+                        break
             if result is None:
                 self._metrics.counter("pool_fallback_total").inc()
             else:
@@ -707,6 +837,14 @@ class MetasearchService:
             }
         if self._adaptation is not None:
             out["adaptation"] = self._adaptation.snapshot()
+        # Always present (even with tracing off) so enabling tracing
+        # never changes the snapshot's top-level key-set.
+        out["trace"] = {
+            "enabled": self._tracer is not None,
+            "buffered": (
+                0 if self._trace_ring is None else len(self._trace_ring)
+            ),
+        }
         return out
 
     def shutdown(self) -> None:

@@ -51,6 +51,12 @@ worker -> parent      ``("probe", [indices])``,
                       ``("reloaded", fingerprint)``
 ====================  =========================================
 
+A traced request (see :mod:`repro.obs`) adds an optional ``"trace"``
+key to the request dict (the parent's serialized trace position) and a
+``"spans"`` key to the result dict (the worker-side span records, which
+the parent replays into its own trace); untraced payloads are
+byte-identical to the pre-tracing wire format.
+
 The module is import-safe under the ``spawn`` start method: it imports
 no service-layer machinery at module load beyond what the selection math
 itself needs.
@@ -73,6 +79,7 @@ from repro.core.topk import CorrectnessMetric
 from repro.core.training import ErrorModel
 from repro.exceptions import ProbingError
 from repro.hiddenweb.database import RelevancyDefinition
+from repro.obs import collecting_trace, span
 from repro.summaries.estimators import RelevancyEstimator
 from repro.summaries.summary import ContentSummary
 from repro.types import Query
@@ -299,24 +306,38 @@ def _run_request(apro: APro, blob: WorkerStateBlob, request: dict) -> dict:
     if crash_term and crash_term in terms:
         os._exit(17)  # the fault tests' deterministic mid-request crash
     deadline_s = request.get("deadline_s")
-    session = apro.run(
-        Query(terms),
-        k=request["k"],
-        threshold=request["threshold"],
-        metric=CorrectnessMetric[request["metric"]],
-        max_probes=request.get("max_probes"),
-        batch_size=request.get("batch_size", 1),
-        deadline=(
-            None if deadline_s is None else Deadline.after(deadline_s)
-        ),
-    )
-    return {
+    # A traced request ships its trace position in the payload; the
+    # worker-side spans collect locally (contextvars don't cross a
+    # spawn) and travel back in the result for the parent to replay.
+    # Note the worker's wall overlaps the parent-side probe.* spans:
+    # the worker blocks on the pipe while the parent probes.
+    with collecting_trace(request.get("trace")) as trace_records:
+        with span("pool.worker", fingerprint=blob.fingerprint) as worker_span:
+            session = apro.run(
+                Query(terms),
+                k=request["k"],
+                threshold=request["threshold"],
+                metric=CorrectnessMetric[request["metric"]],
+                max_probes=request.get("max_probes"),
+                batch_size=request.get("batch_size", 1),
+                deadline=(
+                    None
+                    if deadline_s is None
+                    else Deadline.after(deadline_s)
+                ),
+            )
+            if session.deadline_expired:
+                worker_span.set_outcome("degraded")
+    result = {
         "selected": list(session.final.names),
         "certainty": session.final.expected_correctness,
         "probes": session.num_probes,
         "probe_order": [record.database for record in session.records],
         "deadline_expired": session.deadline_expired,
     }
+    if trace_records:
+        result["spans"] = trace_records
+    return result
 
 
 def worker_main(conn, blob: WorkerStateBlob) -> None:

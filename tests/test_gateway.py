@@ -126,9 +126,12 @@ class TestByteIdentity:
                 ).encode()
                 assert got == expected
                 assert result["answer"]["degraded"] is None
-                assert set(result["served"]) == {
+                # trace_id appears only when the service runs with
+                # tracing enabled (e.g. under REPRO_TRACE=1).
+                assert set(result["served"]) - {"trace_id"} == {
                     "cache_hit",
                     "coalesced",
+                    "redispatched",
                     "wall_ms",
                 }
 
@@ -362,6 +365,200 @@ class TestCoalescing:
         assert snapshot["counters"]["gateway_coalesced"] == 0
 
 
+def uncertain_text(trained_metasearcher, health_queries) -> str:
+    """A query needing >= 2 probe rounds (at batch_size=1) to reach
+    certainty 1.0, so a tight deadline really expires mid-run: round 1
+    alone does not hit the threshold, and the top-of-round deadline
+    check degrades the answer before round 2. Probing is deterministic
+    and content-keyed, so the throwaway service here replays the same
+    probes the test's own service will see."""
+    with MetasearchService(
+        trained_metasearcher,
+        config=ServiceConfig(
+            max_workers=2,
+            batch_size=1,
+            retry=RetryPolicy(backoff_base_s=0.0),
+            cache_enabled=False,
+        ),
+        sleeper=lambda s: None,
+    ) as probe_service:
+        for query in health_queries[40:]:
+            text = " ".join(query.terms)
+            answer = probe_service.serve(text, k=2, certainty=1.0)
+            if answer.probes >= 2:
+                return text
+    raise AssertionError("testbed produced no multi-round query")
+
+
+class TestCoalescingDeadlineCorrectness:
+    """Regression tests: a degraded answer must never reach a caller
+    who didn't run out of budget, and deadline hits count backend
+    calls, not coalesced responses. Both fail on the pre-fix tree."""
+
+    def test_deadline_free_follower_gets_fresh_answer(
+        self, trained_metasearcher, health_queries
+    ):
+        # Pre-fix: coalesce_key ignored deadlines, so the deadline-free
+        # follower rode the 25ms leader and was handed its
+        # degraded="deadline" answer despite having unlimited budget.
+        text = uncertain_text(trained_metasearcher, health_queries)
+
+        async def scenario():
+            with make_service(
+                trained_metasearcher,
+                config=ServiceConfig(
+                    max_workers=2,
+                    batch_size=1,
+                    retry=RetryPolicy(backoff_base_s=0.0),
+                    cache_enabled=False,
+                ),
+            ) as service:
+                slow_down(service, delay_s=0.1)
+                gateway = await start_gateway(service)
+                async with gateway:
+                    client = await GatewayClient.connect(
+                        "127.0.0.1", gateway.port
+                    )
+                    try:
+                        leader = asyncio.create_task(
+                            client.search(
+                                text, k=2, certainty=1.0, deadline_ms=25
+                            )
+                        )
+                        # The follower arrives while the leader's
+                        # backend call is mid-probe-round.
+                        while gateway.inflight == 0 and not leader.done():
+                            await asyncio.sleep(0.005)
+                        follower = await client.search(
+                            text, k=2, certainty=1.0
+                        )
+                        leader_result = await leader
+                    finally:
+                        await client.close()
+                return leader_result, follower
+
+        leader_result, follower = run(scenario())
+        assert leader_result["answer"]["degraded"] == "deadline"
+        # The unhurried caller got a full-quality answer, not the
+        # leader's cut-short one.
+        assert follower["answer"]["degraded"] is None
+        assert follower["answer"]["probes"] > 0
+
+    def test_follower_with_budget_left_redispatches(
+        self, trained_metasearcher, health_queries
+    ):
+        # Both requests carry deadlines (same coalesce bucket), but the
+        # follower's generous budget is far from spent when the
+        # leader's degraded answer lands: it must re-dispatch under its
+        # own deadline instead of accepting the degraded answer.
+        text = uncertain_text(trained_metasearcher, health_queries)
+
+        async def scenario():
+            with make_service(
+                trained_metasearcher,
+                config=ServiceConfig(
+                    max_workers=2,
+                    batch_size=1,
+                    retry=RetryPolicy(backoff_base_s=0.0),
+                    cache_enabled=False,
+                ),
+            ) as service:
+                slow_down(service, delay_s=0.05)
+                gateway = await start_gateway(service)
+                async with gateway:
+                    client = await GatewayClient.connect(
+                        "127.0.0.1", gateway.port
+                    )
+                    try:
+                        leader = asyncio.create_task(
+                            client.search(
+                                text, k=2, certainty=1.0, deadline_ms=20
+                            )
+                        )
+                        while gateway.inflight == 0 and not leader.done():
+                            await asyncio.sleep(0.005)
+                        follower = await client.search(
+                            text, k=2, certainty=1.0, deadline_ms=30_000
+                        )
+                        leader_result = await leader
+                    finally:
+                        await client.close()
+                    snapshot = service.snapshot()
+                return leader_result, follower, snapshot
+
+        leader_result, follower, snapshot = run(scenario())
+        assert leader_result["answer"]["degraded"] == "deadline"
+        assert follower["answer"]["degraded"] is None
+        assert follower["served"]["coalesced"] is True
+        assert follower["served"]["redispatched"] is True
+        counters = snapshot["counters"]
+        assert counters["gateway_coalesce_redispatch"] == 1
+        # Two backend calls ran (leader + re-dispatch); only the
+        # leader's came back deadline-degraded.
+        assert counters["queries_served"] == 2
+        assert counters["gateway_deadline_hits"] == 1
+
+    def test_deadline_hits_count_backend_calls_not_responses(
+        self, trained_metasearcher, health_queries
+    ):
+        # One deadline-degraded backend call shared by three coalesced
+        # followers (whose own budgets are also spent) is ONE deadline
+        # hit and four degraded responses — pre-fix it counted 4 hits.
+        text = uncertain_text(trained_metasearcher, health_queries)
+
+        async def scenario():
+            with make_service(
+                trained_metasearcher,
+                config=ServiceConfig(
+                    max_workers=2,
+                    batch_size=1,
+                    retry=RetryPolicy(backoff_base_s=0.0),
+                    cache_enabled=False,
+                ),
+            ) as service:
+                slow_down(service, delay_s=0.1)
+                gateway = await start_gateway(service)
+                async with gateway:
+                    client = await GatewayClient.connect(
+                        "127.0.0.1", gateway.port
+                    )
+                    try:
+                        leader = asyncio.create_task(
+                            client.search(
+                                text, k=2, certainty=1.0, deadline_ms=25
+                            )
+                        )
+                        while gateway.inflight == 0 and not leader.done():
+                            await asyncio.sleep(0.005)
+                        followers = await asyncio.gather(
+                            *(
+                                client.search(
+                                    text,
+                                    k=2,
+                                    certainty=1.0,
+                                    deadline_ms=25,
+                                )
+                                for _ in range(3)
+                            )
+                        )
+                        leader_result = await leader
+                    finally:
+                        await client.close()
+                    snapshot = service.snapshot()
+                return [leader_result, *followers], snapshot
+
+        results, snapshot = run(scenario())
+        assert all(
+            r["answer"]["degraded"] == "deadline" for r in results
+        )
+        counters = snapshot["counters"]
+        assert counters["gateway_coalesced"] == 3
+        assert counters["queries_served"] == 1  # one backend call
+        assert counters["gateway_deadline_hits"] == 1
+        assert counters["gateway_degraded_served"] == 4
+        assert counters["gateway_coalesce_redispatch"] == 0
+
+
 class TestShedding:
     def test_overload_sheds_typed_retryable_responses(
         self, trained_metasearcher, health_queries
@@ -570,7 +767,9 @@ class TestProtocolOverTheWire:
             "gateway_requests",
             "gateway_shed",
             "gateway_coalesced",
+            "gateway_coalesce_redispatch",
             "gateway_deadline_hits",
+            "gateway_degraded_served",
         ):
             assert snapshot["counters"][name] == 0
         assert "gateway_request_ms" in snapshot["histograms"]

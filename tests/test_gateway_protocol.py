@@ -40,7 +40,21 @@ class TestParseRequest:
         assert request.k == 3
         assert request.certainty == 0.9
         assert request.deadline_ms == 250.0
-        assert request.coalesce_key == ("breast cancer", 3, 0.9)
+        # The final component is deadline *presence* — a deadline-free
+        # request must never coalesce onto a deadline-bounded leader.
+        assert request.coalesce_key == ("breast cancer", 3, 0.9, False)
+
+    def test_coalesce_key_partitions_by_deadline_presence(self):
+        bounded = parse_request(
+            request_line(op="search", query="q", deadline_ms=250)
+        )
+        also_bounded = parse_request(
+            request_line(op="search", query="q", deadline_ms=50)
+        )
+        unbounded = parse_request(request_line(op="search", query="q"))
+        # Different budgets share a key; having no budget at all does not.
+        assert bounded.coalesce_key == also_bounded.coalesce_key
+        assert unbounded.coalesce_key != bounded.coalesce_key
 
     def test_defaults(self):
         request = parse_request(request_line(op="search", query="q"))
