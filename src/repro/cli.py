@@ -552,8 +552,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help=(
-            "exit non-zero unless the report passes schema validation and "
-            "the incremental path matches the rebuild path (CI smoke mode)"
+            "exit non-zero unless the report passes schema validation, "
+            "every agreement flag holds, and no scenario regressed beyond "
+            "--tolerance vs --baseline on matching hardware (CI gate mode)"
+        ),
+    )
+    bench_core.add_argument(
+        "--baseline",
+        default="BENCH_core.json",
+        help=(
+            "committed reference report the --check gate diffs against "
+            "(default BENCH_core.json; missing file skips the perf diff)"
+        ),
+    )
+    bench_core.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.5,
+        help=(
+            "per-scenario median regression factor the --check gate "
+            "tolerates (default 1.5)"
         ),
     )
 
@@ -1046,14 +1064,29 @@ def _cmd_bench_train(args: argparse.Namespace) -> int:
 
 def _cmd_bench_core(args: argparse.Namespace) -> int:
     import json
+    import os
 
     from repro.experiments.bench_core import (
         BenchCoreConfig,
+        check_bench_core,
         format_bench_core,
+        read_bench_core,
         run_bench_core,
         validate_bench_core,
     )
 
+    # Read the reference up front: --out may point at the same file the
+    # gate diffs against, and the fresh report must not overwrite the
+    # committed numbers before they are loaded.
+    reference = None
+    if args.check:
+        if os.path.exists(args.baseline):
+            reference = read_bench_core(args.baseline)
+        else:
+            print(
+                f"note: no reference report at {args.baseline}; "
+                "the perf diff is skipped",
+            )
     print(
         f"Benchmarking core hot path (scale={args.scale}, "
         f"k={args.k}, t={args.certainty}, {args.repeats} repeats)...",
@@ -1078,13 +1111,19 @@ def _cmd_bench_core(args: argparse.Namespace) -> int:
     print(f"Report written to {args.out}")
     if args.check:
         validate_bench_core(report)
-        if not report["agreement"]["incremental_matches_rebuild"]:
-            print(
-                "error: incremental path disagrees with rebuild path",
-                file=sys.stderr,
-            )
+        failures, warnings = check_bench_core(
+            report, reference, tolerance=args.tolerance
+        )
+        for warning in warnings:
+            print(f"warning: {warning}")
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
             return 3
-        print("check passed: schema valid, incremental == rebuild")
+        print(
+            "check passed: schema valid, agreement holds"
+            + ("" if reference is None else ", no gated perf regression")
+        )
     return 0
 
 

@@ -9,6 +9,15 @@ probes databases (greedy usefulness policy) until the user-required
 certainty is met.
 """
 
+from repro.core.backend import (
+    BACKEND_ENV,
+    ArrayBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    use_backend,
+)
 from repro.core.correctness import (
     GoldenStandard,
     absolute_correctness,
@@ -25,13 +34,15 @@ from repro.core.policies import (
 )
 from repro.core.probing import APro, ProbeSession
 from repro.core.query_types import QueryType, QueryTypeClassifier
-from repro.core.relevancy import RelevancyDistribution, derive_rd
+from repro.core.relevancy import RelevancyDistribution, derive_rd, derive_rds
 from repro.core.selection import RDBasedSelector, SelectionResult
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.core.training import EDTrainer, ErrorModel
 
 __all__ = [
     "APro",
+    "ArrayBackend",
+    "BACKEND_ENV",
     "CorrectnessMetric",
     "DEFAULT_ERROR_EDGES",
     "EDTrainer",
@@ -51,8 +62,14 @@ __all__ = [
     "SelectionResult",
     "TopKComputer",
     "absolute_correctness",
+    "available_backends",
+    "default_backend_name",
     "derive_rd",
+    "derive_rds",
+    "get_backend",
     "partial_correctness",
+    "register_backend",
     "relative_error",
     "true_topk",
+    "use_backend",
 ]

@@ -1,0 +1,168 @@
+"""The numeric-kernel contract every array backend implements.
+
+:class:`~repro.core.topk.TopKComputer` and the RD builder keep all of
+their *orchestration* (memoization, collapse bookkeeping, answer-set
+search) backend-independent and delegate the numeric kernels — outrank
+matrix construction, the Poisson-binomial DP chains, the leave-one-out
+convolution, the override membership fold, the collapse column update
+and batched RD derivation — to an :class:`ArrayBackend`.
+
+Two implementations ship in-tree:
+
+* ``python`` (:mod:`repro.core.backend.python_backend`) — the legacy
+  row-wise path: per-database Python loops over NumPy rows, exactly the
+  arithmetic the pre-backend tree performed. It is the **oracle**: the
+  equality tests compare every other backend against it.
+* ``numpy`` (:mod:`repro.core.backend.numpy_backend`) — the default
+  tensor engine: one stacked array pass per kernel, no per-database
+  Python iteration.
+
+The registry (:mod:`repro.core.backend.registry`) is the hook for a
+compiled backend later (Cython/C/ISPC): subclass :class:`ArrayBackend`
+(or the numpy backend, overriding only the kernels the compiled path
+accelerates) and :func:`~repro.core.backend.register_backend` it.
+
+Equality contract
+-----------------
+All backends must produce **identical answer sets and probe orders**,
+with certainty values agreeing to an absolute tolerance of ``1e-9`` —
+the same contract the incremental-collapse path satisfies against the
+rebuild path. Kernels are free to reassociate floating-point reductions
+within that tolerance; they are not free to change tie-breaking, atom
+ordering, or support layouts.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["ArrayBackend"]
+
+
+class ArrayBackend(abc.ABC):
+    """Numeric kernels behind :class:`~repro.core.topk.TopKComputer`.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"python"``, ...).
+    vectorized:
+        Whether the backend supports the whole-sweep batched paths
+        (:meth:`TopKComputer.usefulness_sweep`, batched RD derivation).
+        The row-wise oracle reports ``False`` so its callers keep the
+        exact legacy control flow.
+    """
+
+    name: str = "abstract"
+    vectorized: bool = False
+
+    @abc.abstractmethod
+    def outrank_structures(
+        self,
+        probs: np.ndarray,
+        dbs: np.ndarray,
+        ranks: np.ndarray,
+        order: np.ndarray,
+        n: int,
+    ) -> tuple[
+        np.ndarray,
+        np.ndarray,
+        list[np.ndarray],
+        list[np.ndarray],
+    ]:
+        """Build the outrank matrices plus the collapse search structure.
+
+        Parameters are the flat atom layout: per-atom probabilities,
+        owning database indices, global ranks, and ``order`` (atom
+        indices sorted by rank). Returns
+        ``(greater_masked, less, db_sorted_ranks, db_cumprobs)`` where
+        ``greater_masked[j, t]`` is the mass of database j strictly
+        outranking atom t (own-database entries zeroed) and
+        ``less[j, t]`` the mass strictly below. ``db_sorted_ranks`` /
+        ``db_cumprobs`` are the per-database rank / cumulative-mass
+        arrays :meth:`collapse_column` searches.
+        """
+
+    @abc.abstractmethod
+    def dp_chain(
+        self, greater: np.ndarray, k: int, reverse: bool = False
+    ) -> np.ndarray:
+        """Stacked Poisson-binomial DP chain, shape ``(n+1, m, k)``.
+
+        Entry ``j`` of the forward chain is the truncated outrank-count
+        distribution over databases ``0..j-1`` (for every atom); the
+        reversed chain's entry ``j`` covers databases ``j..n-1``.
+        """
+
+    @abc.abstractmethod
+    def loo_combine(
+        self, pre: np.ndarray, suf: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Truncated count-distribution convolution along the k axis.
+
+        ``out[..., c] = sum_{a+b=c} pre[..., a] * suf[..., b]`` for
+        ``c < k`` — combining a prefix and a suffix DP table into the
+        leave-one-out table. Accepts ``(m, k)`` or stacked ``(n, m, k)``
+        inputs.
+        """
+
+    @abc.abstractmethod
+    def override_membership(
+        self, dp_loo: np.ndarray, g: np.ndarray, k: int
+    ) -> np.ndarray:
+        """Fold indicator outrank rows into a leave-one-out table.
+
+        ``dp_loo`` is a (broadcastable) ``(..., m, k)`` leave-one-out
+        count table; ``g`` a ``(..., m)`` 0/1 outrank row per
+        hypothetical impulse. Returns ``(..., m)``:
+        ``P[count <= k-1]`` per atom after folding in the impulse.
+        """
+
+    @abc.abstractmethod
+    def collapse_column(
+        self,
+        rank0: float,
+        database: int,
+        n: int,
+        db_sorted_ranks: list[np.ndarray],
+        db_cumprobs: list[np.ndarray],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Outrank-mass columns of a re-ranked atom against every database.
+
+        Called by the out-of-support :meth:`TopKComputer.collapse` path:
+        the repurposed atom moved to the fresh rank ``rank0``, so every
+        *other* database's mass strictly above / strictly below it must
+        be re-read. Returns ``(greater_col, less_col)`` of length ``n``;
+        the entry for ``database`` itself is a placeholder (the caller
+        overwrites row ``database`` wholesale).
+        """
+
+    @abc.abstractmethod
+    def derive_rd_arrays(
+        self,
+        floored: np.ndarray,
+        error_values: np.ndarray,
+        error_probs: np.ndarray,
+        owner: np.ndarray,
+        document_frequency: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Batched RD supports for many databases in one pass.
+
+        Inputs are the concatenated ED atoms of every pending database:
+        ``floored`` the per-atom floored estimate (repeated per ED
+        atom), ``error_values`` / ``error_probs`` the ED atoms, and
+        ``owner`` the owning-database index per atom (grouped,
+        ascending; values ascending within each group). Maps each atom
+        through ``floored * (1 + e)`` (rounded and clamped per the
+        relevancy definition), drops zero-weight atoms and merges
+        colliding values per database, returning
+        ``(values, weights, owner_of_group)`` concatenated over
+        databases. Returns ``None`` when the backend has no batched
+        path (the caller then uses the row-wise
+        :func:`repro.core.relevancy.derive_rd`).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,124 @@
+"""The row-wise oracle backend.
+
+This is the legacy numeric path of :mod:`repro.core.topk` — per-database
+Python loops over NumPy rows — extracted behind the
+:class:`~repro.core.backend.base.ArrayBackend` interface, arithmetic
+untouched. It stays registered as ``python`` and is the reference the
+equality tests compare every other backend against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend.base import ArrayBackend
+
+__all__ = ["PythonBackend"]
+
+
+class PythonBackend(ArrayBackend):
+    """Per-database row-wise kernels (the pre-backend arithmetic)."""
+
+    name = "python"
+    vectorized = False
+
+    def outrank_structures(self, probs, dbs, ranks, order, n):
+        m = len(probs)
+        # Per-database cumulative mass by rank, supporting
+        # P(rank_j > t) and P(rank_j < t) lookups for arbitrary t.
+        db_sorted_ranks: list[np.ndarray] = []
+        db_cumprobs: list[np.ndarray] = []
+        for i in range(n):
+            mask = dbs == i
+            db_ranks = ranks[mask]
+            db_probs = probs[mask]
+            sort = np.argsort(db_ranks)
+            sorted_ranks = db_ranks[sort]
+            cum = np.concatenate(([0.0], np.cumsum(db_probs[sort])))
+            db_sorted_ranks.append(sorted_ranks)
+            db_cumprobs.append(cum)
+
+        # G[j, t] = P(database j's realization outranks atom t)
+        # L[j, t] = P(database j's realization ranks below atom t)
+        # (for j == atom_db[t], G + L + P(atom t) == 1).
+        greater = np.empty((n, m), dtype=np.float64)
+        less = np.empty((n, m), dtype=np.float64)
+        for j in range(n):
+            sorted_ranks = db_sorted_ranks[j]
+            cum = db_cumprobs[j]
+            right = np.searchsorted(sorted_ranks, ranks, side="right")
+            left = np.searchsorted(sorted_ranks, ranks, side="left")
+            greater[j] = cum[-1] - cum[right]
+            less[j] = cum[left]
+        # Each atom's own database carries no weight in the outrank
+        # counts (it is conditioned on, not competing); both the
+        # marginal DP and the member product neutralize those entries
+        # anyway, so the mask removes a copy per call.
+        greater[dbs, np.arange(m)] = 0.0
+        return greater, less, db_sorted_ranks, db_cumprobs
+
+    @staticmethod
+    def _dp_step(dp: np.ndarray, p_row: np.ndarray) -> np.ndarray:
+        """One DP step: fold in a database with outrank probabilities."""
+        p = p_row[:, None]
+        keep = dp * (1.0 - p)
+        keep[:, 1:] += dp[:, :-1] * p
+        return keep
+
+    def dp_chain(self, greater, k, reverse=False):
+        n, m = greater.shape
+        out = np.empty((n + 1, m, k), dtype=np.float64)
+        init = np.zeros((m, k), dtype=np.float64)
+        init[:, 0] = 1.0
+        if reverse:
+            out[n] = init
+            for j in reversed(range(n)):
+                out[j] = self._dp_step(out[j + 1], greater[j])
+        else:
+            out[0] = init
+            for j in range(n):
+                out[j + 1] = self._dp_step(out[j], greater[j])
+        return out
+
+    def loo_combine(self, pre, suf, k):
+        out = np.zeros_like(pre)
+        for c in range(k):
+            for a in range(c + 1):
+                out[..., c] += pre[..., a] * suf[..., c - a]
+        return out
+
+    def override_membership(self, dp_loo, g, k):
+        p = g[..., None]
+        keep = dp_loo * (1.0 - p)
+        keep[..., 1:] += dp_loo[..., :-1] * p
+        return keep.sum(axis=-1)
+
+    def collapse_column(
+        self,
+        rank0,
+        database,
+        n,
+        db_sorted_ranks,
+        db_cumprobs,
+    ):
+        greater_col = np.zeros(n, dtype=np.float64)
+        less_col = np.zeros(n, dtype=np.float64)
+        for j in range(n):
+            if j == database:
+                # Placeholder: the caller overwrites row ``database``
+                # wholesale (and its masked own entry is 0.0 anyway).
+                continue
+            sorted_ranks = db_sorted_ranks[j]
+            cum = db_cumprobs[j]
+            right = int(np.searchsorted(sorted_ranks, rank0, side="right"))
+            left = int(np.searchsorted(sorted_ranks, rank0, side="left"))
+            greater_col[j] = cum[-1] - cum[right]
+            less_col[j] = cum[left]
+        return greater_col, less_col
+
+    def derive_rd_arrays(
+        self, floored, error_values, error_probs, owner, document_frequency
+    ):
+        # No batched path: callers fall back to the per-atom
+        # ``derive_rd`` (map + from_pairs) route.
+        return None

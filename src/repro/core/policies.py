@@ -92,6 +92,17 @@ class GreedyUsefulnessPolicy:
         metric: CorrectnessMetric,
     ) -> float:
         """Expected post-probe maximal correctness for one database."""
+        if self._batched:
+            # Whole-sweep fast path: a vectorized backend computes every
+            # candidate's usefulness in one cached array pass (identical
+            # accumulation to the per-atom loop below, float for float).
+            # getattr-guarded so duck-typed computers without the sweep
+            # keep working.
+            sweep_fn = getattr(computer, "usefulness_sweep", None)
+            if sweep_fn is not None:
+                sweep = sweep_fn(metric, self._NEGLIGIBLE)
+                if sweep is not None:
+                    return float(sweep[database])
         atoms = computer.atoms_of(database)
         if self._batched:
             scores = computer.conditional_best_scores(

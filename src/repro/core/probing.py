@@ -19,6 +19,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
+from repro.core.backend import ArrayBackend
 from repro.core.deadline import Deadline
 from repro.core.policies import GreedyUsefulnessPolicy, ProbePolicy
 from repro.core.relevancy import RelevancyDistribution
@@ -171,6 +172,13 @@ class APro:
         the agreement tests and the ``bench-core`` baseline. Both paths
         produce identical answer sets and probe orders (certainties
         agree to floating-point tolerance).
+    backend:
+        Numeric backend for RD construction and the top-k computers: a
+        registry name (``"numpy"``, ``"python"``), an
+        :class:`~repro.core.backend.ArrayBackend`, or ``None`` for the
+        process default (``REPRO_BACKEND``). Backends are contractually
+        interchangeable — identical answer sets and probe orders,
+        certainty deltas ≤1e-9.
     """
 
     def __init__(
@@ -179,6 +187,7 @@ class APro:
         policy: ProbePolicy | None = None,
         prober: BatchProber | None = None,
         incremental: bool = True,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         self._selector = selector
         self._policy = policy or GreedyUsefulnessPolicy()
@@ -186,7 +195,9 @@ class APro:
             selector.mediator, selector.definition
         )
         self._incremental = incremental
+        self._backend = backend
         self._policy_takes_deadline = _accepts_deadline(self._policy)
+        self._selector_takes_backend = _accepts_backend(self._selector)
 
     @property
     def prober(self) -> BatchProber:
@@ -260,11 +271,16 @@ class APro:
             raise ProbingError(f"batch_size must be >= 1, got {batch_size}")
 
         mediator = self._selector.mediator
-        rds: list[RelevancyDistribution] = self._selector.build_rds(query)
+        if self._selector_takes_backend:
+            rds: list[RelevancyDistribution] = self._selector.build_rds(
+                query, backend=self._backend
+            )
+        else:
+            rds = self._selector.build_rds(query)
         session = ProbeSession(
             query=query, k=k, metric=metric, threshold=threshold
         )
-        computer = TopKComputer(rds, k)
+        computer = TopKComputer(rds, k, backend=self._backend)
         best, score = computer.best_set(metric)
         self._record_point(session, mediator, 0, best, score)
 
@@ -335,7 +351,7 @@ class APro:
                 if self._incremental:
                     computer = computer.collapse(choice, observed)
                 else:
-                    computer = TopKComputer(rds, k)
+                    computer = TopKComputer(rds, k, backend=self._backend)
                 best, score = computer.best_set(metric)
                 self._record_point(
                     session, mediator, len(probed), best, score
@@ -351,6 +367,25 @@ class APro:
                 expected_correctness=score,
             )
         )
+
+
+def _accepts_backend(selector: RDBasedSelector) -> bool:
+    """Whether ``selector.build_rds`` takes a ``backend`` keyword.
+
+    Mirrors :func:`_accepts_deadline`: duck-typed selectors written
+    against the one-argument signature keep working (their RDs are
+    backend-independent values anyway).
+    """
+    try:
+        parameters = inspect.signature(selector.build_rds).parameters
+    except (TypeError, ValueError, AttributeError):
+        return False
+    if any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    ):
+        return True
+    return "backend" in parameters
 
 
 def _accepts_deadline(policy: ProbePolicy) -> bool:

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping
 
+from repro.core.backend import ArrayBackend, get_backend
 from repro.core.query_types import QueryTypeClassifier
-from repro.core.relevancy import RelevancyDistribution, derive_rd
+from repro.core.relevancy import RelevancyDistribution, derive_rd, derive_rds
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.core.training import ErrorModel
 from repro.exceptions import SelectionError
@@ -138,9 +139,49 @@ class RDBasedSelector:
             estimate_floor=self._error_model.estimate_floor,
         )
 
-    def build_rds(self, query: Query) -> list[RelevancyDistribution]:
-        """RDs of every database, in mediation order."""
-        return [self.build_rd(db.name, query) for db in self._mediator]
+    def build_rds(
+        self,
+        query: Query,
+        backend: "str | ArrayBackend | None" = None,
+    ) -> list[RelevancyDistribution]:
+        """RDs of every database, in mediation order.
+
+        On a vectorized backend the ED→RD derivations of all databases
+        run through one batched :func:`~repro.core.relevancy.derive_rds`
+        kernel; the per-database short-circuits (certain zero, no usable
+        ED) are applied identically first, so the result matches the
+        :meth:`build_rd` loop bitwise on every backend.
+        """
+        resolved = get_backend(backend)
+        if not resolved.vectorized:
+            return [self.build_rd(db.name, query) for db in self._mediator]
+        rds: list[RelevancyDistribution | None] = [None] * len(self._mediator)
+        pending: list[tuple[int, float, object]] = []
+        for idx, db in enumerate(self._mediator):
+            summary = self._summaries[db.name]
+            if self._is_certain_zero(summary, query):
+                rds[idx] = DiscreteDistribution.impulse(0.0)
+                continue
+            estimate = self._estimator.estimate(summary, query)
+            query_type = self._classifier.classify(query, estimate)
+            ed = self._error_model.lookup(db.name, query_type)
+            if ed is None:
+                rds[idx] = DiscreteDistribution.impulse(
+                    self._point_value(estimate)
+                )
+                continue
+            pending.append((idx, estimate, ed))
+        if pending:
+            derived = derive_rds(
+                [estimate for _idx, estimate, _ed in pending],
+                [ed for _idx, _estimate, ed in pending],
+                definition=self._definition,
+                estimate_floor=self._error_model.estimate_floor,
+                backend=resolved,
+            )
+            for (idx, _estimate, _ed), rd in zip(pending, derived):
+                rds[idx] = rd
+        return rds
 
     def _point_value(self, estimate: float) -> float:
         if self._definition is RelevancyDefinition.DOCUMENT_FREQUENCY:

@@ -42,6 +42,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.backend import ArrayBackend, get_backend
 from repro.exceptions import SelectionError
 from repro.stats.distribution import DiscreteDistribution
 
@@ -72,6 +73,13 @@ class TopKComputer:
         hill-climbing search is used.
     swap_width:
         Size of the non-member pool considered by the hill climber.
+    backend:
+        Numeric backend executing the array kernels: a registry name
+        (``"numpy"``, ``"python"``), an
+        :class:`~repro.core.backend.ArrayBackend` instance, or ``None``
+        for the process default (``REPRO_BACKEND``, defaulting to the
+        tensor engine). All backends produce identical answer sets and
+        probe orders with certainty deltas ≤1e-9.
     """
 
     def __init__(
@@ -80,6 +88,7 @@ class TopKComputer:
         k: int,
         exact_set_limit: int = 400,
         swap_width: int = 4,
+        backend: "str | ArrayBackend | None" = None,
     ) -> None:
         n = len(rds)
         if n == 0:
@@ -91,6 +100,7 @@ class TopKComputer:
         self._k = k
         self._exact_set_limit = exact_set_limit
         self._swap_width = max(1, swap_width)
+        self._backend = get_backend(backend)
         self._build_atoms()
         # Pure-function index structures keyed by candidate set; they
         # depend only on the atom layout, which :meth:`collapse`
@@ -121,26 +131,28 @@ class TopKComputer:
         ] = {}
         # Prefix/suffix Poisson-binomial DP tables and derived
         # leave-one-out / batched-override products (see marginals()).
-        self._prefix_dp: list[np.ndarray] | None = None
-        self._suffix_dp: list[np.ndarray] | None = None
+        # The DP chains are (n+1, m, k) stacks produced by the backend.
+        self._prefix_dp: np.ndarray | None = None
+        self._suffix_dp: np.ndarray | None = None
         self._loo_memo: dict[int, np.ndarray] = {}
         self._loo_all: np.ndarray | None = None
         self._override_batch_memo: dict[int, np.ndarray] = {}
+        self._batch_all: np.ndarray | None = None
         self._scores_memo: dict[tuple[int, CorrectnessMetric], np.ndarray] = {}
+        self._sweep_memo: dict[tuple[CorrectnessMetric, float], np.ndarray] = {}
 
     # -- construction of the rank structure ---------------------------------
 
     def _build_atoms(self) -> None:
+        counts = np.asarray(
+            [rd.support_size for rd in self._rds], dtype=np.intp
+        )
         values = np.concatenate([rd.values for rd in self._rds])
         probs = np.concatenate([rd.probs for rd in self._rds])
-        dbs = np.concatenate(
-            [np.full(rd.support_size, i) for i, rd in enumerate(self._rds)]
-        )
+        dbs = np.repeat(np.arange(self._n), counts)
         m = len(values)
         # Concatenation order gives every database a contiguous atom span.
-        bounds = np.concatenate(
-            ([0], np.cumsum([rd.support_size for rd in self._rds]))
-        )
+        bounds = np.concatenate(([0], np.cumsum(counts)))
         self._db_atom_start = bounds[:-1]
         self._db_atom_stop = bounds[1:]
         # Strict total order: ascending value; on equal value the later
@@ -164,48 +176,40 @@ class TopKComputer:
         self._order_dbs = dbs[order]
         self._order_ranks = np.arange(m, dtype=np.float64)
 
-        # Per-database cumulative mass by rank, supporting
-        # P(rank_j > t) and P(rank_j < t) lookups for arbitrary t.
-        self._db_sorted_ranks: list[np.ndarray] = []
-        self._db_cumprobs: list[np.ndarray] = []
-        for i in range(self._n):
-            mask = dbs == i
-            db_ranks = ranks[mask]
-            db_probs = probs[mask]
-            sort = np.argsort(db_ranks)
-            sorted_ranks = db_ranks[sort]
-            cum = np.concatenate(([0.0], np.cumsum(db_probs[sort])))
-            self._db_sorted_ranks.append(sorted_ranks)
-            self._db_cumprobs.append(cum)
-
+        # The outrank matrices and the per-database cumulative-mass
+        # structures are the backend's kernel:
         # G[j, t] = P(database j's realization outranks atom t)
         # L[j, t] = P(database j's realization ranks below atom t)
-        # (for j == atom_db[t], G + L + P(atom t) == 1).
-        greater = np.empty((self._n, m), dtype=np.float64)
-        less = np.empty((self._n, m), dtype=np.float64)
-        for j in range(self._n):
-            sorted_ranks = self._db_sorted_ranks[j]
-            cum = self._db_cumprobs[j]
-            right = np.searchsorted(sorted_ranks, ranks, side="right")
-            left = np.searchsorted(sorted_ranks, ranks, side="left")
-            greater[j] = cum[-1] - cum[right]
-            less[j] = cum[left]
-        # Masked variant: each atom's own database carries no weight in
-        # the outrank counts (it is conditioned on, not competing). Both
-        # the marginal DP and the member product neutralize those entries
-        # anyway, so precomputing the mask removes a copy per call.
-        greater_masked = greater.copy()
-        greater_masked[dbs, np.arange(m)] = 0.0
-        self._greater = greater_masked
-        self._less = less
-        self._db_atom_triples: list[list[tuple[int, float, float]]] = [
-            [
-                (int(t), float(values[t]), float(probs[t]))
-                for t in range(int(self._db_atom_start[i]),
-                               int(self._db_atom_stop[i]))
+        # (for j == atom_db[t], G + L + P(atom t) == 1; each atom's own
+        # database is pre-masked to 0 in G — conditioned on, not
+        # competing).
+        (
+            self._greater,
+            self._less,
+            self._db_sorted_ranks,
+            self._db_cumprobs,
+        ) = self._backend.outrank_structures(probs, dbs, ranks, order, self._n)
+        # Reported (index, value, prob) triples per database, built on
+        # first use: collapse() overwrites a database's entry outright,
+        # so most spans of a short-lived computer are never materialized.
+        self._db_atom_triples: list[list[tuple[int, float, float]] | None] = [
+            None
+        ] * self._n
+        # (m, m) same-database mask, built on first batched-override use;
+        # layout-pure, so collapse() shares it between computers.
+        self._own_mask: np.ndarray | None = None
+
+    def _triples(self, i: int) -> list[tuple[int, float, float]]:
+        cached = self._db_atom_triples[i]
+        if cached is None:
+            cached = [
+                (t, float(self._atom_values[t]), float(self._atom_probs[t]))
+                for t in range(
+                    int(self._db_atom_start[i]), int(self._db_atom_stop[i])
+                )
             ]
-            for i in range(self._n)
-        ]
+            self._db_atom_triples[i] = cached
+        return cached
 
     # -- basic accessors -----------------------------------------------------
 
@@ -230,7 +234,12 @@ class TopKComputer:
         zero-probability atoms its span retains internally (so that the
         shared rank structure stays index-stable) are not reported.
         """
-        return list(self._db_atom_triples[i])
+        return list(self._triples(i))
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the numeric backend in use."""
+        return self._backend.name
 
     # -- incremental collapse -------------------------------------------------
 
@@ -266,6 +275,7 @@ class TopKComputer:
         new._k = self._k
         new._exact_set_limit = self._exact_set_limit
         new._swap_width = self._swap_width
+        new._backend = self._backend
         new._num_atoms = self._num_atoms
         # Layout is shared verbatim: spans and atom→database mapping
         # never change under collapse.
@@ -274,11 +284,22 @@ class TopKComputer:
         new._atom_dbs = self._atom_dbs
         new._subset_memo = self._subset_memo
 
+        # Locate the observed value in the database's *reported* support
+        # (a previous collapse shrinks it to the impulse atom; its
+        # zero-mass fencepost atoms must not match). An unmaterialized
+        # triple list means the span is untouched, so the raw value scan
+        # is equivalent.
         t0 = None
-        for t, atom_value, _prob in self._db_atom_triples[i]:
-            if atom_value == value:
-                t0 = t
-                break
+        cached_triples = self._db_atom_triples[i]
+        if cached_triples is not None:
+            for t, atom_value, _prob in cached_triples:
+                if atom_value == value:
+                    t0 = t
+                    break
+        else:
+            matches = np.flatnonzero(self._atom_values[start:stop] == value)
+            if len(matches):
+                t0 = start + int(matches[0])
         migrated: tuple[int, int] | None = None
         if t0 is not None:
             # Observed value already in support: ranks are untouched, so
@@ -323,19 +344,20 @@ class TopKComputer:
             # ... plus, for an out-of-support value, column t0: the
             # repurposed atom's rank moved, so every other database's
             # outrank mass against it is re-read from its cumulative
-            # structure (O(n log s)).
-            for j in range(self._n):
-                if j == i:
-                    continue
-                sorted_ranks = new._db_sorted_ranks[j]
-                cum = new._db_cumprobs[j]
-                right = int(np.searchsorted(sorted_ranks, rank0, side="right"))
-                left = int(np.searchsorted(sorted_ranks, rank0, side="left"))
-                new._greater[j, t0] = cum[-1] - cum[right]
-                new._less[j, t0] = cum[left]
+            # structure (O(n log s)). The backend returns a zero
+            # placeholder for row i, matching the masked own entry the
+            # row assignment above already wrote.
+            greater_col, less_col = self._backend.collapse_column(
+                rank0, i, self._n, new._db_sorted_ranks, new._db_cumprobs
+            )
+            greater_col[i] = new._greater[i, t0]
+            less_col[i] = new._less[i, t0]
+            new._greater[:, t0] = greater_col
+            new._less[:, t0] = less_col
 
         new._db_atom_triples = list(self._db_atom_triples)
         new._db_atom_triples[i] = [(t0, value, 1.0)]
+        new._own_mask = self._own_mask
 
         new._init_memos()
         if migrated is not None:
@@ -425,36 +447,21 @@ class TopKComputer:
 
     # -- Poisson-binomial DP tables ---------------------------------------------
 
-    def _dp_init(self) -> np.ndarray:
-        dp = np.zeros((self._num_atoms, self._k), dtype=np.float64)
-        dp[:, 0] = 1.0
-        return dp
+    def _prefix_dps(self) -> np.ndarray:
+        """prefix[j] = outrank-count DP over databases 0..j-1 (truncated at k).
 
-    @staticmethod
-    def _dp_apply(dp: np.ndarray, p_row: np.ndarray) -> np.ndarray:
-        """One DP step: fold in a database with outrank probabilities *p_row*."""
-        p = p_row[:, None]
-        keep = dp * (1.0 - p)
-        keep[:, 1:] += dp[:, :-1] * p
-        return keep
-
-    def _prefix_dps(self) -> list[np.ndarray]:
-        """prefix[j] = outrank-count DP over databases 0..j-1 (truncated at k)."""
+        An (n+1, m, k) stack produced by the backend's chain kernel.
+        """
         if self._prefix_dp is None:
-            dps = [self._dp_init()]
-            for j in range(self._n):
-                dps.append(self._dp_apply(dps[-1], self._greater[j]))
-            self._prefix_dp = dps
+            self._prefix_dp = self._backend.dp_chain(self._greater, self._k)
         return self._prefix_dp
 
-    def _suffix_dps(self) -> list[np.ndarray]:
+    def _suffix_dps(self) -> np.ndarray:
         """suffix[j] = outrank-count DP over databases j..n-1 (truncated at k)."""
         if self._suffix_dp is None:
-            dps = [self._dp_init()]
-            for j in reversed(range(self._n)):
-                dps.append(self._dp_apply(dps[-1], self._greater[j]))
-            dps.reverse()
-            self._suffix_dp = dps
+            self._suffix_dp = self._backend.dp_chain(
+                self._greater, self._k, reverse=True
+            )
         return self._suffix_dp
 
     def _loo_dp(self, i: int) -> np.ndarray:
@@ -469,12 +476,9 @@ class TopKComputer:
         cached = self._loo_memo.get(i)
         if cached is not None:
             return cached
-        pre = self._prefix_dps()[i]
-        suf = self._suffix_dps()[i + 1]
-        out = np.zeros_like(pre)
-        for c in range(self._k):
-            for a in range(c + 1):
-                out[:, c] += pre[:, a] * suf[:, c - a]
+        out = self._backend.loo_combine(
+            self._prefix_dps()[i], self._suffix_dps()[i + 1], self._k
+        )
         self._loo_memo[i] = out
         return out
 
@@ -482,19 +486,13 @@ class TopKComputer:
         """Every leave-one-out DP table stacked as one (n, m, k) array.
 
         The truncated convolution combine runs once over the stacked
-        prefix/suffix tables — k² vectorized products instead of n
-        independent :meth:`_loo_dp` calls. Element-for-element the
-        accumulation order matches the per-database loop, so the tables
-        are bitwise identical to it.
+        prefix/suffix tables — one batched kernel call instead of n
+        independent :meth:`_loo_dp` calls.
         """
         if self._loo_all is None:
-            pre = np.stack(self._prefix_dps()[:-1])
-            suf = np.stack(self._suffix_dps()[1:])
-            out = np.zeros_like(pre)
-            for c in range(self._k):
-                for a in range(c + 1):
-                    out[:, :, c] += pre[:, :, a] * suf[:, :, c - a]
-            self._loo_all = out
+            self._loo_all = self._backend.loo_combine(
+                self._prefix_dps()[:-1], self._suffix_dps()[1:], self._k
+            )
         return self._loo_all
 
     # -- marginal top-k membership ----------------------------------------------
@@ -521,8 +519,11 @@ class TopKComputer:
         elif override is None:
             membership = self._prefix_dps()[self._n].sum(axis=1)
             weighted = self._atom_probs * membership
-            marginals = np.zeros(self._n)
-            np.add.at(marginals, self._atom_dbs, weighted)
+            # Atom spans are contiguous per database, so the scatter-add
+            # is a segmented reduction (same left-to-right accumulation
+            # order as ``np.add.at``, at a fraction of the cost).
+            starts = np.asarray(self._db_atom_start, dtype=np.intp)
+            marginals = np.add.reduceat(weighted, starts)
             result = np.clip(marginals, 0.0, 1.0)
         else:
             i, t0 = override
@@ -555,10 +556,10 @@ class TopKComputer:
         # masked (conditioned on, not competing).
         g_rows = (ranks[span][:, None] > ranks[None, :]).astype(np.float64)
         g_rows[:, start:stop] = 0.0
-        p = g_rows[:, :, None]
-        keep = dp_loo[None, :, :] * (1.0 - p)
-        keep[:, :, 1:] += dp_loo[None, :, :-1] * p
-        membership = keep.sum(axis=2)  # (s, m): P(count <= k-1) per atom
+        # (s, m): P(count <= k-1) per atom under each hypothetical.
+        membership = self._backend.override_membership(
+            dp_loo[None, :, :], g_rows, self._k
+        )
         masked_probs = self._atom_probs.copy()
         masked_probs[start:stop] = 0.0
         contrib = membership * masked_probs[None, :]
@@ -591,19 +592,23 @@ class TopKComputer:
         m = self._num_atoms
         loo_atom = self._loo_dps_all()[self._atom_dbs]  # (m, m, k)
         ranks = self._atom_ranks
+        if self._own_mask is None:
+            self._own_mask = (
+                self._atom_dbs[:, None] == self._atom_dbs[None, :]
+            )
+        own = self._own_mask
         g_all = (ranks[:, None] > ranks[None, :]).astype(np.float64)
-        own = self._atom_dbs[:, None] == self._atom_dbs[None, :]
         g_all[own] = 0.0
-        p = g_all[:, :, None]
-        keep = loo_atom * (1.0 - p)
-        keep[:, :, 1:] += loo_atom[:, :, :-1] * p
-        membership = keep.sum(axis=2)  # (m, m)
+        membership = self._backend.override_membership(
+            loo_atom, g_all, self._k
+        )  # (m, m)
         contrib = membership * np.where(own, 0.0, self._atom_probs[None, :])
         starts = np.asarray(self._db_atom_start, dtype=np.intp)
         batch_all = np.add.reduceat(contrib, starts, axis=1)  # (m, n)
         idx = np.arange(m)
         batch_all[idx, self._atom_dbs] = loo_atom[idx, idx].sum(axis=1)
         batch_all = np.clip(batch_all, 0.0, 1.0)
+        self._batch_all = batch_all
         for i in range(self._n):
             self._override_batch_memo[i] = batch_all[
                 int(self._db_atom_start[i]) : int(self._db_atom_stop[i])
@@ -632,21 +637,11 @@ class TopKComputer:
         """
         if not 0 <= database < self._n:
             raise SelectionError(f"database {database} out of range")
-        triples = self._db_atom_triples[database]
+        triples = self._triples(database)
         if self._k == self._n:
             return np.ones(len(triples))
         if metric is CorrectnessMetric.PARTIAL or self._k == 1:
-            key = (database, metric)
-            scores_span = self._scores_memo.get(key)
-            if scores_span is None:
-                batch = self._override_marginals_all(database)
-                if self._k == 1:
-                    scores_span = batch.max(axis=1)
-                else:
-                    boundary = self._n - self._k
-                    top = np.partition(batch, boundary, axis=1)[:, boundary:]
-                    scores_span = np.minimum(1.0, top.mean(axis=1))
-                self._scores_memo[key] = scores_span
+            scores_span = self._span_scores(database, metric)
             start = int(self._db_atom_start[database])
             offsets = np.asarray([t - start for t, _v, _p in triples])
             return scores_span[offsets].copy()
@@ -657,6 +652,93 @@ class TopKComputer:
             _best, score = self.best_set(metric, override=(database, t))
             scores[j] = score
         return scores
+
+    def _span_scores(
+        self, database: int, metric: CorrectnessMetric
+    ) -> np.ndarray:
+        """Best-set score per span atom, for the vectorizable metrics.
+
+        Valid for the partial metric or k = 1 (where the best set reads
+        straight off the overridden marginals); cached per database.
+        """
+        key = (database, metric)
+        scores_span = self._scores_memo.get(key)
+        if scores_span is None:
+            batch = self._override_marginals_all(database)
+            if self._k == 1:
+                scores_span = batch.max(axis=1)
+            else:
+                boundary = self._n - self._k
+                top = np.partition(batch, boundary, axis=1)[:, boundary:]
+                scores_span = np.minimum(1.0, top.mean(axis=1))
+            self._scores_memo[key] = scores_span
+        return scores_span
+
+    def _all_span_scores(self, metric: CorrectnessMetric) -> np.ndarray:
+        """Best-set score of every atom's override, as one (m,) array.
+
+        When the stacked override batch fits the element budget the
+        per-row reduction (max for k = 1, top-(k)-mean otherwise) runs
+        once over the full (m, n) matrix — each row is exactly the row
+        the per-database :meth:`_span_scores` slices see, so the scores
+        are bitwise identical to the per-database route used otherwise.
+        """
+        within_budget = (
+            self._num_atoms * self._num_atoms * self._k
+            <= self._BATCH_ALL_LIMIT
+        )
+        if within_budget:
+            if self._batch_all is None:
+                self._override_batch_all()
+            batch_all = self._batch_all
+            if self._k == 1:
+                return batch_all.max(axis=1)
+            boundary = self._n - self._k
+            top = np.partition(batch_all, boundary, axis=1)[:, boundary:]
+            return np.minimum(1.0, top.mean(axis=1))
+        scores_all = np.empty(self._num_atoms, dtype=np.float64)
+        for i in range(self._n):
+            scores_all[
+                int(self._db_atom_start[i]) : int(self._db_atom_stop[i])
+            ] = self._span_scores(i, metric)
+        return scores_all
+
+    def usefulness_sweep(
+        self, metric: CorrectnessMetric, negligible: float = 0.0
+    ) -> np.ndarray | None:
+        """Greedy usefulness of probing each database, in one array pass.
+
+        Entry i is what :class:`~repro.core.policies.
+        GreedyUsefulnessPolicy` computes per candidate: the expectation
+        over database i's atoms of the best post-probe expected
+        correctness, with atoms of probability below *negligible*
+        contributing their probability alone. Returns ``None`` when no
+        whole-sweep path exists — on a non-vectorized backend, or for
+        the absolute metric with 1 < k < n (per-atom answer-set search) —
+        in which case callers fall back to the per-database route.
+        Zero-mass atoms of collapsed databases contribute exactly 0
+        either way, so the sweep matches the per-database accumulation
+        float for float.
+        """
+        if not self._backend.vectorized:
+            return None
+        if metric is CorrectnessMetric.ABSOLUTE and 1 < self._k < self._n:
+            return None
+        key = (metric, float(negligible))
+        cached = self._sweep_memo.get(key)
+        if cached is None:
+            if self._k >= self._n:
+                cached = np.ones(self._n)
+            else:
+                scores_all = self._all_span_scores(metric)
+                probs = self._atom_probs
+                contrib = np.where(
+                    probs < negligible, probs, probs * scores_all
+                )
+                starts = np.asarray(self._db_atom_start, dtype=np.intp)
+                cached = np.add.reduceat(contrib, starts)
+            self._sweep_memo[key] = cached
+        return cached
 
     # -- set-level expected correctness ------------------------------------------
 

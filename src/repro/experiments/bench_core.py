@@ -2,27 +2,48 @@
 
 Measures the core operations a deployment pays for on every uncached
 query — RD construction, ``best_set`` for k=1/k=3, ``marginals``, a
-full greedy usefulness sweep, and one end-to-end APro run — on the
-paper testbed, and writes the result as ``BENCH_core.json`` so the perf
-trajectory is tracked in-repo (see docs/PERFORMANCE.md).
+full greedy usefulness sweep, and an end-to-end APro batch over the
+first ``apro_queries`` test queries — on the paper testbed, and writes
+the result as ``BENCH_core.json`` so the perf trajectory is tracked
+in-repo (see docs/PERFORMANCE.md).
 
-The two stages that the incremental-belief-update work optimized
-(usefulness sweep, APro run) are measured twice: once on a **baseline**
-path and once on the **optimized** path (``collapse`` + batched
-leave-one-out scoring). For k = 1 the baseline is
-:class:`_ReferenceSweep` — a self-contained reimplementation of the
-pre-change algorithm (rebuild the rank structure per observation, copy
-the outrank matrix and run one full Poisson-binomial DP per
-hypothetical outcome). The in-tree legacy flags
-(``APro(incremental=False)`` / ``GreedyUsefulnessPolicy(batched=False)``)
-are *not* used for baseline timing because their ``best_set`` calls
-already ride the new leave-one-out caches, which understates the
-pre-change cost; they remain the reference for the **agreement** block,
-which verifies that the incremental path produces identical probe
-orders and answer sets with certainties agreeing to 1e-9 — the
-benchmark doubles as an end-to-end agreement check, which is what the
-CI smoke step asserts. For k > 1 the legacy flags are used for timing
-too (the reference implements only the k = 1 selection rule).
+The two stages the optimization work targets (usefulness sweep, APro
+run) are measured as **three variants**:
+
+* ``baseline`` — the pre-incremental-rework tree. For k = 1 this is
+  :class:`_ReferenceSweep`, a self-contained reimplementation of the
+  original algorithm (rebuild the rank structure per observation, copy
+  the outrank matrix and run one full Poisson-binomial DP per
+  hypothetical outcome). The in-tree legacy flags
+  (``APro(incremental=False)`` / ``GreedyUsefulnessPolicy(batched=False)``)
+  are *not* used for k = 1 baseline timing because their ``best_set``
+  calls already ride the leave-one-out caches, which understates the
+  pre-change cost. For k > 1 the legacy flags are used (the reference
+  implements only the k = 1 selection rule).
+* ``optimized`` — the incremental/batched algorithm on the ``python``
+  oracle backend: the leave-one-out rework without the tensor kernels.
+  This is the variant the v1 reports called "optimized", kept so the
+  committed perf trajectory stays comparable across schema versions.
+* ``backend`` — the same algorithm on the ``numpy`` tensor backend
+  (the process default unless ``REPRO_BACKEND`` says otherwise).
+
+Variant repeats are **interleaved** (baseline, optimized, backend,
+baseline, …) rather than run as back-to-back blocks, so no variant
+enjoys warmer CPU caches / branch predictors than the others; the
+round-robin order is recorded in the scenario's ``repeat_order``.
+Speedups are medians of *per-round* ratios — the two samples of a
+round saw the same machine state, so frequency drift and noisy
+neighbours cancel instead of skewing a ratio of independent medians.
+
+The agreement block doubles as an end-to-end correctness check — the
+incremental path must match a from-scratch rebuild, and the tensor
+backend must match the ``python`` oracle, on probe orders, answer sets,
+and certainties to 1e-9 — and :func:`check_bench_core` turns a
+committed report into a CI perf-regression gate: agreement violations
+are hard failures everywhere, while timing regressions are hard
+failures only when the report and the reference were produced on the
+same host with the same benchmark configuration (and soft warnings
+otherwise, since absolute timings do not transfer across machines).
 
 Timing scenarios mirror ``benchmarks/bench_micro_core.py`` (the
 pytest-benchmark variant of the same hot path) without requiring
@@ -31,6 +52,9 @@ pytest.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import platform
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -38,6 +62,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.backend import default_backend_name
 from repro.core.policies import GreedyUsefulnessPolicy
 from repro.core.probing import APro
 from repro.core.topk import CorrectnessMetric, TopKComputer
@@ -47,18 +72,40 @@ from repro.experiments.setup import PaperSetupConfig, build_paper_context
 
 __all__ = [
     "BENCH_CORE_SCHEMA",
+    "BENCH_CORE_SCHEMA_V1",
     "BenchCoreConfig",
     "run_bench_core",
     "format_bench_core",
     "validate_bench_core",
+    "read_bench_core",
+    "check_bench_core",
 ]
 
 #: Schema tag embedded in (and asserted over) ``BENCH_core.json``.
-BENCH_CORE_SCHEMA = "bench-core/v1"
+BENCH_CORE_SCHEMA = "bench-core/v2"
+
+#: The previous schema; still accepted as a *reference* by the check
+#: gate so a v2 run can be compared against a committed v1 file.
+BENCH_CORE_SCHEMA_V1 = "bench-core/v1"
 
 #: Scenario names every report must contain.
 _SHARED_SCENARIOS = ("rd_build", "best_set_k1", "best_set_k3", "marginals_k3")
 _COMPARED_SCENARIOS = ("usefulness_sweep", "apro_run")
+
+#: Timed variants of each compared scenario, in round-robin order.
+_VARIANTS = ("baseline", "optimized", "backend")
+
+#: Config keys that must match for timings to be comparable at all.
+_COMPARABLE_CONFIG_KEYS = (
+    "scale",
+    "seed",
+    "n_train",
+    "n_test",
+    "k",
+    "threshold",
+    "apro_queries",
+    "databases",
+)
 
 
 @dataclass(frozen=True)
@@ -246,6 +293,16 @@ class _ReferencePolicy:
         return best_db
 
 
+def _summarize(samples: list[float]) -> dict[str, float]:
+    ordered = sorted(samples)
+    p95_index = min(len(ordered), max(1, round(0.95 * len(ordered)))) - 1
+    return {
+        "median_ms": round(statistics.median(ordered), 6),
+        "p95_ms": round(ordered[p95_index], 6),
+        "repeats": len(samples),
+    }
+
+
 def _timeit(fn: Callable[[], object], repeats: int) -> dict[str, float]:
     """Median/p95 wall-clock of *fn* over *repeats* runs, in milliseconds."""
     samples: list[float] = []
@@ -253,59 +310,133 @@ def _timeit(fn: Callable[[], object], repeats: int) -> dict[str, float]:
         started = time.perf_counter()
         fn()
         samples.append((time.perf_counter() - started) * 1000.0)
-    ordered = sorted(samples)
-    p95_index = min(len(ordered), max(1, round(0.95 * len(ordered)))) - 1
+    return _summarize(samples)
+
+
+def _timeit_interleaved(
+    fns: dict[str, Callable[[], object]], repeats: int
+) -> dict[str, dict[str, float]]:
+    """Time several variants round-robin instead of back-to-back.
+
+    Block timing hands later blocks caches and branch predictors warmed
+    by the earlier ones; interleaving gives every variant the same
+    context on every round, so the medians are comparable. Insertion
+    order of *fns* is the round-robin order.
+    """
+    names = list(fns)
+    samples: dict[str, list[float]] = {name: [] for name in names}
+    for _ in range(repeats):
+        for name in names:
+            started = time.perf_counter()
+            fns[name]()
+            samples[name].append((time.perf_counter() - started) * 1000.0)
+    return {name: _summarize(samples[name]) for name in names}, samples
+
+
+def _paired_speedup(
+    samples: dict[str, list[float]], baseline: str, other: str
+) -> float:
+    """Median of per-round baseline/other ratios.
+
+    Rounds are interleaved, so the two samples of one round saw the
+    same machine state; their ratio cancels frequency drift and noisy
+    neighbours that a ratio of independent medians would conflate with
+    the code's actual speedup.
+    """
+    ratios = [
+        b / o if o > 0 else float("inf")
+        for b, o in zip(samples[baseline], samples[other])
+    ]
+    return round(statistics.median(ratios), 3)
+
+
+def _blas_info() -> str:
+    """Best-effort name of the BLAS numpy was built against."""
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "unknown")
+        version = blas.get("version") or ""
+        return f"{name} {version}".strip()
+    except Exception:  # pragma: no cover - numpy build variations
+        return "unknown"
+
+
+def _collect_environment() -> dict[str, object]:
+    """Hardware/software context a perf number is only meaningful in."""
+    host_key = "|".join(
+        (platform.node(), platform.machine(), platform.processor())
+    )
     return {
-        "median_ms": round(statistics.median(ordered), 6),
-        "p95_ms": round(ordered[p95_index], 6),
-        "repeats": repeats,
+        "numpy": np.__version__,
+        "blas": _blas_info(),
+        "backend": default_backend_name(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 0,
+        "host_fingerprint": hashlib.sha256(
+            host_key.encode("utf-8")
+        ).hexdigest()[:16],
     }
 
 
-def _speedup(baseline: dict[str, float], optimized: dict[str, float]) -> float:
-    if optimized["median_ms"] <= 0:
-        return float("inf")
-    return round(baseline["median_ms"] / optimized["median_ms"], 3)
+def _trajectory_agreement(
+    fast: APro, slow: APro, queries, config: BenchCoreConfig
+) -> tuple[bool, bool, float]:
+    """(identical probe orders, identical answer sets, max certainty Δ)."""
+    identical_probe_orders = True
+    identical_answer_sets = True
+    max_certainty_delta = 0.0
+    for query in queries:
+        a = fast.run(query, k=config.k, threshold=config.threshold)
+        b = slow.run(query, k=config.k, threshold=config.threshold)
+        if [(r.index, r.observed) for r in a.records] != [
+            (r.index, r.observed) for r in b.records
+        ]:
+            identical_probe_orders = False
+        if [p.names for p in a.trajectory] != [
+            p.names for p in b.trajectory
+        ]:
+            identical_answer_sets = False
+        for pa, pb in zip(a.trajectory, b.trajectory):
+            max_certainty_delta = max(
+                max_certainty_delta,
+                abs(pa.expected_correctness - pb.expected_correctness),
+            )
+    return identical_probe_orders, identical_answer_sets, max_certainty_delta
 
 
 def _agreement(
     selector, queries, config: BenchCoreConfig
 ) -> dict[str, object]:
-    """Run APro incrementally and via rebuild; compare trajectories."""
+    """Incremental-vs-rebuild and backend-vs-oracle trajectory checks."""
     optimized = APro(selector, policy=GreedyUsefulnessPolicy())
-    baseline = APro(
+    rebuild = APro(
         selector,
         policy=GreedyUsefulnessPolicy(batched=False),
         incremental=False,
     )
-    identical_probe_orders = True
-    identical_answer_sets = True
-    max_certainty_delta = 0.0
-    for query in queries:
-        fast = optimized.run(query, k=config.k, threshold=config.threshold)
-        slow = baseline.run(query, k=config.k, threshold=config.threshold)
-        if [(r.index, r.observed) for r in fast.records] != [
-            (r.index, r.observed) for r in slow.records
-        ]:
-            identical_probe_orders = False
-        if [p.names for p in fast.trajectory] != [
-            p.names for p in slow.trajectory
-        ]:
-            identical_answer_sets = False
-        for a, b in zip(fast.trajectory, slow.trajectory):
-            max_certainty_delta = max(
-                max_certainty_delta,
-                abs(a.expected_correctness - b.expected_correctness),
-            )
+    inc_orders, inc_sets, inc_delta = _trajectory_agreement(
+        optimized, rebuild, queries, config
+    )
+    tensor = APro(selector, backend="numpy")
+    oracle = APro(selector, backend="python")
+    bk_orders, bk_sets, bk_delta = _trajectory_agreement(
+        tensor, oracle, queries, config
+    )
     return {
         "queries": len(queries),
-        "identical_probe_orders": identical_probe_orders,
-        "identical_answer_sets": identical_answer_sets,
-        "max_certainty_delta": float(max_certainty_delta),
+        "identical_probe_orders": inc_orders,
+        "identical_answer_sets": inc_sets,
+        "max_certainty_delta": float(inc_delta),
         "incremental_matches_rebuild": (
-            identical_probe_orders
-            and identical_answer_sets
-            and max_certainty_delta <= 1e-9
+            inc_orders and inc_sets and inc_delta <= 1e-9
+        ),
+        "backend_identical_probe_orders": bk_orders,
+        "backend_identical_answer_sets": bk_sets,
+        "backend_max_certainty_delta": float(bk_delta),
+        "backend_matches_python": (
+            bk_orders and bk_sets and bk_delta <= 1e-9
         ),
     }
 
@@ -330,7 +461,6 @@ def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
     if not context.test_queries:
         raise ConfigurationError("testbed produced no test queries")
     sample_query = context.test_queries[0]
-    apro_query = context.test_queries[min(1, len(context.test_queries) - 1)]
     apro_queries = context.test_queries[: config.apro_queries]
     rds = selector.build_rds(sample_query)
     n = len(rds)
@@ -354,10 +484,10 @@ def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
         lambda: TopKComputer(rds, min(3, n)).marginals(), repeats
     )
 
-    def sweep_fast() -> None:
+    def sweep_on(backend: str) -> None:
         # One fresh computer per sweep: the usefulness of every
         # database, exactly what one APro policy round evaluates.
-        computer = TopKComputer(rds, config.k)
+        computer = TopKComputer(rds, config.k, backend=backend)
         policy = GreedyUsefulnessPolicy()
         for database in range(n):
             policy.usefulness(computer, database, CorrectnessMetric.ABSOLUTE)
@@ -373,44 +503,65 @@ def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
     else:
 
         def sweep_slow() -> None:
-            computer = TopKComputer(rds, config.k)
+            computer = TopKComputer(rds, config.k, backend="python")
             policy = GreedyUsefulnessPolicy(batched=False)
             for database in range(n):
                 policy.usefulness(computer, database, CorrectnessMetric.ABSOLUTE)
 
         baseline_policy = GreedyUsefulnessPolicy(batched=False)
 
-    sweep_optimized = _timeit(sweep_fast, repeats)
-    sweep_baseline = _timeit(sweep_slow, repeats)
+    sweep_times, sweep_samples = _timeit_interleaved(
+        {
+            "baseline": sweep_slow,
+            "optimized": lambda: sweep_on("python"),
+            "backend": lambda: sweep_on("numpy"),
+        },
+        repeats,
+    )
     scenarios["usefulness_sweep"] = {
-        "baseline": sweep_baseline,
-        "optimized": sweep_optimized,
-        "speedup_median": _speedup(sweep_baseline, sweep_optimized),
+        **sweep_times,
+        "speedup_median": _paired_speedup(
+            sweep_samples, "baseline", "optimized"
+        ),
+        "speedup_backend_median": _paired_speedup(
+            sweep_samples, "baseline", "backend"
+        ),
+        "repeat_order": list(_VARIANTS),
     }
 
-    apro_optimized_runner = APro(selector)
-    apro_baseline_runner = APro(
-        selector,
-        policy=baseline_policy,
-        incremental=False,
-    )
+    apro_runners = {
+        "baseline": APro(selector, policy=baseline_policy, incremental=False),
+        "optimized": APro(selector, backend="python"),
+        "backend": APro(selector, backend="numpy"),
+    }
+
+    def apro_batch(runner: APro) -> None:
+        # A batch over the first ``apro_queries`` test queries, not a
+        # single cherry-picked one: per-query round counts vary a lot
+        # (some queries satisfy the threshold from the prior, others
+        # probe half the mediator), so a single query's fixed costs
+        # would dominate whichever way it leans. The batch is the
+        # workload a deployment actually pays for.
+        for query in apro_queries:
+            runner.run(query, k=config.k, threshold=config.threshold)
+
     apro_repeats = max(1, repeats // 2)
-    apro_optimized = _timeit(
-        lambda: apro_optimized_runner.run(
-            apro_query, k=config.k, threshold=config.threshold
-        ),
-        apro_repeats,
-    )
-    apro_baseline = _timeit(
-        lambda: apro_baseline_runner.run(
-            apro_query, k=config.k, threshold=config.threshold
-        ),
+    apro_times, apro_samples = _timeit_interleaved(
+        {
+            name: (lambda runner=runner: apro_batch(runner))
+            for name, runner in apro_runners.items()
+        },
         apro_repeats,
     )
     scenarios["apro_run"] = {
-        "baseline": apro_baseline,
-        "optimized": apro_optimized,
-        "speedup_median": _speedup(apro_baseline, apro_optimized),
+        **apro_times,
+        "speedup_median": _paired_speedup(
+            apro_samples, "baseline", "optimized"
+        ),
+        "speedup_backend_median": _paired_speedup(
+            apro_samples, "baseline", "backend"
+        ),
+        "repeat_order": list(_VARIANTS),
     }
 
     report: dict[str, object] = {
@@ -426,6 +577,7 @@ def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
             "apro_queries": config.apro_queries,
             "databases": n,
         },
+        "environment": _collect_environment(),
         "scenarios": scenarios,
         "agreement": _agreement(selector, apro_queries, config),
     }
@@ -433,10 +585,10 @@ def run_bench_core(config: BenchCoreConfig | None = None) -> dict[str, object]:
 
 
 def validate_bench_core(report: dict[str, object]) -> None:
-    """Assert the report matches the bench-core/v1 schema.
+    """Assert the report matches the bench-core/v2 schema.
 
     Raises :class:`~repro.exceptions.ReproError` on any violation —
-    the CI smoke step runs this plus the agreement flag.
+    the CI smoke step runs this plus the agreement flags.
     """
     if report.get("schema") != BENCH_CORE_SCHEMA:
         raise ReproError(
@@ -456,24 +608,181 @@ def validate_bench_core(report: dict[str, object]) -> None:
             raise ReproError(f"scenario {name!r} malformed: {entry!r}")
     for name in _COMPARED_SCENARIOS:
         entry = scenarios.get(name)
-        if not isinstance(entry, dict) or not {
-            "baseline",
-            "optimized",
-            "speedup_median",
-        } <= set(entry):
+        if not isinstance(entry, dict) or not (
+            set(_VARIANTS)
+            | {"speedup_median", "speedup_backend_median", "repeat_order"}
+        ) <= set(entry):
             raise ReproError(f"scenario {name!r} malformed: {entry!r}")
     agreement = report.get("agreement")
-    if not isinstance(agreement, dict) or "incremental_matches_rebuild" not in agreement:
-        raise ReproError("report has no agreement section")
+    if not isinstance(agreement, dict) or not {
+        "incremental_matches_rebuild",
+        "backend_matches_python",
+    } <= set(agreement):
+        raise ReproError("report has no complete agreement section")
+    environment = report.get("environment")
+    if not isinstance(environment, dict) or not {
+        "numpy",
+        "blas",
+        "backend",
+        "host_fingerprint",
+    } <= set(environment):
+        raise ReproError("report has no complete environment section")
+
+
+def read_bench_core(path: str) -> dict[str, object]:
+    """Load a committed report, accepting both v1 and v2 schemas.
+
+    v1 reports (no environment block, no ``backend`` variant) are
+    returned as-is; :func:`check_bench_core` treats their missing
+    pieces as "unknown hardware" and compares only what both schemas
+    share. Raises :class:`~repro.exceptions.ReproError` when the file
+    is unreadable or carries an unknown schema tag.
+    """
+    import json
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read bench report {path!r}: {exc}") from exc
+    if not isinstance(report, dict):
+        raise ReproError(f"bench report {path!r} is not a JSON object")
+    schema = report.get("schema")
+    if schema not in (BENCH_CORE_SCHEMA, BENCH_CORE_SCHEMA_V1):
+        raise ReproError(
+            f"bench report {path!r} has unsupported schema {schema!r}"
+        )
+    return report
+
+
+def _median_of(entry: object) -> float | None:
+    if isinstance(entry, dict) and isinstance(
+        entry.get("median_ms"), (int, float)
+    ):
+        return float(entry["median_ms"])
+    return None
+
+
+def check_bench_core(
+    report: dict[str, object],
+    reference: dict[str, object] | None,
+    tolerance: float = 1.5,
+) -> tuple[list[str], list[str]]:
+    """Diff a fresh report against a committed reference.
+
+    Returns ``(failures, warnings)``. Failures (CI exits non-zero):
+
+    * an agreement flag in *report* is false — the incremental path or
+      the array backend diverged from its oracle, which no amount of
+      hardware variance excuses;
+    * a scenario median regressed beyond ``tolerance ×`` the reference
+      *and* the reference was produced on the same host with the same
+      benchmark configuration (fingerprint + config keys match);
+    * a paired speedup ratio fell below ``reference / tolerance`` with
+      the same benchmark configuration (any host). The per-round ratios
+      divide out machine state, so unlike absolute milliseconds they do
+      transfer — a drop means the optimized path got *relatively*
+      slower, which is an algorithmic regression.
+
+    On different or unknown hardware the absolute-time regressions come
+    back as warnings instead: milliseconds do not transfer between
+    machines, so they gate nothing but stay visible in the CI log.
+    """
+    if tolerance <= 1.0:
+        raise ConfigurationError("tolerance must be > 1.0")
+    failures: list[str] = []
+    warnings: list[str] = []
+
+    agreement = report.get("agreement")
+    if not isinstance(agreement, dict):
+        agreement = {}
+    for flag in ("incremental_matches_rebuild", "backend_matches_python"):
+        if not agreement.get(flag, False):
+            failures.append(f"agreement flag {flag} is false")
+
+    if reference is None:
+        return failures, warnings
+
+    report_env = report.get("environment")
+    ref_env = reference.get("environment")
+    same_host = bool(
+        isinstance(report_env, dict)
+        and isinstance(ref_env, dict)
+        and report_env.get("host_fingerprint")
+        and report_env.get("host_fingerprint")
+        == ref_env.get("host_fingerprint")
+    )
+    report_config = report.get("config") or {}
+    ref_config = reference.get("config") or {}
+    same_config = all(
+        report_config.get(key) == ref_config.get(key)
+        for key in _COMPARABLE_CONFIG_KEYS
+    )
+    gate_perf = same_host and same_config
+
+    def compare(label: str, ref_entry: object, new_entry: object) -> None:
+        ref_median = _median_of(ref_entry)
+        new_median = _median_of(new_entry)
+        if ref_median is None or new_median is None or ref_median <= 0:
+            return
+        if new_median > tolerance * ref_median:
+            message = (
+                f"{label}: {new_median:.3f} ms vs reference "
+                f"{ref_median:.3f} ms (> {tolerance:.2f}x)"
+            )
+            (failures if gate_perf else warnings).append(message)
+
+    def compare_ratio(label: str, ref_entry: dict, new_entry: dict, key: str) -> None:
+        ref_ratio = ref_entry.get(key)
+        new_ratio = new_entry.get(key)
+        if not isinstance(ref_ratio, (int, float)) or not isinstance(
+            new_ratio, (int, float)
+        ):
+            return
+        if float(new_ratio) < float(ref_ratio) / tolerance:
+            message = (
+                f"{label}/{key}: {float(new_ratio):.2f}x vs reference "
+                f"{float(ref_ratio):.2f}x (< 1/{tolerance:.2f})"
+            )
+            (failures if same_config else warnings).append(message)
+
+    ref_scenarios = reference.get("scenarios")
+    new_scenarios = report.get("scenarios")
+    if isinstance(ref_scenarios, dict) and isinstance(new_scenarios, dict):
+        for name in _SHARED_SCENARIOS:
+            compare(name, ref_scenarios.get(name), new_scenarios.get(name))
+        for name in _COMPARED_SCENARIOS:
+            ref_entry = ref_scenarios.get(name)
+            new_entry = new_scenarios.get(name)
+            if not isinstance(ref_entry, dict) or not isinstance(
+                new_entry, dict
+            ):
+                continue
+            for variant in _VARIANTS:
+                compare(
+                    f"{name}/{variant}",
+                    ref_entry.get(variant),
+                    new_entry.get(variant),
+                )
+            for key in ("speedup_median", "speedup_backend_median"):
+                compare_ratio(name, ref_entry, new_entry, key)
+    return failures, warnings
 
 
 def format_bench_core(report: dict[str, object]) -> str:
     """Human-readable summary of a bench-core report."""
     scenarios = report["scenarios"]
     agreement = report["agreement"]
+    environment = report.get("environment", {})
     lines = [
         f"databases            : {report['config']['databases']}",
         f"repeats              : {report['config']['repeats']}",
+        (
+            "environment          : "
+            f"numpy {environment.get('numpy', '?')} "
+            f"({environment.get('blas', '?')}), "
+            f"backend {environment.get('backend', '?')}"
+        ),
     ]
     for name in _SHARED_SCENARIOS:
         entry = scenarios[name]
@@ -484,14 +793,21 @@ def format_bench_core(report: dict[str, object]) -> str:
     for name in _COMPARED_SCENARIOS:
         entry = scenarios[name]
         lines.append(
-            f"{name:<21}: {entry['optimized']['median_ms']:.3f} ms median "
-            f"(baseline {entry['baseline']['median_ms']:.3f} ms, "
-            f"{entry['speedup_median']:.2f}x)"
+            f"{name:<21}: {entry['backend']['median_ms']:.3f} ms median "
+            f"(python {entry['optimized']['median_ms']:.3f} ms, "
+            f"baseline {entry['baseline']['median_ms']:.3f} ms, "
+            f"{entry['speedup_backend_median']:.2f}x over baseline)"
         )
     lines.append(
         "incremental==rebuild : "
         f"{agreement['incremental_matches_rebuild']} "
         f"(max certainty delta {agreement['max_certainty_delta']:.2e} "
         f"over {agreement['queries']} queries)"
+    )
+    lines.append(
+        "backend==python      : "
+        f"{agreement['backend_matches_python']} "
+        f"(max certainty delta "
+        f"{agreement['backend_max_certainty_delta']:.2e})"
     )
     return "\n".join(lines)

@@ -28,6 +28,7 @@ import time
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field, replace
 
+from repro.core.backend import default_backend_name, get_backend
 from repro.core.deadline import Deadline
 from repro.core.probing import APro
 from repro.core.selection import RDBasedSelector
@@ -147,6 +148,16 @@ class ServiceConfig:
     trace_buffer:
         Ring-buffer capacity in span records (oldest evicted beyond
         it; evictions count in ``trace_spans_dropped``).
+    backend:
+        Numeric backend name for the probabilistic core (see
+        :mod:`repro.core.backend`). ``None`` (the default) resolves the
+        registry default — the ``REPRO_BACKEND`` env knob, falling back
+        to ``numpy``. Validated at construction: an unknown name fails
+        here, not on the first request. The resolved name reaches every
+        APro the service builds, including pool workers, and is
+        reported in :meth:`MetasearchService.snapshot`. Backends are
+        answer-invariant (the equality contract pins them to the
+        ``python`` oracle), so this knob trades speed, never results.
     """
 
     max_workers: int = 8
@@ -169,6 +180,7 @@ class ServiceConfig:
     trace: bool | None = None
     trace_stderr: bool = False
     trace_buffer: int = 2048
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         # Validate everything here, at construction, so a bad value
@@ -276,6 +288,15 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"trace_buffer must be >= 1, got {self.trace_buffer}"
             )
+        if self.backend is None:
+            # Registry default: use_backend override > REPRO_BACKEND >
+            # numpy. Raises ConfigurationError when the env names an
+            # unregistered backend.
+            object.__setattr__(self, "backend", default_backend_name())
+        else:
+            # Resolve through the registry so an unknown name fails at
+            # construction; store the canonical (lowercased) name.
+            object.__setattr__(self, "backend", get_backend(self.backend).name)
 
 
 @dataclass(frozen=True)
@@ -357,12 +378,17 @@ class MetasearchService:
             sleeper=sleeper,
         )
         self._apro = APro(
-            selector, policy=metasearcher.policy, prober=self._executor
+            selector,
+            policy=metasearcher.policy,
+            prober=self._executor,
+            backend=self._config.backend,
         )
         # The fingerprinted state blob is built whether or not the pool
         # is enabled: it names the model version in cache keys and is
         # what a hot swap refreshes.
-        self._blob = build_worker_blob(metasearcher)
+        self._blob = build_worker_blob(
+            metasearcher, backend=self._config.backend
+        )
         self._pool: SelectionPool | None = None
         if self._config.pool_workers > 0:
             self._pool = SelectionPool(
@@ -561,7 +587,10 @@ class MetasearchService:
         )
         prober = self._apro.prober
         self._apro = APro(
-            new_selector, policy=self._metasearcher.policy, prober=prober
+            new_selector,
+            policy=self._metasearcher.policy,
+            prober=prober,
+            backend=self._config.backend,
         )
         if self._observations is not None and hasattr(prober, "retarget"):
             prober.retarget(new_selector)
@@ -638,7 +667,7 @@ class MetasearchService:
         deadline: Deadline | None,
     ) -> ServedAnswer:
         started = time.perf_counter()
-        with span("service.analyze"):
+        with span("service.analyze", backend=self._config.backend):
             analyzed = self._metasearcher.analyze(query)
         analyze_ms = (time.perf_counter() - started) * 1000.0
         searcher_config = self._metasearcher.config
@@ -837,6 +866,9 @@ class MetasearchService:
             }
         if self._adaptation is not None:
             out["adaptation"] = self._adaptation.snapshot()
+        # Always present so switching numeric backends never changes
+        # the snapshot's top-level key-set.
+        out["backend"] = self._config.backend
         # Always present (even with tracing off) so enabling tracing
         # never changes the snapshot's top-level key-set.
         out["trace"] = {

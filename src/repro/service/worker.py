@@ -153,6 +153,11 @@ class WorkerStateBlob:
     policy: ProbePolicy
     fingerprint: str
     incremental: bool = True
+    # Numeric backend for the worker-side APro. Deliberately NOT part
+    # of the fingerprint: backends are answer-invariant (the equality
+    # contract pins them to the ``python`` oracle), so switching one
+    # must not retire cache entries or mark worker state stale.
+    backend: str | None = None
 
 
 def _state_fingerprint(
@@ -181,12 +186,16 @@ def _state_fingerprint(
     return hashlib.sha256(canonical.encode()).hexdigest()[:16]
 
 
-def build_worker_blob(metasearcher) -> WorkerStateBlob:
+def build_worker_blob(
+    metasearcher, backend: str | None = None
+) -> WorkerStateBlob:
     """Extract the read-only selection state of a trained metasearcher.
 
     Raises whatever the trained-state accessors raise on an untrained
     instance. The blob is what the pool pickles into every worker at
     spawn time — per-request payloads never repeat any of it.
+    *backend* names the numeric backend worker-side APros run on
+    (``None`` = each worker resolves its own registry default).
     """
     selector = metasearcher.selector
     classifier = selector.classifier
@@ -216,6 +225,7 @@ def build_worker_blob(metasearcher) -> WorkerStateBlob:
         estimator=selector.estimator,
         policy=metasearcher.policy,
         fingerprint=fingerprint,
+        backend=backend,
     )
 
 
@@ -297,6 +307,7 @@ def _rebuild_apro(blob: WorkerStateBlob, conn) -> APro:
         policy=blob.policy,
         prober=ConnProber(conn),
         incremental=blob.incremental,
+        backend=blob.backend,
     )
 
 

@@ -46,7 +46,7 @@ class DiscreteDistribution:
             raise DistributionError("values must be strictly ascending")
         self._values = values
         self._probs = np.clip(probs, 0.0, None) / max(total, _PROB_TOLERANCE)
-        self._cumulative = np.cumsum(self._probs)
+        self._cumulative = None
 
     # -- factories ----------------------------------------------------------
 
@@ -82,10 +82,38 @@ class DiscreteDistribution:
     @classmethod
     def impulse(cls, value: float) -> "DiscreteDistribution":
         """The degenerate distribution concentrated at *value*."""
-        return cls(
-            np.array([float(value)], dtype=np.float64),
-            np.array([1.0], dtype=np.float64),
-        )
+        # Direct construction: the validating path reproduces exactly
+        # these arrays for a single unit atom, and impulses are built in
+        # bulk on the probing hot path (one per observation/collapse).
+        self = object.__new__(cls)
+        self._values = np.array([float(value)], dtype=np.float64)
+        self._probs = np.array([1.0], dtype=np.float64)
+        self._cumulative = None
+        return self
+
+    @classmethod
+    def _from_trusted_weights(
+        cls, values: np.ndarray, weights: np.ndarray
+    ) -> "DiscreteDistribution":
+        """Construct from pre-merged, pre-sorted (value, weight) arrays.
+
+        Internal fast path for the batched RD builder: *values* must be
+        strictly ascending and *weights* positive — exactly what
+        :meth:`from_pairs` would produce after its merge — so the
+        validation scans are skipped. The normalization arithmetic
+        replicates :meth:`from_pairs` + ``__init__`` operation for
+        operation, keeping the result bitwise identical to the checked
+        route.
+        """
+        self = object.__new__(cls)
+        probs = weights / weights.sum()
+        total = float(probs.sum())
+        self._values = values
+        # ``__init__``'s clip is an identity here (positive weights give
+        # strictly positive probs), so skipping it keeps the bits.
+        self._probs = probs / max(total, _PROB_TOLERANCE)
+        self._cumulative = None
+        return self
 
     # -- atoms --------------------------------------------------------------
 
@@ -117,6 +145,14 @@ class DiscreteDistribution:
         """True when all mass sits on a single value."""
         return len(self._values) == 1
 
+    def _cum(self) -> np.ndarray:
+        # Cumulative mass, built on first need: the probing hot path
+        # constructs thousands of RDs per second and touches cdf/sample
+        # on almost none of them.
+        if self._cumulative is None:
+            self._cumulative = np.cumsum(self._probs)
+        return self._cumulative
+
     # -- moments and probabilities -------------------------------------------
 
     def mean(self) -> float:
@@ -138,7 +174,7 @@ class DiscreteDistribution:
         idx = int(np.searchsorted(self._values, x, side="right"))
         if idx == 0:
             return 0.0
-        return float(self._cumulative[idx - 1])
+        return float(self._cum()[idx - 1])
 
     def sf(self, x: float) -> float:
         """P[X > x] (strict)."""
@@ -161,7 +197,7 @@ class DiscreteDistribution:
 
     def sample(self, rng: np.random.Generator, count: int = 1) -> np.ndarray:
         """Draw *count* i.i.d. values."""
-        positions = np.searchsorted(self._cumulative, rng.random(count))
+        positions = np.searchsorted(self._cum(), rng.random(count))
         positions = np.minimum(positions, len(self._values) - 1)
         return self._values[positions]
 

@@ -37,6 +37,7 @@ class Histogram:
         self._edges = edge_array
         self._counts = np.zeros(len(edge_array) - 1, dtype=np.int64)
         self._sums = np.zeros(len(edge_array) - 1, dtype=np.float64)
+        self._total = 0
 
     # -- population ---------------------------------------------------------
 
@@ -45,6 +46,7 @@ class Histogram:
         idx = self._bin_index(float(value))
         self._counts[idx] += 1
         self._sums[idx] += float(value)
+        self._total += 1
 
     def add_all(self, values: Iterable[float]) -> None:
         """Insert every sample from *values*."""
@@ -78,6 +80,7 @@ class Histogram:
             raise DistributionError("bin counts must be non-negative")
         histogram._counts = counts_array
         histogram._sums = sums_array
+        histogram._total = int(counts_array.sum())
         return histogram
 
     # -- accessors ----------------------------------------------------------
@@ -105,8 +108,8 @@ class Histogram:
 
     @property
     def total(self) -> int:
-        """Total number of inserted samples."""
-        return int(self._counts.sum())
+        """Total number of inserted samples (running count, O(1))."""
+        return self._total
 
     @property
     def num_bins(self) -> int:
@@ -150,6 +153,7 @@ class Histogram:
         merged = Histogram(self._edges)
         merged._counts = self._counts + other._counts
         merged._sums = self._sums + other._sums
+        merged._total = self._total + other._total
         return merged
 
     def __repr__(self) -> str:

@@ -139,3 +139,20 @@ def sample_documents():
         Document(3, "the sports game season was exciting"),
         Document(4, "cancer research funding for cancer trials"),
     ]
+
+
+@pytest.fixture(scope="module", params=["numpy", "python"])
+def numeric_backend(request):
+    """Run a module's tests under each registered numeric backend.
+
+    Opt in with ``pytestmark = pytest.mark.usefixtures("numeric_backend")``
+    (the ``test_topk*`` modules do): every test then runs once with the
+    tensor backend and once with the row-wise oracle, so a kernel bug
+    that only one formulation has cannot hide behind the default.
+    Module-scoped so hypothesis tests stay clear of the
+    function-scoped-fixture health check.
+    """
+    from repro.core import use_backend
+
+    with use_backend(request.param):
+        yield request.param

@@ -1,0 +1,221 @@
+"""Backend registry semantics and numpy-vs-python kernel equality.
+
+The tensor backend's contract is not "close enough": it must produce
+the *same selections and probe orders* as the row-wise oracle, with
+certainty deltas within 1e-9. The property sweep here drives both
+backends through randomized belief states — ragged supports, one-atom
+(impulse) RDs, every k from 1 to n, in-support and out-of-support
+collapses — and asserts marginals, override batches, collapse results
+and best sets agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import use_backend
+from repro.core.backend import (
+    BACKEND_ENV,
+    ArrayBackend,
+    NumpyBackend,
+    PythonBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.topk import CorrectnessMetric, TopKComputer
+from repro.exceptions import ConfigurationError
+from repro.stats.distribution import DiscreteDistribution as D
+
+
+class TestRegistry:
+    def test_builtin_backends_present(self):
+        assert {"numpy", "python"} <= set(available_backends())
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert default_backend_name() == "numpy"
+        assert isinstance(get_backend(), NumpyBackend)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert default_backend_name() == "python"
+        assert isinstance(get_backend(), PythonBackend)
+
+    def test_env_unknown_name_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cuda-imaginary")
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            default_backend_name()
+
+    def test_get_backend_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            get_backend("no-such-backend")
+
+    def test_use_backend_nests_and_restores(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        with use_backend("python"):
+            assert default_backend_name() == "python"
+            with use_backend("numpy"):
+                assert default_backend_name() == "numpy"
+            assert default_backend_name() == "python"
+        assert default_backend_name() == "numpy"
+
+    def test_use_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        with use_backend("python"):
+            assert default_backend_name() == "python"
+
+    def test_instance_passthrough_and_caching(self):
+        instance = get_backend("python")
+        assert get_backend(instance) is instance
+        assert get_backend("python") is instance
+
+    def test_register_custom_backend(self):
+        class Tagged(PythonBackend):
+            name = "tagged"
+
+        try:
+            register_backend("tagged", Tagged)
+            assert "tagged" in available_backends()
+            assert isinstance(get_backend("tagged"), Tagged)
+            computer = TopKComputer(
+                [D.from_pairs([(1.0, 0.5), (2.0, 0.5)]), D.impulse(1.5)],
+                1,
+                backend="tagged",
+            )
+            assert computer.best_set(CorrectnessMetric.ABSOLUTE)
+        finally:
+            unregister_backend("tagged")
+        assert "tagged" not in available_backends()
+
+    def test_register_duplicate_requires_replace(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend("numpy", NumpyBackend)
+        # replace=True is how the builtins themselves are (re)installed.
+        register_backend("numpy", NumpyBackend, replace=True)
+        assert isinstance(get_backend("numpy"), NumpyBackend)
+
+    def test_backend_is_abstract(self):
+        with pytest.raises(TypeError):
+            ArrayBackend()  # type: ignore[abstract]
+
+
+# -- the equality sweep ------------------------------------------------------
+
+
+def _random_rds(rng: np.random.Generator, n: int):
+    """Ragged random RDs; roughly one in five databases is an impulse."""
+    rds = []
+    for _ in range(n):
+        size = 1 if rng.random() < 0.2 else int(rng.integers(2, 6))
+        values = np.sort(
+            rng.choice(np.arange(0, 300, dtype=np.float64), size, replace=False)
+        )
+        weights = rng.random(size) + 0.05
+        rds.append(D.from_pairs(zip(values.tolist(), weights.tolist())))
+    return rds
+
+
+def _computers(rds, k):
+    with use_backend("python"):
+        oracle = TopKComputer(rds, k)
+    tensor = TopKComputer(rds, k, backend="numpy")
+    return oracle, tensor
+
+
+def _assert_same_belief(oracle, tensor, metric, trial):
+    m_oracle = oracle.marginals()
+    m_tensor = tensor.marginals()
+    assert np.max(np.abs(m_oracle - m_tensor)) <= 1e-9, trial
+    set_oracle, score_oracle = oracle.best_set(metric)
+    set_tensor, score_tensor = tensor.best_set(metric)
+    assert set_oracle == set_tensor, trial
+    assert abs(score_oracle - score_tensor) <= 1e-9, trial
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(seed=st.integers(0, 2**31 - 1))
+def test_backends_agree_on_random_belief_states(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    k = int(rng.integers(1, n + 1))
+    metric = (
+        CorrectnessMetric.ABSOLUTE
+        if rng.random() < 0.5
+        else CorrectnessMetric.PARTIAL
+    )
+    rds = _random_rds(rng, n)
+    oracle, tensor = _computers(rds, k)
+    _assert_same_belief(oracle, tensor, metric, seed)
+
+    # Override batch: every hypothetical outcome of one database, i.e.
+    # exactly what a usefulness sweep evaluates.
+    database = int(rng.integers(0, n))
+    start = sum(rd.support_size for rd in rds[:database])
+    for atom in range(start, start + rds[database].support_size):
+        override = (database, atom)
+        set_o, score_o = oracle.best_set(metric, override=override)
+        set_t, score_t = tensor.best_set(metric, override=override)
+        assert set_o == set_t, (seed, override)
+        assert abs(score_o - score_t) <= 1e-9, (seed, override)
+
+    # Collapse on an observation, in-support or not, then re-compare the
+    # evolved computers (including a second collapse on the new state).
+    if rng.random() < 0.5:
+        observed = float(rng.choice(rds[database].values))
+    else:
+        observed = float(rng.random() * 400.0)
+    oracle2 = oracle.collapse(database, observed)
+    tensor2 = tensor.collapse(database, observed)
+    _assert_same_belief(oracle2, tensor2, metric, seed)
+    database2 = int(rng.integers(0, n))
+    observed2 = float(rng.random() * 400.0)
+    _assert_same_belief(
+        oracle2.collapse(database2, observed2),
+        tensor2.collapse(database2, observed2),
+        metric,
+        seed,
+    )
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_backends_agree_on_all_impulses(k):
+    rds = [D.impulse(float(v)) for v in (5.0, 1.0, 9.0)]
+    oracle, tensor = _computers(rds, k)
+    for metric in CorrectnessMetric:
+        _assert_same_belief(oracle, tensor, metric, ("impulse", k, metric))
+
+
+def test_backends_agree_after_out_of_support_collapse_chain():
+    rng = np.random.default_rng(2004)
+    rds = _random_rds(rng, 5)
+    oracle, tensor = _computers(rds, 2)
+    # Walk a probe chain where every observation falls outside the
+    # observed database's support (midpoint rank insertion each time).
+    for database, observed in ((0, 311.5), (3, 0.25), (1, 150.75)):
+        oracle = oracle.collapse(database, observed)
+        tensor = tensor.collapse(database, observed)
+        for metric in CorrectnessMetric:
+            _assert_same_belief(oracle, tensor, metric, (database, observed))
+
+
+def test_usefulness_sweep_matches_across_backends():
+    from repro.core.policies import GreedyUsefulnessPolicy
+
+    rng = np.random.default_rng(7)
+    rds = _random_rds(rng, 6)
+    oracle, tensor = _computers(rds, 1)
+    policy = GreedyUsefulnessPolicy()
+    for database in range(len(rds)):
+        u_oracle = policy.usefulness(
+            oracle, database, CorrectnessMetric.ABSOLUTE
+        )
+        u_tensor = policy.usefulness(
+            tensor, database, CorrectnessMetric.ABSOLUTE
+        )
+        assert u_oracle == pytest.approx(u_tensor, abs=1e-9)

@@ -13,6 +13,9 @@ from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.exceptions import SelectionError
 from repro.stats.distribution import DiscreteDistribution as D
 
+# Every test in this module runs under both numeric backends.
+pytestmark = pytest.mark.usefixtures("numeric_backend")
+
 
 def paper_example4_rds():
     """The RDs of the paper's Example 4 / Fig. 5(d).

@@ -18,6 +18,9 @@ from repro.core.policies import GreedyUsefulnessPolicy
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.stats.distribution import DiscreteDistribution as D
 
+# Every test in this module runs under both numeric backends.
+pytestmark = pytest.mark.usefixtures("numeric_backend")
+
 ATOL = 1e-9
 
 

@@ -19,6 +19,9 @@ from repro.core.correctness import rank_by_relevancy
 from repro.core.topk import CorrectnessMetric, TopKComputer
 from repro.stats.distribution import DiscreteDistribution as D
 
+# Every test in this module runs under both numeric backends.
+pytestmark = pytest.mark.usefixtures("numeric_backend")
+
 
 def brute_force_topk_stats(rds, k):
     """Exact marginals and set probabilities by joint enumeration."""
