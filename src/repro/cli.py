@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-metasearch``.
 
-Ten commands:
+Twelve commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
@@ -28,7 +28,14 @@ Ten commands:
   latency (see ``docs/GATEWAY.md``);
 * ``bench-drift`` — replay a topic-shifting corpus against an adapting
   vs. a frozen service and write ``BENCH_drift.json`` (see
-  ``docs/ADAPTATION.md``).
+  ``docs/ADAPTATION.md``);
+* ``cluster``     — run a sharded multi-replica cluster: N subprocess
+  replicas behind a consistent-hash router, with an optional shared
+  selection-cache tier (see ``docs/CLUSTER.md``);
+* ``bench-cluster`` — benchmark the cluster: QPS across 1/2/4
+  replicas with answers proven identical to a single node, cursor
+  paging, a cross-replica cache-tier hit, and a mid-burst replica
+  kill, written to ``BENCH_cluster.json`` (see ``docs/CLUSTER.md``).
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -434,6 +441,136 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "exit non-zero unless coalescing collapsed duplicates and "
             "overload shed cleanly (CI smoke mode)"
+        ),
+    )
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run N replicas behind a consistent-hash router",
+    )
+    cluster.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help=(
+            "replica processes to spawn (default reads "
+            "REPRO_CLUSTER_REPLICAS, falling back to 2)"
+        ),
+    )
+    cluster.add_argument(
+        "--host", default="127.0.0.1", help="router listen address"
+    )
+    cluster.add_argument(
+        "--port",
+        type=int,
+        default=7071,
+        help="router listen port (0 = ephemeral)",
+    )
+    cluster.add_argument(
+        "--batch", type=int, default=16, help="probes per APro round"
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="per-replica probe thread-pool width",
+    )
+    cluster.add_argument(
+        "--pool",
+        type=int,
+        default=0,
+        help="per-replica selection-pool processes (0 = in-process)",
+    )
+    cluster.add_argument(
+        "--max-inflight",
+        type=int,
+        default=8,
+        help="per-replica concurrent backend requests",
+    )
+    cluster.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        help="per-replica admitted queue depth (beyond = shed)",
+    )
+    cluster.add_argument(
+        "--no-cache-tier",
+        action="store_true",
+        help="run without the shared selection-cache tier",
+    )
+    cluster.add_argument(
+        "--cache-tier-address",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "point replicas at an externally-run cache tier instead of "
+            "owning one"
+        ),
+    )
+    cluster.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "mint router.request root spans and serve the collected "
+            "cross-process span trees on the router's trace op"
+        ),
+    )
+
+    bench_cluster = subparsers.add_parser(
+        "bench-cluster",
+        help=(
+            "benchmark cluster scaling, cache-tier sharing, cursors, "
+            "and mid-burst failover"
+        ),
+    )
+    bench_cluster.add_argument("--k", type=int, default=3)
+    bench_cluster.add_argument("--certainty", type=float, default=0.9)
+    bench_cluster.add_argument(
+        "--batch", type=int, default=16, help="probes per APro round"
+    )
+    bench_cluster.add_argument(
+        "--unique",
+        type=int,
+        default=12,
+        help="unique queries in each burst",
+    )
+    bench_cluster.add_argument(
+        "--repeats",
+        type=int,
+        default=6,
+        help="times each unique query repeats in a scaling burst",
+    )
+    bench_cluster.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="client requests in flight at once",
+    )
+    bench_cluster.add_argument(
+        "--replica-counts",
+        default="1,2,4",
+        help="comma-separated cluster sizes to measure (default 1,2,4)",
+    )
+    bench_cluster.add_argument(
+        "--failover-requests",
+        type=int,
+        default=48,
+        help="burst length of the replica-kill phase",
+    )
+    bench_cluster.add_argument(
+        "--out",
+        default="BENCH_cluster.json",
+        help="path of the report JSON (default BENCH_cluster.json)",
+    )
+    bench_cluster.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless every cluster answer matched the "
+            "single-node baseline, a cache-tier hit served across "
+            "replicas, and the mid-burst kill lost or duplicated zero "
+            "requests; QPS scaling gates apply only on >= 4-core hosts "
+            "(CI smoke mode)"
         ),
     )
 
@@ -996,6 +1133,123 @@ def _cmd_bench_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+
+    from repro.cluster import (
+        CLUSTER_REPLICAS_ENV,
+        LocalCluster,
+        ReplicaSpec,
+        RouterConfig,
+    )
+
+    replicas = args.replicas
+    if replicas is None:
+        replicas = int(os.environ.get(CLUSTER_REPLICAS_ENV, "") or 2)
+    spec = ReplicaSpec(
+        scale=args.scale,
+        seed=args.seed,
+        n_train=args.train_queries,
+        n_test=args.test_queries,
+        batch_size=args.batch,
+        max_workers=args.workers,
+        pool_workers=args.pool,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+
+    async def run() -> None:
+        print(
+            f"Starting {replicas} replica(s) (scale={args.scale}, "
+            f"each rebuilds identical trained state)...",
+            flush=True,
+        )
+        async with LocalCluster(
+            replicas=replicas,
+            spec=spec,
+            cache_tier=not args.no_cache_tier,
+            cache_tier_address=args.cache_tier_address,
+            router_config=RouterConfig(
+                host=args.host, port=args.port, trace=args.trace
+            ),
+        ) as cluster:
+            tier = (
+                "no cache tier"
+                if cluster.tier is None and args.cache_tier_address is None
+                else f"cache tier at "
+                f"{args.cache_tier_address or cluster.tier.address}"
+            )
+            print(
+                f"Router listening on {cluster.host}:{cluster.port} "
+                f"(gateway/v1; {replicas} replicas, {tier}; "
+                f"Ctrl-C to drain and stop)",
+                flush=True,
+            )
+            assert cluster.router is not None
+            await cluster.router.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("\nDrained; cluster stopped.")
+    return 0
+
+
+def _cmd_bench_cluster(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.cluster import (
+        BenchClusterConfig,
+        format_bench_cluster,
+        run_bench_cluster,
+        validate_bench_cluster,
+    )
+
+    counts = _parse_int_list(args.replica_counts, "--replica-counts")
+    print(
+        f"Benchmarking cluster (scale={args.scale}, replica counts "
+        f"{list(counts)}, {args.unique}x{args.repeats} requests per "
+        f"burst)...",
+        flush=True,
+    )
+    report = run_bench_cluster(
+        BenchClusterConfig(
+            scale=args.scale,
+            seed=args.seed,
+            n_train=args.train_queries,
+            n_test=args.test_queries,
+            k=args.k,
+            certainty=args.certainty,
+            batch_size=args.batch,
+            unique_queries=args.unique,
+            repeats=args.repeats,
+            concurrency=args.concurrency,
+            replica_counts=counts,
+            failover_requests=args.failover_requests,
+        )
+    )
+    print(format_bench_cluster(report))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Report written to {args.out}")
+    if args.check:
+        failures = validate_bench_cluster(report)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        gated = (
+            "identity, cursors, shared cache, failover, and QPS scaling"
+            if report["cpu_count"] >= 4
+            else "identity, cursors, shared cache, and failover "
+            f"(QPS gates skipped on this {report['cpu_count']}-core host)"
+        )
+        print(f"check passed: {gated}")
+    return 0
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
 
@@ -1189,6 +1443,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench-core": _cmd_bench_core,
         "bench-gateway": _cmd_bench_gateway,
         "bench-drift": _cmd_bench_drift,
+        "cluster": _cmd_cluster,
+        "bench-cluster": _cmd_bench_cluster,
     }
     try:
         return handlers[args.command](args)

@@ -1,0 +1,447 @@
+"""`cache/v1`: the cross-replica selection-cache tier.
+
+One replica's :class:`~repro.service.cache.SelectionCache` only helps
+callers that land on that replica. The cache tier is the shared L2
+behind every replica's L1: a tiny TCP server holding full-quality
+answers keyed by ``(state_fingerprint, query_key)``, so the first
+replica to compute a selection serves it to the whole cluster — any
+replica's hit is everyone's hit. Because replicas of one model are
+bit-identical by the determinism contract, an answer computed anywhere
+is *the* answer everywhere; the fingerprint in the key is what makes a
+hot swap retire stale entries wholesale instead of serving them.
+
+The protocol is the gateway's idiom shrunk to a cache: one JSON object
+per line, ``v: "cache/v1"``, ops ``get`` / ``put`` / ``stats`` /
+``ping``, responses matched by ``id``.
+
+Request::
+
+    {"v": "cache/v1", "id": 3, "op": "get", "key": "..."}
+    {"v": "cache/v1", "id": 4, "op": "put", "key": "...", "value": {...}}
+
+Response::
+
+    {"v": "cache/v1", "id": 3, "ok": true, "result": {"hit": true,
+     "value": {...}}}
+
+:class:`CacheTierClient` is deliberately synchronous and pessimistic —
+it runs inside the service's serve threads, where the tier must be an
+optimization, never a dependency: every failure (refused connection,
+timeout, torn socket, malformed reply) returns a miss / dropped put and
+is counted, and the connection is re-established lazily on the next
+call. A dead cache tier degrades the cluster to per-replica caching,
+nothing worse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+
+from repro.exceptions import ConfigurationError, ReproError
+from repro.service.cache import SelectionCache
+from repro.service.server import ServedAnswer
+from repro.types import Query
+
+__all__ = [
+    "CACHE_PROTOCOL_VERSION",
+    "CacheTierServer",
+    "CacheTierClient",
+    "answer_key",
+    "encode_answer",
+    "decode_answer",
+    "parse_address",
+]
+
+CACHE_PROTOCOL_VERSION = "cache/v1"
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split a ``host:port`` string, validating the port."""
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(
+            f"cache tier address must be 'host:port', got {address!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"cache tier port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 < port < 65536:
+        raise ConfigurationError(
+            f"cache tier port must be in (0, 65536), got {port}"
+        )
+    return host, port
+
+
+# -- the shared key/value codec ------------------------------------------------
+
+
+def answer_key(
+    fingerprint: str,
+    query: Query,
+    k: int,
+    certainty: float,
+    metric_name: str,
+) -> str:
+    """The wire form of the L1 cache key — same identity, one string.
+
+    ``repr(float)`` round-trips exactly, so two replicas computing the
+    key for the same request produce the same bytes.
+    """
+    return json.dumps(
+        [fingerprint, list(query.terms), k, repr(certainty), metric_name],
+        separators=(",", ":"),
+    )
+
+
+def encode_answer(answer: ServedAnswer) -> dict:
+    """The JSON-able payload of one cacheable (full-quality) answer.
+
+    Only the deterministic fields travel; timing and hit flags are
+    per-serve and re-stamped on the receiving side. Degraded answers
+    must not be offered — they are never cached at any tier.
+    """
+    if answer.degraded is not None:
+        raise ReproError("a degraded answer must never enter the cache tier")
+    return {
+        "selected": list(answer.selected),
+        "certainty": answer.certainty,
+        "probes": answer.probes,
+        "probe_order": list(answer.probe_order),
+    }
+
+
+def decode_answer(
+    value: object,
+    query: Query,
+    k: int,
+    certainty_required: float,
+) -> ServedAnswer | None:
+    """Rebuild a :class:`ServedAnswer` from a tier hit.
+
+    Defensive: a malformed value (old format, truncated write) returns
+    ``None`` — a miss — instead of raising into the serve path.
+    """
+    if not isinstance(value, dict):
+        return None
+    try:
+        selected = tuple(str(name) for name in value["selected"])
+        reached = float(value["certainty"])
+        probes = int(value["probes"])
+        probe_order = tuple(str(name) for name in value["probe_order"])
+    except (KeyError, TypeError, ValueError):
+        return None
+    return ServedAnswer(
+        query=query,
+        k=k,
+        certainty_required=certainty_required,
+        selected=selected,
+        certainty=reached,
+        probes=probes,
+        cache_hit=True,
+        wall_ms=0.0,
+        degraded=None,
+        probe_order=probe_order,
+    )
+
+
+# -- server --------------------------------------------------------------------
+
+
+class CacheTierServer:
+    """The shared L2: an asyncio TCP server around a ``SelectionCache``.
+
+    Values are opaque JSON objects; the store reuses the serving
+    layer's TTL+LRU cache, so the tier inherits its sweep semantics and
+    its ``hits`` / ``misses`` / ``evictions`` / ``expirations``
+    counters (surfaced through the ``stats`` op).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ttl_s: float | None = 300.0,
+        max_entries: int = 4096,
+        max_line_bytes: int = 1 << 20,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._max_line_bytes = max_line_bytes
+        self._store = SelectionCache(ttl_s=ttl_s, max_entries=max_entries)
+        self._server: asyncio.AbstractServer | None = None
+        self._gets = 0
+        self._puts = 0
+
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ReproError("cache tier already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._port,
+            limit=self._max_line_bytes,
+        )
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise ReproError("cache tier is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+
+    async def __aenter__(self) -> "CacheTierServer":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def stats(self) -> dict:
+        """Store counters plus op counts, one JSON-able mapping."""
+        stats = self._store.stats()
+        return {
+            "gets": self._gets,
+            "puts": self._puts,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "evictions": stats.evictions,
+            "expirations": stats.expirations,
+            "size": stats.size,
+        }
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    break  # oversized line: drop the connection
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                writer.write(self._respond(line))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _respond(self, line: bytes) -> bytes:
+        request_id = None
+        try:
+            payload = json.loads(line)
+            if not isinstance(payload, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = payload.get("id")
+            if payload.get("v") != CACHE_PROTOCOL_VERSION:
+                raise ValueError(
+                    f"expected v={CACHE_PROTOCOL_VERSION!r}, "
+                    f"got {payload.get('v')!r}"
+                )
+            result = self._dispatch(payload)
+        except Exception as error:  # noqa: BLE001 - protocol boundary
+            body = {
+                "v": CACHE_PROTOCOL_VERSION,
+                "id": request_id,
+                "ok": False,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        else:
+            body = {
+                "v": CACHE_PROTOCOL_VERSION,
+                "id": request_id,
+                "ok": True,
+                "result": result,
+            }
+        return (
+            json.dumps(
+                body, sort_keys=True, separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+            + b"\n"
+        )
+
+    def _dispatch(self, payload: dict) -> dict:
+        op = payload.get("op")
+        if op == "ping":
+            return {"pong": True}
+        if op == "stats":
+            return self.stats()
+        key = payload.get("key")
+        if not isinstance(key, str) or not key:
+            raise ValueError(f"'key' must be a non-empty string, got {key!r}")
+        if op == "get":
+            self._gets += 1
+            value = self._store.get(key)
+            if value is None:
+                return {"hit": False}
+            return {"hit": True, "value": value}
+        if op == "put":
+            self._puts += 1
+            value = payload.get("value")
+            if not isinstance(value, dict):
+                raise ValueError(
+                    f"'value' must be an object, got {type(value).__name__}"
+                )
+            self._store.put(key, value)
+            return {"stored": True}
+        raise ValueError(f"unsupported op {op!r}")
+
+
+# -- client --------------------------------------------------------------------
+
+
+class CacheTierClient:
+    """Blocking, failure-absorbing client for one cache tier.
+
+    Thread-safe (one socket, one lock — tier round trips are tiny
+    compared to a probe session, so serialization is not the
+    bottleneck). Every network or protocol failure closes the socket,
+    bumps :attr:`errors`, and surfaces as a miss (``get``) or a dropped
+    write (``put``); the next call reconnects. The serve path must
+    never block on a sick tier, hence the short default timeout.
+    """
+
+    def __init__(self, address: str, timeout_s: float = 1.0) -> None:
+        self._host, self._port = parse_address(address)
+        if timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {timeout_s}"
+            )
+        self._timeout_s = timeout_s
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._file = None
+        self._next_id = 0
+        self._errors = 0
+
+    @property
+    def address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    @property
+    def errors(self) -> int:
+        """Failed round trips absorbed so far."""
+        return self._errors
+
+    def get(self, key: str) -> dict | None:
+        """The stored value, or ``None`` on miss *or any failure*."""
+        result = self._call({"op": "get", "key": key})
+        if (
+            isinstance(result, dict)
+            and result.get("hit")
+            and isinstance(result.get("value"), dict)
+        ):
+            return result["value"]
+        return None
+
+    def put(self, key: str, value: dict) -> bool:
+        """Store a value; ``False`` when the write was dropped."""
+        result = self._call({"op": "put", "key": key, "value": value})
+        return isinstance(result, dict) and bool(result.get("stored"))
+
+    def stats(self) -> dict | None:
+        """Server-side counters, or ``None`` when unreachable."""
+        result = self._call({"op": "stats"})
+        return result if isinstance(result, dict) else None
+
+    def ping(self) -> bool:
+        """Whether the tier answers right now."""
+        result = self._call({"op": "ping"})
+        return isinstance(result, dict) and bool(result.get("pong"))
+
+    def close(self) -> None:
+        with self._lock:
+            self._teardown()
+
+    def __enter__(self) -> "CacheTierClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _call(self, request: dict) -> dict | None:
+        with self._lock:
+            try:
+                return self._roundtrip(request)
+            except Exception:  # noqa: BLE001 - absorb, count, degrade
+                self._errors += 1
+                self._teardown()
+                return None
+
+    def _roundtrip(self, request: dict) -> dict | None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self._host, self._port), timeout=self._timeout_s
+            )
+            self._file = self._sock.makefile("rb")
+        self._next_id += 1
+        request = {
+            "v": CACHE_PROTOCOL_VERSION,
+            "id": self._next_id,
+            **request,
+        }
+        self._sock.sendall(
+            json.dumps(
+                request, separators=(",", ":"), allow_nan=False
+            ).encode("utf-8")
+            + b"\n"
+        )
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("cache tier closed the connection")
+        response = json.loads(line)
+        if (
+            not isinstance(response, dict)
+            or response.get("id") != self._next_id
+        ):
+            raise ValueError(f"mismatched cache tier response: {response!r}")
+        if not response.get("ok"):
+            raise ValueError(str(response.get("error", "cache tier error")))
+        result = response.get("result")
+        return result if isinstance(result, dict) else None
+
+    def _teardown(self) -> None:
+        if self._file is not None:
+            with contextlib.suppress(Exception):
+                self._file.close()
+            self._file = None
+        if self._sock is not None:
+            with contextlib.suppress(Exception):
+                self._sock.close()
+            self._sock = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheTierClient({self.address}, "
+            f"connected={self._sock is not None}, errors={self._errors})"
+        )

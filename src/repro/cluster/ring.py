@@ -1,0 +1,117 @@
+"""Consistent hashing: the router's shard map.
+
+Requests shard by their ``(query, k, certainty)`` fingerprint, so the
+router sends every repeat of a request to the same replica — which is
+what concentrates single-flight coalescing and L1 cache hits per shard
+instead of diluting them across the cluster. Consistent hashing (each
+replica owns many virtual points on a ring; a key belongs to the first
+point at or after its own hash) is what keeps a membership change
+cheap: losing one of N replicas re-maps only ~1/N of the key space,
+so the surviving replicas keep almost all of their warm caches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections.abc import Iterable
+
+from repro.exceptions import ConfigurationError, ReproError
+
+__all__ = ["ConsistentHashRing", "request_fingerprint"]
+
+
+def request_fingerprint(query: str, k: int, certainty: float) -> str:
+    """The routing identity of one search request.
+
+    The same triple the gateway coalesces on (minus its local-only
+    partitions), stringified exactly — ``repr`` round-trips floats —
+    so every router instance maps a request identically.
+    """
+    return f"{query}\x1f{k}\x1f{certainty!r}"
+
+
+def _point(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha1(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRing:
+    """A hash ring over named nodes with virtual points.
+
+    Deterministic: the mapping is a pure function of the member names,
+    independent of insertion order — two routers that agree on
+    membership agree on every assignment.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), points_per_node: int = 64
+    ) -> None:
+        if points_per_node < 1:
+            raise ConfigurationError(
+                f"points_per_node must be >= 1, got {points_per_node}"
+            )
+        self._points_per_node = points_per_node
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for name in nodes:
+            self.add(name)
+
+    @property
+    def nodes(self) -> tuple[str, ...]:
+        """Current members, sorted."""
+        return tuple(sorted(self._nodes))
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def add(self, name: str) -> None:
+        """Add a node (idempotent)."""
+        if not name:
+            raise ConfigurationError("node name must be non-empty")
+        if name in self._nodes:
+            return
+        self._nodes.add(name)
+        for index in range(self._points_per_node):
+            point = _point(f"{name}#{index}")
+            # A hash collision between two nodes' points is vanishingly
+            # unlikely (64-bit points); first owner keeps the point so
+            # the mapping stays deterministic even then.
+            if point not in self._owners:
+                self._owners[point] = name
+                bisect.insort(self._points, point)
+
+    def remove(self, name: str) -> None:
+        """Remove a node (idempotent); its keys re-map to successors."""
+        if name not in self._nodes:
+            return
+        self._nodes.discard(name)
+        self._points = [
+            point for point in self._points if self._owners[point] != name
+        ]
+        self._owners = {
+            point: owner
+            for point, owner in self._owners.items()
+            if owner != name
+        }
+
+    def node(self, key: str) -> str:
+        """The owner of *key*: first ring point at or after its hash."""
+        if not self._points:
+            raise ReproError("hash ring is empty: no replicas available")
+        point = _point(key)
+        index = bisect.bisect_left(self._points, point)
+        if index == len(self._points):
+            index = 0  # wrap: the ring is circular
+        return self._owners[self._points[index]]
+
+    def __repr__(self) -> str:
+        return (
+            f"ConsistentHashRing(nodes={len(self._nodes)}, "
+            f"points={len(self._points)})"
+        )

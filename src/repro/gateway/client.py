@@ -14,19 +14,41 @@ error with ``retry_after_ms`` rather than a dict to pick apart.
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import threading
 from collections.abc import Coroutine
 
 from repro.exceptions import ReproError
 from repro.gateway.protocol import (
     PROTOCOL_VERSION,
+    ErrorCode,
     GatewayError,
     decode,
     encode,
     error_from_payload,
 )
 
-__all__ = ["GatewayClient", "SyncGatewayClient"]
+__all__ = ["GatewayClient", "SyncGatewayClient", "retry_backoff_s"]
+
+
+def retry_backoff_s(
+    retry_after_ms: float | None, attempt: int, seed_text: str
+) -> float:
+    """Back-off before retry *attempt* (1-based) of a shed request.
+
+    At least the gateway's ``retry_after_ms`` hint, times a
+    deterministic jitter factor in [1.0, 1.25) hashed from
+    ``(seed_text, attempt)`` — so a herd of clients retrying the same
+    shed burst de-synchronizes (each seeds with its own query/identity)
+    while any one client's schedule is exactly reproducible. Mirrors
+    the order-independent retry jitter of the probe executor.
+    """
+    base_ms = 50.0 if retry_after_ms is None else float(retry_after_ms)
+    digest = hashlib.sha1(
+        f"{seed_text}:{attempt}".encode("utf-8")
+    ).digest()
+    fraction = int.from_bytes(digest[:4], "big") / 2**32
+    return (base_ms / 1000.0) * (1.0 + 0.25 * fraction)
 
 
 class GatewayClient:
@@ -109,20 +131,41 @@ class GatewayClient:
         finally:
             self._pending.pop(request_id, None)
 
+    async def call(self, request: dict) -> object:
+        """Send one pre-built op payload (no ``v``/``id``), raw result.
+
+        The escape hatch routers and tests use to forward or craft
+        requests the convenience wrappers do not model — the version
+        envelope and response matching are still handled here, and
+        ``ok: false`` still raises the typed :class:`GatewayError`.
+        """
+        return await self._call(dict(request))
+
     async def search(
         self,
         query: str,
         k: int,
         certainty: float = 0.0,
         deadline_ms: float | None = None,
+        cursor: bool = False,
+        retry_overloaded: int = 0,
     ) -> dict:
         """One selection request; returns the ``result`` object.
 
         The result has a deterministic ``"answer"`` (selected databases,
         certainty reached, probes spent, degradation marker) and a
         timing-dependent ``"served"`` (cache/coalesce flags, wall time).
-        Raises :class:`GatewayError` on typed failures (overloaded,
-        shutting down, bad request...).
+        With ``cursor=True`` it also carries a ``"handle"`` —
+        ``{"run_id", "cursor", "total"}`` — for paging the per-database
+        detail through :meth:`fetch`. Raises :class:`GatewayError` on
+        typed failures (overloaded, shutting down, bad request...).
+
+        ``retry_overloaded`` opts into bounded back-off on shed
+        (``overloaded``) responses: up to that many retries, each
+        sleeping the gateway's ``retry_after_ms`` hint times a
+        deterministic jitter (:func:`retry_backoff_s`). Other error
+        codes never retry — a draining gateway or a bad request will
+        not get better by waiting.
         """
         request: dict = {
             "op": "search",
@@ -132,7 +175,53 @@ class GatewayClient:
         }
         if deadline_ms is not None:
             request["deadline_ms"] = deadline_ms
+        if cursor:
+            request["cursor"] = True
+        attempt = 0
+        while True:
+            try:
+                result = await self._call(dict(request))
+            except GatewayError as error:
+                if (
+                    error.code is not ErrorCode.OVERLOADED
+                    or attempt >= retry_overloaded
+                ):
+                    raise
+                attempt += 1
+                await asyncio.sleep(
+                    retry_backoff_s(error.retry_after_ms, attempt, query)
+                )
+                continue
+            if not isinstance(result, dict):
+                raise ReproError(f"malformed gateway result: {result!r}")
+            return result
+
+    async def fetch(
+        self, run_id: str, cursor: str | None = None, limit: int = 256
+    ) -> dict:
+        """One page of a server-held result set (see ``cursor=True``).
+
+        Returns ``{"run_id", "rows", "cursor", "done", "total"}``;
+        ``cursor`` is the opaque token for the next page, ``None`` once
+        ``done``. Raises ``not_found`` when the handle expired or was
+        evicted.
+        """
+        request: dict = {"op": "fetch", "run_id": run_id, "limit": limit}
+        if cursor is not None:
+            request["cursor"] = cursor
         result = await self._call(request)
+        if not isinstance(result, dict):
+            raise ReproError(f"malformed gateway result: {result!r}")
+        return result
+
+    async def stats(self) -> dict:
+        """The one-request telemetry export.
+
+        ``{"service": <metrics snapshot>, "gateway": <front-end
+        state>, "trace": <summary>}`` — everything a poller scrapes,
+        in one round trip.
+        """
+        result = await self._call({"op": "stats"})
         if not isinstance(result, dict):
             raise ReproError(f"malformed gateway result: {result!r}")
         return result
@@ -242,13 +331,30 @@ class SyncGatewayClient:
         k: int,
         certainty: float = 0.0,
         deadline_ms: float | None = None,
+        cursor: bool = False,
+        retry_overloaded: int = 0,
     ) -> dict:
         """Blocking :meth:`GatewayClient.search`."""
         return self._run(
             self._client.search(
-                query, k, certainty=certainty, deadline_ms=deadline_ms
+                query,
+                k,
+                certainty=certainty,
+                deadline_ms=deadline_ms,
+                cursor=cursor,
+                retry_overloaded=retry_overloaded,
             )
         )
+
+    def fetch(
+        self, run_id: str, cursor: str | None = None, limit: int = 256
+    ) -> dict:
+        """Blocking :meth:`GatewayClient.fetch`."""
+        return self._run(self._client.fetch(run_id, cursor, limit))
+
+    def stats(self) -> dict:
+        """Blocking :meth:`GatewayClient.stats`."""
+        return self._run(self._client.stats())
 
     def ping(self) -> dict:
         """Blocking :meth:`GatewayClient.ping`."""

@@ -54,9 +54,11 @@ returns the ring buffer's recent span records.
 from __future__ import annotations
 
 import asyncio
+import binascii
 import contextlib
 import contextvars
 import functools
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
@@ -73,7 +75,8 @@ from repro.gateway.protocol import (
     ok_payload,
     parse_request,
 )
-from repro.obs import current_trace_id, span
+from repro.obs import collecting_trace, current_trace_id, span, trace_active
+from repro.service.cache import SelectionCache
 from repro.service.server import MetasearchService, ServedAnswer
 
 __all__ = ["GatewayConfig", "MetasearchGateway"]
@@ -107,6 +110,14 @@ class GatewayConfig:
         cancelling stragglers.
     max_line_bytes:
         Hard bound on one request line (protocol framing guard).
+    cursor_ttl_s:
+        How long a ``(run_id, cursor)`` result set is held server-side
+        before a ``fetch`` gets ``not_found`` (``None`` = no expiry).
+    cursor_entries:
+        Result sets held at once (LRU eviction beyond it).
+    cursor_page_limit:
+        Hard cap on one ``fetch`` page, whatever the client asks for —
+        the wire-payload bound the cursor design exists to keep.
     """
 
     host: str = "127.0.0.1"
@@ -118,6 +129,9 @@ class GatewayConfig:
     coalesce: bool = True
     drain_timeout_s: float = 5.0
     max_line_bytes: int = 64 * 1024
+    cursor_ttl_s: float | None = 300.0
+    cursor_entries: int = 512
+    cursor_page_limit: int = 1024
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -148,6 +162,20 @@ class GatewayConfig:
         if self.max_line_bytes < 1024:
             raise ConfigurationError(
                 f"max_line_bytes must be >= 1024, got {self.max_line_bytes}"
+            )
+        if self.cursor_ttl_s is not None and self.cursor_ttl_s <= 0:
+            raise ConfigurationError(
+                f"cursor_ttl_s must be > 0 (or None for no expiry), "
+                f"got {self.cursor_ttl_s}"
+            )
+        if self.cursor_entries < 1:
+            raise ConfigurationError(
+                f"cursor_entries must be >= 1, got {self.cursor_entries}"
+            )
+        if self.cursor_page_limit < 1:
+            raise ConfigurationError(
+                f"cursor_page_limit must be >= 1, "
+                f"got {self.cursor_page_limit}"
             )
 
 
@@ -180,11 +208,20 @@ class MetasearchGateway:
             "gateway_coalesce_redispatch",
             "gateway_deadline_hits",
             "gateway_degraded_served",
+            "gateway_cursor_handles",
+            "gateway_fetches",
         ):
             self._metrics.counter(name)
         self._metrics.histogram("gateway_request_ms", deterministic=False)
         self._metrics.gauge("gateway_inflight")
         self._metrics.gauge("gateway_queue_depth")
+        # Server-held result sets for handle-based cursors: run_id ->
+        # per-database row list, TTL + LRU bounded so an abandoned
+        # handle can never grow memory unboundedly.
+        self._results = SelectionCache(
+            ttl_s=self._config.cursor_ttl_s,
+            max_entries=self._config.cursor_entries,
+        )
         self._server: asyncio.AbstractServer | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._semaphore: asyncio.Semaphore | None = None
@@ -396,12 +433,29 @@ class MetasearchGateway:
                         "spans": self._service.trace_spans(request.limit),
                     },
                 )
+            elif request.op == "stats":
+                payload = ok_payload(request_id, self._stats())
+            elif request.op == "fetch":
+                payload = ok_payload(request_id, self._fetch(request))
+            elif request.trace is not None:
+                # A routed request (see repro.cluster): adopt the
+                # router's trace position, collect every span this
+                # request opens — gateway, service, pool, probes — and
+                # ship them back in the response, where the router
+                # replays them into its own tree. The same protocol the
+                # selection pool uses across its process boundary.
+                with collecting_trace(request.trace) as records:
+                    result = await self._traced_search(request)
+                result["served"]["spans"] = records
+                payload = ok_payload(request_id, result)
             else:
                 result = await self._traced_search(request)
                 payload = ok_payload(request_id, result)
         except asyncio.CancelledError:
             raise
         except GatewayError as error:
+            if request_id is None:
+                request_id = error.request_id  # parse failed past the id
             payload = error_payload(
                 request_id, error.code, str(error), error.retry_after_ms
             )
@@ -430,11 +484,24 @@ class MetasearchGateway:
         :meth:`_search`.
         """
         tracer = self._service.tracer
-        if tracer is None:
+        if tracer is None and not trace_active():
             return await self._search(request)
-        with tracer.trace(
-            "gateway.request", fingerprint=self._service.state_fingerprint
-        ) as root:
+        # A routed request arrives with the router's trace adopted
+        # (collecting_trace in _process): open gateway.request as a
+        # *child* of the router's span instead of minting a new root,
+        # so one tree covers router -> replica gateway -> pool.
+        context = (
+            span(
+                "gateway.request",
+                fingerprint=self._service.state_fingerprint,
+            )
+            if trace_active()
+            else tracer.trace(
+                "gateway.request",
+                fingerprint=self._service.state_fingerprint,
+            )
+        )
+        with context as root:
             try:
                 result = await self._search(request)
             except GatewayError as error:
@@ -456,9 +523,13 @@ class MetasearchGateway:
             if leader_future is not None:
                 # Follower: ride the leader's backend call. shield() so a
                 # cancelled follower cannot cancel the shared future out
-                # from under the leader and its other followers.
+                # from under the leader and its other followers. The
+                # leader's handle is shared too: the result set is a
+                # pure function of the request, and paging is stateless
+                # (the cursor encodes the offset), so any number of
+                # followers can page one run_id independently.
                 self._metrics.counter("gateway_coalesced").inc()
-                answer = await asyncio.shield(leader_future)
+                answer, handle = await asyncio.shield(leader_future)
                 if answer.degraded == "deadline" and (
                     deadline is None or not deadline.expired
                 ):
@@ -471,16 +542,24 @@ class MetasearchGateway:
                         "gateway_coalesce_redispatch"
                     ).inc()
                     answer = await self._admit_and_serve(request, deadline)
+                    handle = self._make_handle(request, answer)
                     return self._result(
-                        answer, started, coalesced=True, redispatched=True
+                        answer,
+                        started,
+                        coalesced=True,
+                        redispatched=True,
+                        handle=handle,
                     )
-                return self._result(answer, started, coalesced=True)
+                return self._result(
+                    answer, started, coalesced=True, handle=handle
+                )
             future: asyncio.Future = (
                 asyncio.get_running_loop().create_future()
             )
             self._calls_inflight[request.coalesce_key] = future
             try:
                 answer = await self._admit_and_serve(request, deadline)
+                handle = self._make_handle(request, answer)
             except BaseException as error:
                 # Followers receive the same outcome (a shed leader sheds
                 # its followers too — they arrived in the same overload).
@@ -491,12 +570,17 @@ class MetasearchGateway:
                     future.exception()  # consumed here; don't warn on GC
                 raise
             else:
-                future.set_result(answer)
+                future.set_result((answer, handle))
             finally:
                 del self._calls_inflight[request.coalesce_key]
-            return self._result(answer, started, coalesced=False)
+            return self._result(
+                answer, started, coalesced=False, handle=handle
+            )
         answer = await self._admit_and_serve(request, deadline)
-        return self._result(answer, started, coalesced=False)
+        handle = self._make_handle(request, answer)
+        return self._result(
+            answer, started, coalesced=False, handle=handle
+        )
 
     def _result(
         self,
@@ -504,6 +588,7 @@ class MetasearchGateway:
         started: float,
         coalesced: bool,
         redispatched: bool = False,
+        handle: dict | None = None,
     ) -> dict:
         wall_ms = (time.perf_counter() - started) * 1000.0
         self._metrics.histogram(
@@ -523,9 +608,102 @@ class MetasearchGateway:
         trace_id = current_trace_id()
         if trace_id is not None:
             served["trace_id"] = trace_id
-        return {
+        result: dict[str, object] = {
             "answer": answer_payload(answer),
             "served": served,
+        }
+        if handle is not None:
+            result["handle"] = handle
+        return result
+
+    # -- result cursors --------------------------------------------------------
+
+    def _make_handle(
+        self, request: GatewayRequest, answer: ServedAnswer
+    ) -> dict | None:
+        """Park the per-database detail server-side, return its handle.
+
+        Only on ``cursor: true`` searches. The rows (one per database:
+        name, RD estimate, selected/probed flags) can dwarf the answer
+        payload at federated scale — the handle keeps the search
+        response bounded and lets the client page at its own rate.
+        """
+        if not request.cursor_requested:
+            return None
+        rows = self._service.result_detail(answer)
+        run_id = binascii.hexlify(os.urandom(8)).decode("ascii")
+        self._results.put(run_id, rows)
+        self._metrics.counter("gateway_cursor_handles").inc()
+        return {"run_id": run_id, "cursor": "c0", "total": len(rows)}
+
+    def _fetch(self, request: GatewayRequest) -> dict:
+        """One page of a server-held result set."""
+        self._metrics.counter("gateway_fetches").inc()
+        rows = self._results.get(request.run_id)
+        if rows is None:
+            raise GatewayError(
+                ErrorCode.NOT_FOUND,
+                f"run_id {request.run_id!r} unknown (expired, evicted, "
+                f"or never issued)",
+            )
+        cursor = request.cursor or "c0"
+        if not cursor.startswith("c"):
+            raise GatewayError(
+                ErrorCode.BAD_REQUEST, f"malformed cursor {cursor!r}"
+            )
+        try:
+            offset = int(cursor[1:], 16)
+        except ValueError:
+            raise GatewayError(
+                ErrorCode.BAD_REQUEST, f"malformed cursor {cursor!r}"
+            ) from None
+        if offset < 0 or offset > len(rows):
+            raise GatewayError(
+                ErrorCode.BAD_REQUEST,
+                f"cursor {cursor!r} out of range for {len(rows)} rows",
+            )
+        limit = min(request.limit, self._config.cursor_page_limit)
+        page = rows[offset : offset + limit]
+        next_offset = offset + len(page)
+        done = next_offset >= len(rows)
+        return {
+            "run_id": request.run_id,
+            "rows": page,
+            "cursor": None if done else f"c{next_offset:x}",
+            "done": done,
+            "total": len(rows),
+        }
+
+    # -- stats -----------------------------------------------------------------
+
+    def _stats(self) -> dict:
+        """The one-request telemetry export: service + gateway + trace.
+
+        Everything the ``metrics`` and ``trace`` ops return separately,
+        plus gateway-local state the snapshot cannot see, in a single
+        round trip — what a poller scrapes.
+        """
+        tracer = self._service.tracer
+        spans = self._service.trace_spans(None) if tracer else []
+        span_names: dict[str, int] = {}
+        for record in spans:
+            name = str(record.get("name"))
+            span_names[name] = span_names.get(name, 0) + 1
+        return {
+            "service": self._service.snapshot(),
+            "gateway": {
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "queued": self._admitted - self._inflight,
+                "open_tasks": len(self._tasks),
+                "listening": self._server is not None,
+                "results_held": len(self._results),
+            },
+            "trace": {
+                "enabled": tracer is not None,
+                "buffered": len(spans),
+                "span_names": span_names,
+            },
         }
 
     def _deadline(self, request: GatewayRequest) -> Deadline | None:

@@ -59,8 +59,11 @@ __all__ = [
 
 PROTOCOL_VERSION = "gateway/v1"
 
-#: Operations a gateway accepts.
-OPS = ("search", "ping", "metrics", "trace")
+#: Operations a gateway accepts. ``fetch`` pages a server-held result
+#: set through an opaque ``(run_id, cursor)`` handle; ``stats`` is the
+#: one-request pull-based telemetry export (service snapshot + gateway
+#: state + trace summary).
+OPS = ("search", "fetch", "ping", "metrics", "trace", "stats")
 
 
 class ErrorCode(str, Enum):
@@ -71,6 +74,7 @@ class ErrorCode(str, Enum):
     UNSUPPORTED_OP = "unsupported_op"
     OVERLOADED = "overloaded"
     SHUTTING_DOWN = "shutting_down"
+    NOT_FOUND = "not_found"
     INTERNAL = "internal"
 
 
@@ -80,7 +84,10 @@ class GatewayError(ReproError):
     Raised server-side to produce an error response, and raised
     client-side when a response carries ``ok: false``. ``retry_after_ms``
     is set on load-shed (``overloaded``) errors: the client should back
-    off at least that long before retrying.
+    off at least that long before retrying. ``request_id`` is set when
+    the failing request's ``id`` was recovered before validation failed
+    — the server must echo it so a pipelining client can match the
+    error to its pending request instead of waiting forever.
     """
 
     def __init__(
@@ -88,18 +95,25 @@ class GatewayError(ReproError):
         code: ErrorCode,
         message: str,
         retry_after_ms: float | None = None,
+        request_id: object = None,
     ) -> None:
         super().__init__(message)
         self.code = ErrorCode(code)
         self.retry_after_ms = retry_after_ms
+        self.request_id = request_id
 
 
 @dataclass(frozen=True)
 class GatewayRequest:
     """One validated `gateway/v1` request.
 
-    ``limit`` applies to the ``trace`` op only: how many recent span
-    records to return.
+    ``limit`` applies to the ``trace`` op (how many recent span records
+    to return) and the ``fetch`` op (page size). ``cursor_requested``
+    asks ``search`` to also build a server-held result set and return
+    its ``(run_id, cursor)`` handle; ``run_id``/``cursor`` address one
+    page of that set on ``fetch``. ``trace`` is a wire-serialized trace
+    position (:func:`repro.obs.wire_context`) a router attaches so the
+    replica's spans join the routed request's tree.
     """
 
     op: str
@@ -109,9 +123,13 @@ class GatewayRequest:
     certainty: float = 0.0
     deadline_ms: float | None = None
     limit: int = 256
+    cursor_requested: bool = False
+    run_id: str | None = None
+    cursor: str | None = None
+    trace: dict | None = None
 
     @property
-    def coalesce_key(self) -> tuple[str | None, int, float, bool]:
+    def coalesce_key(self) -> tuple[str | None, int, float, bool, bool]:
         """Single-flight identity: identical keys ride one backend call.
 
         Partitioned by deadline *presence*: a deadline-free request
@@ -121,9 +139,17 @@ class GatewayRequest:
         deadlines may still coalesce with each other; a follower whose
         own budget remains when the leader's answer arrives degraded
         re-dispatches instead of accepting it (see
-        ``MetasearchGateway._search``).
+        ``MetasearchGateway._search``). Also partitioned by cursor
+        *request*: a caller asking for a result handle must never ride
+        a leader that did not build one.
         """
-        return (self.query, self.k, self.certainty, self.deadline_ms is None)
+        return (
+            self.query,
+            self.k,
+            self.certainty,
+            self.deadline_ms is None,
+            self.cursor_requested,
+        )
 
 
 def _bad(message: str) -> GatewayError:
@@ -144,19 +170,31 @@ def _require_number(
 def parse_request(line: str | bytes) -> GatewayRequest:
     """Validate one request line into a :class:`GatewayRequest`.
 
-    Raises :class:`GatewayError` with a precise code on any defect; the
-    caller turns that into the error response.
+    Raises :class:`GatewayError` with a precise code on any defect. The
+    request ``id`` is recovered before any other validation and
+    attached to the raised error (``error.request_id``), so the caller
+    can address the error response to the request that caused it — a
+    pipelining client matches responses by ``id`` and would otherwise
+    never resolve the failed call.
     """
     payload = decode(line)
+    request_id = payload.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise _bad(f"'id' must be a string or integer, got {request_id!r}")
+    try:
+        return _parse_validated(payload, request_id)
+    except GatewayError as error:
+        error.request_id = request_id
+        raise
+
+
+def _parse_validated(payload: dict, request_id: object) -> GatewayRequest:
     version = payload.get("v")
     if version != PROTOCOL_VERSION:
         raise GatewayError(
             ErrorCode.UNSUPPORTED_VERSION,
             f"expected v={PROTOCOL_VERSION!r}, got {version!r}",
         )
-    request_id = payload.get("id")
-    if request_id is not None and not isinstance(request_id, (str, int)):
-        raise _bad(f"'id' must be a string or integer, got {request_id!r}")
     op = payload.get("op")
     if op not in OPS:
         raise GatewayError(
@@ -168,6 +206,21 @@ def parse_request(line: str | bytes) -> GatewayRequest:
         if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
             raise _bad(f"'limit' must be an integer >= 1, got {limit!r}")
         return GatewayRequest(op=op, id=request_id, limit=limit)
+    if op == "fetch":
+        run_id = payload.get("run_id")
+        if not isinstance(run_id, str) or not run_id:
+            raise _bad(
+                f"'run_id' must be a non-empty string, got {run_id!r}"
+            )
+        cursor = payload.get("cursor")
+        if cursor is not None and not isinstance(cursor, str):
+            raise _bad(f"'cursor' must be a string, got {cursor!r}")
+        limit = payload.get("limit", 256)
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit < 1:
+            raise _bad(f"'limit' must be an integer >= 1, got {limit!r}")
+        return GatewayRequest(
+            op=op, id=request_id, run_id=run_id, cursor=cursor, limit=limit
+        )
     if op != "search":
         return GatewayRequest(op=op, id=request_id)
     query = payload.get("query")
@@ -182,6 +235,21 @@ def parse_request(line: str | bytes) -> GatewayRequest:
     deadline_ms = _require_number(payload, "deadline_ms", None)
     if deadline_ms is not None and deadline_ms < 0:
         raise _bad(f"'deadline_ms' must be >= 0, got {deadline_ms!r}")
+    cursor_requested = payload.get("cursor", False)
+    if not isinstance(cursor_requested, bool):
+        raise _bad(
+            f"'cursor' must be a boolean on search, got {cursor_requested!r}"
+        )
+    trace = payload.get("trace")
+    if trace is not None and not (
+        isinstance(trace, dict)
+        and isinstance(trace.get("trace_id"), str)
+        and isinstance(trace.get("parent_id"), str)
+    ):
+        raise _bad(
+            "'trace' must be an object with string 'trace_id' and "
+            f"'parent_id', got {trace!r}"
+        )
     return GatewayRequest(
         op="search",
         id=request_id,
@@ -189,6 +257,8 @@ def parse_request(line: str | bytes) -> GatewayRequest:
         k=k,
         certainty=certainty,
         deadline_ms=deadline_ms,
+        cursor_requested=cursor_requested,
+        trace=trace,
     )
 
 
@@ -206,6 +276,7 @@ def answer_payload(answer: ServedAnswer) -> dict[str, object]:
         "selected": list(answer.selected),
         "certainty": answer.certainty,
         "probes": answer.probes,
+        "probe_order": list(answer.probe_order),
         "degraded": answer.degraded,
     }
 

@@ -75,6 +75,12 @@ POOL_WORKERS_ENV = "REPRO_POOL_WORKERS"
 #: service constructed in the process: ``REPRO_ADAPT=1 pytest ...``.
 ADAPT_ENV = "REPRO_ADAPT"
 
+#: Env knob: default for ``ServiceConfig.cache_tier`` when left unset.
+#: A ``host:port`` address points every service constructed in the
+#: process at a shared cross-replica selection-cache tier (see
+#: :mod:`repro.cluster.cachetier`): ``REPRO_CACHE_TIER=127.0.0.1:7071``.
+CACHE_TIER_ENV = "REPRO_CACHE_TIER"
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
@@ -97,6 +103,17 @@ class ServiceConfig:
     cache_enabled:
         Turn the selection cache off entirely (benchmarking the raw
         probe path).
+    cache_tier:
+        ``host:port`` of a shared cross-replica selection-cache tier
+        (:class:`repro.cluster.cachetier.CacheTierServer`); the local
+        cache becomes the L1 in front of it. ``None`` (the default)
+        reads the ``REPRO_CACHE_TIER`` env knob, falling back to no
+        tier. The tier is an optimization, never a dependency: every
+        failure degrades to a miss and is counted in
+        ``cache_tier_errors``.
+    cache_tier_timeout_s:
+        Socket timeout on tier round trips (kept short so a sick tier
+        cannot stall the serve path).
     pool_workers:
         Selection-pool width: number of worker *processes* running the
         CPU-bound selection stages (``0`` = in-process selection, the
@@ -166,6 +183,8 @@ class ServiceConfig:
     cache_ttl_s: float | None = 300.0
     cache_entries: int = 4096
     cache_enabled: bool = True
+    cache_tier: str | None = None
+    cache_tier_timeout_s: float = 1.0
     pool_workers: int | None = None
     pool_mode: str = "query"
     pool_tasks_per_worker: int | None = None
@@ -206,6 +225,22 @@ class ServiceConfig:
         if self.cache_entries < 1:
             raise ConfigurationError(
                 f"cache_entries must be >= 1, got {self.cache_entries}"
+            )
+        if self.cache_tier is None:
+            raw = os.environ.get(CACHE_TIER_ENV, "").strip()
+            object.__setattr__(self, "cache_tier", raw or None)
+        if self.cache_tier is not None:
+            # Validate the address shape here, at construction; the
+            # lazy import keeps repro.service free of a module-level
+            # dependency on repro.cluster (which imports the gateway,
+            # which imports this module).
+            from repro.cluster.cachetier import parse_address
+
+            parse_address(self.cache_tier)
+        if self.cache_tier_timeout_s <= 0:
+            raise ConfigurationError(
+                f"cache_tier_timeout_s must be > 0, "
+                f"got {self.cache_tier_timeout_s}"
             )
         if self.pool_workers is None:
             raw = os.environ.get(POOL_WORKERS_ENV, "").strip()
@@ -407,6 +442,16 @@ class MetasearchService:
                 max_entries=self._config.cache_entries,
                 clock=clock,
             )
+        self._cache_tier = None
+        if self._config.cache_tier is not None:
+            # Lazy import for the same layering reason as in
+            # ServiceConfig: repro.cluster imports this module.
+            from repro.cluster.cachetier import CacheTierClient
+
+            self._cache_tier = CacheTierClient(
+                self._config.cache_tier,
+                timeout_s=self._config.cache_tier_timeout_s,
+            )
         # Pre-register every service-level instrument so the exported
         # key-set is identical across clean, faulty and cache-disabled
         # runs — snapshot diffing relies on stable keys.
@@ -414,6 +459,13 @@ class MetasearchService:
             "queries_served",
             "cache_hits",
             "cache_misses",
+            # Cache-tier instruments are registered whether or not a
+            # tier is configured, so pointing a replica at one never
+            # changes the snapshot key-set.
+            "cache_tier_hits",
+            "cache_tier_misses",
+            "cache_tier_puts",
+            "cache_tier_errors",
             # Pool instruments are registered whether or not the pool is
             # enabled, so enabling it never changes the snapshot key-set.
             "pool_dispatch",
@@ -696,6 +748,19 @@ class MetasearchService:
                 self._observe_query(0, wall_ms, hit=True)
                 return replace(cached, cache_hit=True, wall_ms=wall_ms)
             self._metrics.counter("cache_misses").inc()
+        if self._cache_tier is not None:
+            # L2: another replica may have computed this exact answer
+            # already. The round trip is bounded by the tier timeout and
+            # absorbs every failure as a miss, so a sick tier costs
+            # latency on misses, never correctness or availability.
+            tier_answer = self._tier_get(key)
+            if tier_answer is not None:
+                if self._cache is not None:
+                    # Promote to L1 so repeats stay local.
+                    self._cache.put(key, tier_answer)
+                wall_ms = (time.perf_counter() - started) * 1000.0
+                self._observe_query(0, wall_ms, hit=True)
+                return replace(tier_answer, wall_ms=wall_ms)
         apro_started = time.perf_counter()
         selection = self._select(analyzed, k, certainty, deadline)
         ended = time.perf_counter()
@@ -719,11 +784,16 @@ class MetasearchService:
             degraded=degraded,
             probe_order=selection.probe_order,
         )
-        if self._cache is not None and degraded is None:
+        if degraded is None:
             # A deadline-degraded answer would poison the cache: an
             # unhurried repeat of the same request must probe to full
-            # certainty, not inherit the cut-short one.
-            self._cache.put(key, answer)
+            # certainty, not inherit the cut-short one. The same rule
+            # guards the shared tier, where a poisoned entry would
+            # spread to every replica.
+            if self._cache is not None:
+                self._cache.put(key, answer)
+            if self._cache_tier is not None:
+                self._tier_put(key, answer)
         self._observe_query(answer.probes, wall_ms, hit=False)
         if self._adaptation is not None:
             self._adaptation.maybe_step()
@@ -838,6 +908,45 @@ class MetasearchService:
         """Serve a query stream in order."""
         return [self.serve(query, k, certainty) for query in queries]
 
+    def _tier_key(self, key: tuple) -> str:
+        from repro.cluster.cachetier import answer_key
+
+        fingerprint, analyzed, k, certainty, metric_name = key
+        return answer_key(fingerprint, analyzed, k, certainty, metric_name)
+
+    def _tier_get(self, key: tuple) -> ServedAnswer | None:
+        from repro.cluster.cachetier import decode_answer
+
+        with span("service.cache_tier") as tier_span:
+            errors_before = self._cache_tier.errors
+            value = self._cache_tier.get(self._tier_key(key))
+            if self._cache_tier.errors > errors_before:
+                self._metrics.counter("cache_tier_errors").inc()
+            answer = (
+                None
+                if value is None
+                else decode_answer(value, key[1], key[2], key[3])
+            )
+            if answer is None:
+                self._metrics.counter("cache_tier_misses").inc()
+                tier_span.set_outcome("miss")
+            else:
+                self._metrics.counter("cache_tier_hits").inc()
+                tier_span.set_outcome("hit")
+            return answer
+
+    def _tier_put(self, key: tuple, answer: ServedAnswer) -> None:
+        from repro.cluster.cachetier import encode_answer
+
+        errors_before = self._cache_tier.errors
+        stored = self._cache_tier.put(
+            self._tier_key(key), encode_answer(answer)
+        )
+        if self._cache_tier.errors > errors_before:
+            self._metrics.counter("cache_tier_errors").inc()
+        if stored:
+            self._metrics.counter("cache_tier_puts").inc()
+
     def _observe_query(
         self, probes: int, wall_ms: float, hit: bool
     ) -> None:
@@ -866,6 +975,19 @@ class MetasearchService:
             }
         if self._adaptation is not None:
             out["adaptation"] = self._adaptation.snapshot()
+        # Always present (even without a tier) so pointing a replica at
+        # one never changes the snapshot's top-level key-set.
+        out["cache_tier"] = {
+            "enabled": self._cache_tier is not None,
+            "address": (
+                None
+                if self._cache_tier is None
+                else self._cache_tier.address
+            ),
+            "errors": (
+                0 if self._cache_tier is None else self._cache_tier.errors
+            ),
+        }
         # Always present so switching numeric backends never changes
         # the snapshot's top-level key-set.
         out["backend"] = self._config.backend
@@ -879,10 +1001,42 @@ class MetasearchService:
         }
         return out
 
+    def result_detail(self, answer: ServedAnswer) -> list[dict]:
+        """Per-database rows behind one answer (the cursor payload).
+
+        One row per mediated database — its RD point estimate for the
+        answered query, whether it was selected, and its position in
+        the probe order (``None`` if unprobed) — sorted by estimate
+        descending (name-ascending tiebreak). A pure function of
+        (trained state, answer), so every replica of the same model
+        produces identical rows: what lets a router hand out a handle
+        from any replica. At federated scale these rows dwarf the
+        answer payload, which is why they page through the gateway's
+        ``fetch`` op instead of riding the search response.
+        """
+        selector = self._metasearcher.selector
+        selected = set(answer.selected)
+        probe_index = {
+            name: index for index, name in enumerate(answer.probe_order)
+        }
+        rows = [
+            {
+                "database": db.name,
+                "estimate": selector.estimate(db.name, answer.query),
+                "selected": db.name in selected,
+                "probe_index": probe_index.get(db.name),
+            }
+            for db in selector.mediator
+        ]
+        rows.sort(key=lambda row: (-row["estimate"], row["database"]))
+        return rows
+
     def shutdown(self) -> None:
         """Release executor threads and stop pool workers."""
         if self._pool is not None:
             self._pool.shutdown()
+        if self._cache_tier is not None:
+            self._cache_tier.close()
         self._executor.shutdown()
 
     def __enter__(self) -> "MetasearchService":

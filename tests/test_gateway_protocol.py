@@ -40,9 +40,18 @@ class TestParseRequest:
         assert request.k == 3
         assert request.certainty == 0.9
         assert request.deadline_ms == 250.0
-        # The final component is deadline *presence* — a deadline-free
-        # request must never coalesce onto a deadline-bounded leader.
-        assert request.coalesce_key == ("breast cancer", 3, 0.9, False)
+        # The last two components are deadline *presence* (a
+        # deadline-free request must never coalesce onto a
+        # deadline-bounded leader) and cursor *request* (a caller
+        # asking for a result handle must never ride a leader that
+        # built none).
+        assert request.coalesce_key == (
+            "breast cancer",
+            3,
+            0.9,
+            False,
+            False,
+        )
 
     def test_coalesce_key_partitions_by_deadline_presence(self):
         bounded = parse_request(
