@@ -1,6 +1,6 @@
 """Command-line interface: ``repro-metasearch``.
 
-Twelve commands:
+Fourteen commands:
 
 * ``demo``        — build a testbed, train, and answer one query
   end-to-end;
@@ -35,7 +35,14 @@ Twelve commands:
 * ``bench-cluster`` — benchmark the cluster: QPS across 1/2/4
   replicas with answers proven identical to a single node, cursor
   paging, a cross-replica cache-tier hit, and a mid-burst replica
-  kill, written to ``BENCH_cluster.json`` (see ``docs/CLUSTER.md``).
+  kill, written to ``BENCH_cluster.json`` (see ``docs/CLUSTER.md``);
+* ``bench-scale`` — benchmark selection cost vs federated database
+  count: unpruned vs exact bound pruning vs the top-M prefilter tier,
+  with answer-identity proven for exact mode and the prefilter's
+  quality delta measured, written to ``BENCH_scale.json`` (see
+  ``docs/PERFORMANCE.md``);
+* ``bench-index`` — aggregate every committed ``BENCH_*.json`` into
+  one schema-validated summary of hosts and target verdicts.
 
 All commands are deterministic for a given ``--seed`` (wall-clock
 metrics excepted).
@@ -764,6 +771,86 @@ def build_parser() -> argparse.ArgumentParser:
             "the adapted run recovered in post_late (CI smoke mode)"
         ),
     )
+
+    bench_scale = subparsers.add_parser(
+        "bench-scale",
+        help=(
+            "benchmark selection cost vs federated database count: "
+            "unpruned vs exact pruning vs top-M prefilter"
+        ),
+    )
+    bench_scale.add_argument(
+        "--sizes",
+        default="64,256,1024",
+        help="comma-separated ascending database counts (default 64,256,1024)",
+    )
+    bench_scale.add_argument("--k", type=int, default=3)
+    bench_scale.add_argument("--certainty", type=float, default=0.9)
+    bench_scale.add_argument(
+        "--queries",
+        type=int,
+        default=4,
+        help="evaluation queries per size (default 4)",
+    )
+    bench_scale.add_argument(
+        "--repeats",
+        type=int,
+        default=2,
+        help="timing rounds per size (default 2)",
+    )
+    bench_scale.add_argument(
+        "--train-queries",
+        type=int,
+        default=60,
+        help="training queries per size (default 60)",
+    )
+    bench_scale.add_argument(
+        "--top-m",
+        type=int,
+        default=32,
+        help="databases kept by the prefilter tier (default 32)",
+    )
+    bench_scale.add_argument(
+        "--out",
+        default="BENCH_scale.json",
+        help="path of the report JSON (default BENCH_scale.json)",
+    )
+    bench_scale.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero unless exact mode is answer-identical at "
+            "every size, topm recall clears its floor, and — on hosts "
+            "with >= 4 cores — exact-mode growth is sublinear with the "
+            "target speedup at the largest size (CI gate mode)"
+        ),
+    )
+
+    bench_index = subparsers.add_parser(
+        "bench-index",
+        help=(
+            "aggregate all committed BENCH_*.json reports into one "
+            "machine-readable summary"
+        ),
+    )
+    bench_index.add_argument(
+        "--dir",
+        default=".",
+        help="directory scanned for BENCH_*.json (default: cwd)",
+    )
+    bench_index.add_argument(
+        "--out",
+        default=None,
+        help="write the summary JSON here (default: stdout only)",
+    )
+    bench_index.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "exit non-zero if any report is unreadable, carries no "
+            "recognizable schema, or records meets_target false"
+        ),
+    )
     return parser
 
 
@@ -1429,6 +1516,86 @@ def _cmd_bench_drift(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_scale(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench_scale import (
+        BenchScaleConfig,
+        check_bench_scale,
+        format_bench_scale,
+        run_bench_scale,
+    )
+
+    sizes = _parse_int_list(args.sizes, "--sizes")
+    print(
+        f"Benchmarking selection at scale (sizes={list(sizes)}, "
+        f"k={args.k}, t={args.certainty}, top_m={args.top_m})...",
+        flush=True,
+    )
+    report = run_bench_scale(
+        BenchScaleConfig(
+            sizes=sizes,
+            seed=args.seed,
+            n_train=args.train_queries,
+            queries=args.queries,
+            repeats=args.repeats,
+            k=args.k,
+            certainty=args.certainty,
+            top_m=args.top_m,
+        )
+    )
+    print(format_bench_scale(report))
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"Report written to {args.out}")
+    if args.check:
+        failures = check_bench_scale(report)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        print(
+            "check passed: exact mode answer-identical at every size, "
+            "topm recall above floor"
+            + (
+                ", wall-clock gates met"
+                if report["gates"]["meets_target"]
+                else " (wall-clock gates not judged on this host)"
+            )
+        )
+    return 0
+
+
+def _cmd_bench_index(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.bench_index import (
+        build_bench_index,
+        check_bench_index,
+        format_bench_index,
+    )
+
+    index = build_bench_index(args.dir)
+    print(format_bench_index(index))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(index, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"Index written to {args.out}")
+    if args.check:
+        failures = check_bench_index(index)
+        if failures:
+            for failure in failures:
+                print(f"error: {failure}", file=sys.stderr)
+            return 3
+        print(
+            f"check passed: {len(index['reports'])} report(s) indexed, "
+            "no recorded target failures"
+        )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1445,6 +1612,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "bench-drift": _cmd_bench_drift,
         "cluster": _cmd_cluster,
         "bench-cluster": _cmd_bench_cluster,
+        "bench-scale": _cmd_bench_scale,
+        "bench-index": _cmd_bench_index,
     }
     try:
         return handlers[args.command](args)

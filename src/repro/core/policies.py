@@ -156,6 +156,13 @@ class GreedyUsefulnessPolicy:
             usefulness = self.usefulness(computer, database, metric)
             if usefulness > best_usefulness + 1e-12:
                 best_db, best_usefulness = database, usefulness
+                if best_usefulness >= 1.0:
+                    # Usefulness is a probability, so no later candidate
+                    # can clear the 1e-12 acceptance margin over 1.0 —
+                    # the sweep's outcome is already decided. Saves the
+                    # tail of the sweep on the non-vectorized fallback
+                    # paths without changing any choice.
+                    break
         return best_db
 
     def __repr__(self) -> str:

@@ -17,11 +17,13 @@ from __future__ import annotations
 import inspect
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from math import comb
 from typing import Protocol, runtime_checkable
 
 from repro.core.backend import ArrayBackend
 from repro.core.deadline import Deadline
 from repro.core.policies import GreedyUsefulnessPolicy, ProbePolicy
+from repro.core.pruning import prunable_mask, support_bounds
 from repro.core.relevancy import RelevancyDistribution
 from repro.core.selection import RDBasedSelector
 from repro.core.topk import CorrectnessMetric, TopKComputer
@@ -102,6 +104,11 @@ class ProbeSession:
     stopped the loop before the requested certainty was reached — the
     final trajectory point is then the best set known at expiry, with
     the certainty actually achieved.
+
+    ``pruned_databases`` counts the databases the run excluded from the
+    belief machinery — provably-out candidates under bound pruning
+    (``APro(prune=True)``), plus anything outside an explicit ``keep``
+    restriction. ``0`` on the classic full-width path.
     """
 
     query: Query
@@ -111,6 +118,7 @@ class ProbeSession:
     records: list[ProbeRecord] = field(default_factory=list)
     trajectory: list[TrajectoryPoint] = field(default_factory=list)
     deadline_expired: bool = False
+    pruned_databases: int = 0
 
     @property
     def num_probes(self) -> int:
@@ -179,6 +187,16 @@ class APro:
         process default (``REPRO_BACKEND``). Backends are contractually
         interchangeable — identical answer sets and probe orders,
         certainty deltas ≤1e-9.
+    prune:
+        Run the belief machinery over bound-pruned survivors only (see
+        :mod:`repro.core.pruning`): databases provably unable to enter
+        the top-k are dropped before the :class:`TopKComputer` is
+        built, and the certificate is re-checked after every probe (an
+        out-of-support observation can weaken it, in which case the
+        computer is rebuilt over the re-expanded survivor set). Same
+        contract as the backends: identical selections and probe
+        orders, certainty deltas ≤1e-9. ``False`` (default) is the
+        classic full-width path, byte-identical to before.
     """
 
     def __init__(
@@ -188,6 +206,7 @@ class APro:
         prober: BatchProber | None = None,
         incremental: bool = True,
         backend: "str | ArrayBackend | None" = None,
+        prune: bool = False,
     ) -> None:
         self._selector = selector
         self._policy = policy or GreedyUsefulnessPolicy()
@@ -196,8 +215,10 @@ class APro:
         )
         self._incremental = incremental
         self._backend = backend
+        self._prune = prune
         self._policy_takes_deadline = _accepts_deadline(self._policy)
         self._selector_takes_backend = _accepts_backend(self._selector)
+        self._selector_takes_indices = _accepts_indices(self._selector)
 
     @property
     def prober(self) -> BatchProber:
@@ -219,6 +240,7 @@ class APro:
         force_probes: int | None = None,
         batch_size: int = 1,
         deadline: Deadline | None = None,
+        keep: Sequence[int] | None = None,
     ) -> ProbeSession:
         """Execute APro for one query.
 
@@ -262,6 +284,14 @@ class APro:
             like ``max_probes=0``. Observations already in flight are
             still applied (they are paid for), so expiry granularity is
             one probe round.
+        keep:
+            Optional candidate restriction (mediation-order indices):
+            only these databases take part in the run — the prefilter
+            tier's top-M contract. Unlike bound pruning this *changes
+            answers* (bounded, measured delta — see
+            ``docs/PERFORMANCE.md``); when both are active, bound
+            pruning applies within the kept set and never re-expands
+            beyond it.
         """
         if not 0.0 <= threshold <= 1.0:
             raise ProbingError(f"threshold must be in [0, 1], got {threshold}")
@@ -271,20 +301,42 @@ class APro:
             raise ProbingError(f"batch_size must be >= 1, got {batch_size}")
 
         mediator = self._selector.mediator
+        n = len(mediator)
+        pool: list[int] | None = None
+        if keep is not None:
+            pool = sorted({int(i) for i in keep})
+            if not pool:
+                raise ProbingError("keep must name at least one database")
+            if pool[0] < 0 or pool[-1] >= n:
+                raise ProbingError(
+                    f"keep indices must be within [0, {n - 1}], got {pool}"
+                )
+        build_kwargs: dict[str, object] = {}
         if self._selector_takes_backend:
-            rds: list[RelevancyDistribution] = self._selector.build_rds(
-                query, backend=self._backend
-            )
-        else:
-            rds = self._selector.build_rds(query)
+            build_kwargs["backend"] = self._backend
+        if pool is not None and len(pool) < n and self._selector_takes_indices:
+            # A hard candidate cut: skip RD construction for the
+            # excluded databases entirely (the restricted loop below
+            # never consults their placeholder slots).
+            build_kwargs["indices"] = pool
+        rds: list[RelevancyDistribution] = self._selector.build_rds(
+            query, **build_kwargs
+        )
         session = ProbeSession(
             query=query, k=k, metric=metric, threshold=threshold
         )
-        computer = TopKComputer(rds, k, backend=self._backend)
+        sub, bounds = self._survivor_map(rds, k, pool)
+        if sub is None:
+            computer = TopKComputer(rds, k, backend=self._backend)
+        else:
+            computer = self._restricted_computer(rds, sub, k)
         best, score = computer.best_set(metric)
-        self._record_point(session, mediator, 0, best, score)
+        self._record_point(session, mediator, 0, best, score, sub)
 
         probed: set[int] = set()
+        local_of: dict[int, int] | None = (
+            None if sub is None else {g: p for p, g in enumerate(sub)}
+        )
         policy_kwargs: dict[str, Deadline] = (
             {"deadline": deadline}
             if deadline is not None and self._policy_takes_deadline
@@ -302,11 +354,40 @@ class APro:
                 break
             if max_probes is not None and len(probed) >= max_probes:
                 break
-            candidates = [
-                i
-                for i in range(len(rds))
-                if i not in probed and not rds[i].is_impulse
-            ]
+            if sub is None:
+                candidates = [
+                    i
+                    for i in range(len(rds))
+                    if i not in probed and not rds[i].is_impulse
+                ]
+            else:
+                candidates = [
+                    local
+                    for local, g in enumerate(sub)
+                    if g not in probed and not rds[g].is_impulse
+                ]
+                if not candidates and bounds is not None:
+                    # Every survivor is probed but the threshold is not
+                    # met: the full-width path would now probe the
+                    # pruned remainder (each probe certainty-neutral
+                    # in-model, but the paper's loop does issue them).
+                    # Re-expand so the trajectories stay identical.
+                    residual = [
+                        g
+                        for g in bounds[0]
+                        if g not in local_of
+                        and g not in probed
+                        and not rds[g].is_impulse
+                    ]
+                    if residual:
+                        sub = sorted(set(sub) | set(residual))
+                        local_of = {g: p for p, g in enumerate(sub)}
+                        computer = self._restricted_computer(rds, sub, k)
+                        candidates = [
+                            local
+                            for local, g in enumerate(sub)
+                            if g not in probed and not rds[g].is_impulse
+                        ]
             if not candidates:
                 break
             budget = len(candidates)
@@ -332,13 +413,16 @@ class APro:
                 # belief instead of paying for another probe round.
                 session.deadline_expired = True
                 break
-            observations = self._prober.probe_batch(query, batch)
+            probe_targets = (
+                batch if sub is None else [sub[local] for local in batch]
+            )
+            observations = self._prober.probe_batch(query, probe_targets)
             if len(observations) != len(batch):
                 raise ProbingError(
                     f"prober returned {len(observations)} observations "
                     f"for a batch of {len(batch)}"
                 )
-            for choice, observed in zip(batch, observations):
+            for choice, observed in zip(probe_targets, observations):
                 session.records.append(
                     ProbeRecord(
                         database=mediator[choice].name,
@@ -348,25 +432,151 @@ class APro:
                 )
                 probed.add(choice)
                 rds[choice] = RelevancyDistribution.impulse(observed)
-                if self._incremental:
-                    computer = computer.collapse(choice, observed)
+                expanded = False
+                if sub is not None and bounds is not None:
+                    sub, expanded = self._recheck_certificate(
+                        bounds, sub, k, choice, observed
+                    )
+                if expanded:
+                    # An out-of-support observation weakened the
+                    # certificate: rebuild over the re-expanded survivor
+                    # set (the collapsed RDs are already impulses, so a
+                    # rebuild is answer-equivalent to the collapse).
+                    local_of = {g: p for p, g in enumerate(sub)}
+                    computer = self._restricted_computer(rds, sub, k)
+                elif sub is None:
+                    if self._incremental:
+                        computer = computer.collapse(choice, observed)
+                    else:
+                        computer = TopKComputer(
+                            rds, k, backend=self._backend
+                        )
+                elif self._incremental:
+                    computer = computer.collapse(local_of[choice], observed)
                 else:
-                    computer = TopKComputer(rds, k, backend=self._backend)
+                    computer = self._restricted_computer(rds, sub, k)
                 best, score = computer.best_set(metric)
                 self._record_point(
-                    session, mediator, len(probed), best, score
+                    session, mediator, len(probed), best, score, sub
                 )
+        session.pruned_databases = n - (n if sub is None else len(sub))
         return session
 
+    def _survivor_map(
+        self, rds, k: int, pool: list[int] | None
+    ) -> tuple[list[int] | None, tuple | None]:
+        """(survivor indices, mutable bound state) for this run.
+
+        ``None`` survivors means no restriction at all — the loop then
+        runs the classic full-width path untouched. The bound state is
+        ``(universe, position, mins, maxs)``, carried only when pruning
+        is on so the certificate can be re-checked after each probe.
+        """
+        n = len(rds)
+        universe = list(range(n)) if pool is None else pool
+        bounds = None
+        survivors = universe
+        if self._prune:
+            mins, maxs = support_bounds([rds[g] for g in universe])
+            position = {g: p for p, g in enumerate(universe)}
+            bounds = (universe, position, mins, maxs)
+            mask = prunable_mask(mins, maxs, k)
+            survivors = [g for g, dead in zip(universe, mask) if not dead]
+            survivors = _pad_survivors(survivors, universe, position, mins, k)
+        if len(survivors) == n:
+            return None, bounds
+        return survivors, bounds
+
+    def _restricted_computer(
+        self, rds, sub: list[int], k: int
+    ) -> TopKComputer:
+        """A :class:`TopKComputer` over the survivor sub-list.
+
+        ``exact_set_limit`` is pinned so the restricted ``best_set``
+        takes the same exhaustive-vs-hill-climb branch the full-width
+        computer would have: exhaustive iff ``comb(n_full, k)`` fits
+        the default budget (then ``comb(n_sub, k)`` fits it too), the
+        hill climb otherwise. This keeps the two paths' tie-breaking
+        identical instead of letting the branch flip with the survivor
+        count.
+        """
+        limit = 400 if comb(len(rds), k) <= 400 else 0
+        return TopKComputer(
+            [rds[g] for g in sub],
+            k,
+            exact_set_limit=limit,
+            backend=self._backend,
+        )
+
     @staticmethod
-    def _record_point(session, mediator, probes, best, score) -> None:
+    def _recheck_certificate(
+        bounds: tuple, sub: list[int], k: int, database: int, observed: float
+    ) -> tuple[list[int], bool]:
+        """Update bounds with an observation; re-expand if needed.
+
+        The survivor set only ever grows: shrinking mid-run would
+        discard incremental state for no answer benefit (keeping a
+        database that *became* prunable is always sound).
+        """
+        universe, position, mins, maxs = bounds
+        p = position.get(database)
+        if p is None:  # probed outside the universe (defensive)
+            return sub, False
+        mins[p] = observed
+        maxs[p] = observed
+        mask = prunable_mask(mins, maxs, k)
+        fresh = {g for g, dead in zip(universe, mask) if not dead}
+        fresh.update(sub)
+        merged = _pad_survivors(
+            sorted(fresh), universe, position, mins, k
+        )
+        if len(merged) == len(sub):
+            return sub, False
+        return merged, True
+
+    @staticmethod
+    def _record_point(
+        session, mediator, probes, best, score, sub=None
+    ) -> None:
+        names = tuple(
+            mediator[i if sub is None else sub[i]].name for i in best
+        )
         session.trajectory.append(
             TrajectoryPoint(
                 probes=probes,
-                names=tuple(mediator[i].name for i in best),
+                names=names,
                 expected_correctness=score,
             )
         )
+
+
+def _pad_survivors(
+    survivors: list[int],
+    universe: list[int],
+    position: dict[int, int],
+    mins,
+    k: int,
+) -> list[int]:
+    """Keep at least ``k + 1`` candidates when more exist.
+
+    With exactly ``k`` survivors the restricted computer would take its
+    own ``k == n`` certainty shortcut (score exactly 1.0) where the
+    full-width computer still computes the product of near-one
+    marginals; padding with the nearest-miss pruned databases (largest
+    worst-case bound, then earliest index) keeps both paths on the same
+    arithmetic. The padded databases carry ~zero top-k mass, so they
+    change nothing else.
+    """
+    target = min(len(universe), k + 1)
+    if len(survivors) >= target:
+        return survivors
+    kept = set(survivors)
+    nearest = sorted(
+        (g for g in universe if g not in kept),
+        key=lambda g: (-float(mins[position[g]]), g),
+    )
+    kept.update(nearest[: target - len(kept)])
+    return sorted(kept)
 
 
 def _accepts_backend(selector: RDBasedSelector) -> bool:
@@ -376,6 +586,20 @@ def _accepts_backend(selector: RDBasedSelector) -> bool:
     against the one-argument signature keep working (their RDs are
     backend-independent values anyway).
     """
+    return _build_rds_takes(selector, "backend")
+
+
+def _accepts_indices(selector: RDBasedSelector) -> bool:
+    """Whether ``selector.build_rds`` can restrict construction.
+
+    When it can, an explicit ``keep`` only builds RDs for the kept
+    databases — the per-query sublinear path. Duck-typed selectors
+    without the keyword still work; they just pay the full build.
+    """
+    return _build_rds_takes(selector, "indices")
+
+
+def _build_rds_takes(selector: RDBasedSelector, name: str) -> bool:
     try:
         parameters = inspect.signature(selector.build_rds).parameters
     except (TypeError, ValueError, AttributeError):
@@ -385,7 +609,7 @@ def _accepts_backend(selector: RDBasedSelector) -> bool:
         for parameter in parameters.values()
     ):
         return True
-    return "backend" in parameters
+    return name in parameters
 
 
 def _accepts_deadline(policy: ProbePolicy) -> bool:

@@ -1,0 +1,103 @@
+"""Provable candidate pruning for top-k selection at federated scale.
+
+Every layer above the core pays O(n) RD builds *and* an O(n² · s)
+``TopKComputer`` per query, so selection cost grows (super)linearly in
+the number of mediated databases. At federated scale (hundreds to
+thousands of sources) most databases are obviously irrelevant to any
+one query — their entire relevancy support sits below other databases'
+*worst case* — and this module computes the cheap per-database bounds
+that prove it, so APro can run the expensive belief machinery on the
+survivors only.
+
+Soundness (the bound the exact mode rests on)
+---------------------------------------------
+
+The belief core ranks atoms by the strict total order
+
+    ``(value, -database)``: higher relevancy wins, and on equal values
+    the earlier mediation index wins (``np.lexsort((-dbs, values))`` in
+    :mod:`repro.core.topk`).
+
+Write ``best(i) = (max support(RD_i), -i)`` and ``worst(j) =
+(min support(RD_j), -j)``. If ``worst(j) > best(i)`` lexicographically,
+then *every* atom of database ``j`` outranks *every* atom of database
+``i`` — database ``j`` beats ``i`` with certainty, under every
+realization and every future probe outcome consistent with the current
+belief state (probing only collapses an RD onto one of the hypotheses
+already priced into these bounds; out-of-support observations are why
+the certificate is re-checked after every probe, see
+:meth:`repro.core.probing.APro.run`).
+
+Therefore, if at least ``k`` databases certainly beat database ``i``,
+then ``i`` is in no top-k set with positive probability: its top-k
+membership marginal is zero, no best set contains it, and the greedy
+usefulness of probing it can never exceed a survivor's. Pruning it
+cannot change the selection, the probe order, or the certainty beyond
+the repo's standard floating-point contract (certainty deltas ≤ 1e-9;
+in practice the residual is ~1e-15, the probability-normalization ulp —
+see docs/PERFORMANCE.md "Selection at scale").
+
+Floor guarantee: the ``k`` databases with the largest ``worst(·)`` keys
+are never prunable — for such a database ``i``, any certain better
+``j`` satisfies ``worst(j) > best(i) >= worst(i)``, and fewer than
+``k`` databases have ``worst(j) > worst(i)`` by construction. Hence
+``len(survivors) >= min(k, n)`` always, and the restricted computer is
+well-formed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["support_bounds", "prunable_mask", "survivor_indices"]
+
+
+def support_bounds(rds: Sequence) -> tuple[np.ndarray, np.ndarray]:
+    """Per-database (min, max) support values of *rds*.
+
+    Distribution atoms are stored value-ascending (a
+    :class:`~repro.stats.distribution.DiscreteDistribution` invariant),
+    so the bounds are the first and last atoms — O(1) per database, no
+    probability mass touched.
+    """
+    mins = np.array([float(rd.values[0]) for rd in rds], dtype=np.float64)
+    maxs = np.array([float(rd.values[-1]) for rd in rds], dtype=np.float64)
+    return mins, maxs
+
+
+def prunable_mask(
+    mins: np.ndarray, maxs: np.ndarray, k: int
+) -> np.ndarray:
+    """Boolean mask: ``True`` where a database provably misses the top-k.
+
+    Database ``i`` is prunable iff at least ``k`` databases ``j``
+    certainly beat it, i.e. ``(mins[j], -j) > (maxs[i], -i)``
+    lexicographically — strictly-higher worst case, or an equal worst
+    case from an earlier mediation index (the atom order's tie rule).
+    Vectorized as a sort + two binary searches; the tie correction only
+    loops over databases whose best case collides with some worst case.
+    """
+    n = len(mins)
+    if n == 0 or k >= n:
+        return np.zeros(n, dtype=bool)
+    order = np.argsort(mins, kind="stable")
+    sorted_mins = mins[order]
+    right = np.searchsorted(sorted_mins, maxs, side="right")
+    left = np.searchsorted(sorted_mins, maxs, side="left")
+    beaten_by = (n - right).astype(np.int64)
+    for i in np.nonzero(right > left)[0]:
+        # Databases j with mins[j] == maxs[i]: they certainly beat i
+        # only from an earlier mediation index (j < i).
+        ties = order[left[i] : right[i]]
+        beaten_by[i] += int(np.count_nonzero(ties < i))
+    return beaten_by >= k
+
+
+def survivor_indices(
+    mins: np.ndarray, maxs: np.ndarray, k: int
+) -> list[int]:
+    """Ascending indices of the databases the bounds cannot exclude."""
+    mask = prunable_mask(mins, maxs, k)
+    return [int(i) for i in np.nonzero(~mask)[0]]

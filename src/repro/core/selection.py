@@ -9,7 +9,7 @@ probing" method and the starting state of the adaptive-probing loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 
 from repro.core.backend import ArrayBackend, get_backend
 from repro.core.query_types import QueryTypeClassifier
@@ -143,6 +143,7 @@ class RDBasedSelector:
         self,
         query: Query,
         backend: "str | ArrayBackend | None" = None,
+        indices: "Sequence[int] | None" = None,
     ) -> list[RelevancyDistribution]:
         """RDs of every database, in mediation order.
 
@@ -151,13 +152,36 @@ class RDBasedSelector:
         kernel; the per-database short-circuits (certain zero, no usable
         ED) are applied identically first, so the result matches the
         :meth:`build_rd` loop bitwise on every backend.
+
+        ``indices`` restricts construction to those mediation indices:
+        the other slots are filled with one shared zero impulse so the
+        list keeps its length-n index math, but no summary lookup, ED
+        lookup, or derivation runs for them. This is what makes a hard
+        candidate cut (``APro(... keep=...)``, the prefilter tier)
+        sublinear per query — the caller guarantees the placeholder
+        slots are never consulted.
         """
         resolved = get_backend(backend)
+        wanted = None if indices is None else {int(i) for i in indices}
         if not resolved.vectorized:
-            return [self.build_rd(db.name, query) for db in self._mediator]
+            if wanted is None:
+                return [
+                    self.build_rd(db.name, query) for db in self._mediator
+                ]
+            zero = DiscreteDistribution.impulse(0.0)
+            return [
+                self.build_rd(db.name, query) if idx in wanted else zero
+                for idx, db in enumerate(self._mediator)
+            ]
         rds: list[RelevancyDistribution | None] = [None] * len(self._mediator)
         pending: list[tuple[int, float, object]] = []
+        skipped = (
+            None if wanted is None else DiscreteDistribution.impulse(0.0)
+        )
         for idx, db in enumerate(self._mediator):
+            if wanted is not None and idx not in wanted:
+                rds[idx] = skipped
+                continue
             summary = self._summaries[db.name]
             if self._is_certain_zero(summary, query):
                 rds[idx] = DiscreteDistribution.impulse(0.0)

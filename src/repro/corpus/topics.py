@@ -71,6 +71,7 @@ class Topic:
         )
         self.name = name
         self.domain = domain
+        self.anchors: tuple[str, ...] = tuple(anchors)
         self.words: tuple[str, ...] = tuple(anchors) + tuple(generated)
         self.weights = zipf_weights(vocab_size, exponent)
         self._cumulative = np.cumsum(self.weights)

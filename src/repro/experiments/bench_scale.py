@@ -1,0 +1,604 @@
+"""``bench-scale``: selection cost versus federated database count.
+
+The paper's testbed has 20 databases; a federated deployment mediates
+hundreds to thousands. This benchmark grows a synthetic federation
+(64 → 256 → 1024 databases by default), trains one metasearcher per
+size, and times the same query workload through three selection paths:
+
+* ``unpruned`` — the classic full-width RD/APro loop;
+* ``exact`` — bound-based candidate pruning (:mod:`repro.core.pruning`),
+  answer-identical by construction and verified per size here;
+* ``topm`` — exact pruning plus the probe-trained prefilter tier
+  (:mod:`repro.metasearch.prefilter`), which changes answers; its
+  quality delta is *measured* as relevancy-mass recall against the
+  unpruned selection and gated, never silent.
+
+The federation is deliberately heterogeneous: each topic gets a couple
+of strong, focused databases and a long tail of small diffuse ones —
+the regime where adding databases should *not* add selection cost,
+because bounds prove the tail out before any belief math runs.
+
+Two workloads per size, because correctness and scaling answer
+different questions:
+
+* **Natural runs** (threshold-driven, the product path) supply the
+  identity evidence — exact mode must reproduce the unpruned
+  selections, probe trajectories, and certainties — and the topm
+  recall measurement.
+* **Fixed-budget runs** (``force_probes == max_probes``) supply the
+  wall-clock numbers. Probe count per query is the workload's own
+  hardness and grows with federation size (more near-ties need more
+  probes to certify); pinning the budget isolates what this PR
+  actually optimizes — the per-query selection machinery.
+
+The sublinear gate is judged on the prefilter tier: exact mode must
+build every database's RD to prove its bounds, an Ω(n) floor with a
+tiny constant, so it delivers the speedup gate (identical answers,
+several times faster) while topm — which skips RD construction for
+dropped candidates outright — delivers the sublinear growth.
+
+Gate policy follows ``BENCH_serve``: identity and quality gates are
+deterministic and judged everywhere; the wall-clock gates (sublinear
+topm growth across the size span, exact-mode speedup at the largest
+size) are judged only on hosts with ≥ 4 cores and otherwise recorded
+with ``meets_target: null`` — a committed report is honest about the
+machine it ran on.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.corpus.generator import DatabaseSpec, DocumentGenerator
+from repro.corpus.topics import TopicRegistry, default_topic_registry
+from repro.corpus.zipf import ZipfVocabulary
+from repro.exceptions import ConfigurationError
+from repro.experiments.bench_core import (
+    _collect_environment,
+    _summarize,
+)
+from repro.hiddenweb.mediator import Mediator
+from repro.metasearch.metasearcher import Metasearcher, MetasearcherConfig
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+__all__ = [
+    "BENCH_SCALE_SCHEMA",
+    "BenchScaleConfig",
+    "scale_specs",
+    "run_bench_scale",
+    "validate_bench_scale",
+    "check_bench_scale",
+    "format_bench_scale",
+]
+
+BENCH_SCALE_SCHEMA = "bench-scale/v1"
+
+#: Identity tolerance for certainties (matches the backend/incremental
+#: equality contract): exact-mode runs must agree with unpruned runs to
+#: this bound at every size.
+CERTAINTY_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class BenchScaleConfig:
+    """Knobs of the scale benchmark.
+
+    ``sizes`` must be ascending; the growth gate compares the first and
+    last entries. The remaining defaults are calibrated so the full
+    default run finishes in a few minutes on one core.
+    """
+
+    sizes: tuple[int, ...] = (64, 256, 1024)
+    seed: int = 2004
+    n_train: int = 60
+    samples_per_type: int = 8
+    queries: int = 4
+    repeats: int = 2
+    k: int = 3
+    certainty: float = 0.9
+    top_m: int = 32
+    probe_budget: int = 8
+    background_vocab_size: int = 1500
+    min_speedup: float = 2.0
+    min_topm_recall: float = 0.7
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) < 2 or any(
+            b <= a for a, b in zip(self.sizes, self.sizes[1:])
+        ):
+            raise ConfigurationError(
+                f"sizes must be ascending with >= 2 entries, "
+                f"got {self.sizes}"
+            )
+        if self.sizes[0] < 2 * len(default_topic_registry(seed=self.seed)):
+            raise ConfigurationError(
+                f"smallest size {self.sizes[0]} must cover every topic "
+                f"at least twice"
+            )
+        if self.queries < 1 or self.repeats < 1 or self.n_train < 1:
+            raise ConfigurationError("counts must be >= 1")
+        if self.k < 1 or self.top_m < self.k:
+            raise ConfigurationError("need k >= 1 and top_m >= k")
+        if self.probe_budget < 1:
+            raise ConfigurationError("probe_budget must be >= 1")
+        if not 0.0 <= self.certainty <= 1.0:
+            raise ConfigurationError("certainty must be in [0, 1]")
+
+
+def scale_specs(
+    n_databases: int,
+    registry: TopicRegistry,
+    seed: int,
+) -> list[DatabaseSpec]:
+    """*n_databases* heterogeneous recipes cycling the topic catalogue.
+
+    Rank 0 of each topic is a large focused database, rank 1 a medium
+    one, and every later rank a small diffuse mixture — a couple of
+    strong candidates per topic plus a long weak tail, the realistic
+    shape of a growing federation (and the regime where bound pruning
+    proves the tail out).
+    """
+    topics = registry.names()
+    specs: list[DatabaseSpec] = []
+    for i in range(n_databases):
+        dominant = topics[i % len(topics)]
+        rank = i // len(topics)
+        near = topics[(i + 3) % len(topics)]
+        far = topics[(i + 7) % len(topics)]
+        if rank == 0:
+            size, mixture = 90, {dominant: 9.0, near: 1.0}
+        elif rank == 1:
+            size, mixture = 45, {dominant: 6.0, near: 2.0, far: 1.0}
+        else:
+            size = max(12, 30 - 2 * rank)
+            mixture = {dominant: 2.0, near: 2.0, far: 1.5}
+        specs.append(
+            DatabaseSpec(
+                name=f"db{i:04d}",
+                size=size,
+                topic_mixture=mixture,
+                background_fraction=0.45,
+                mean_length=24,
+                seed=seed + 7000 + i,
+            )
+        )
+    return specs
+
+
+def _build_mediator(
+    n_databases: int, config: BenchScaleConfig, shared: dict
+) -> Mediator:
+    generator = DocumentGenerator(shared["registry"], shared["background"])
+    corpora = {
+        spec.name: generator.generate(spec)
+        for spec in scale_specs(
+            n_databases, shared["registry"], config.seed
+        )
+    }
+    return Mediator.from_documents(corpora, analyzer=shared["analyzer"])
+
+
+def _topic_queries(
+    count: int,
+    shared: dict,
+    rng: np.random.Generator,
+    width: int = 3,
+) -> list[Query]:
+    """Deterministic topical keyword queries over the anchor vocabulary."""
+    registry: TopicRegistry = shared["registry"]
+    analyzer: Analyzer = shared["analyzer"]
+    names = registry.names()
+    out: list[Query] = []
+    seen: set[tuple[str, ...]] = set()
+    while len(out) < count:
+        topic = registry[names[int(rng.integers(len(names)))]]
+        picked = rng.choice(
+            topic.anchors, size=min(width, len(topic.anchors)), replace=False
+        )
+        terms = tuple(
+            dict.fromkeys(
+                term for word in picked for term in analyzer.analyze(word)
+            )
+        )
+        if terms and terms not in seen:
+            seen.add(terms)
+            out.append(Query(terms=terms))
+    return out
+
+
+def _identity(sessions_a, sessions_b) -> tuple[bool, bool, float]:
+    """(same selections, same probe trajectories, max certainty Δ)."""
+    same_selections = True
+    same_orders = True
+    max_delta = 0.0
+    for a, b in zip(sessions_a, sessions_b):
+        if a.final.names != b.final.names:
+            same_selections = False
+        if [(r.index, r.observed) for r in a.records] != [
+            (r.index, r.observed) for r in b.records
+        ]:
+            same_orders = False
+        max_delta = max(
+            max_delta,
+            abs(
+                a.final.expected_correctness
+                - b.final.expected_correctness
+            ),
+        )
+    return same_selections, same_orders, max_delta
+
+
+def _relevancy_recall(
+    mediator: Mediator, definition, queries, base_sessions, topm_sessions
+) -> float:
+    """Mean relevancy mass of topm selections relative to unpruned ones.
+
+    1.0 means the prefiltered path selected databases carrying as much
+    true relevancy for the query as the full path's choice — the honest
+    quality metric when selection *identities* may legitimately differ.
+    """
+    recalls: list[float] = []
+    for query, a, b in zip(queries, base_sessions, topm_sessions):
+        relevancy = {
+            database.name: database.probe_relevancy(query, definition)
+            for database in mediator
+        }
+        full = sum(relevancy[name] for name in a.final.names)
+        kept = sum(relevancy[name] for name in b.final.names)
+        recalls.append(kept / full if full > 0 else 1.0)
+    return float(np.mean(recalls)) if recalls else 1.0
+
+
+def run_bench_scale(
+    config: BenchScaleConfig | None = None,
+) -> dict[str, object]:
+    """Run the scale benchmark, returning the JSON-able report."""
+    config = config or BenchScaleConfig()
+    registry = default_topic_registry(seed=config.seed)
+    shared = {
+        "registry": registry,
+        "background": ZipfVocabulary(
+            config.background_vocab_size, seed=config.seed + 1
+        ),
+        "analyzer": Analyzer(),
+    }
+    rng = np.random.default_rng(config.seed + 11)
+    train_queries = _topic_queries(config.n_train, shared, rng)
+    eval_queries = _topic_queries(config.queries, shared, rng)
+
+    sizes_out: list[dict[str, object]] = []
+    for n_databases in config.sizes:
+        mediator = _build_mediator(n_databases, config, shared)
+        base = Metasearcher(
+            mediator,
+            MetasearcherConfig(
+                samples_per_type=config.samples_per_type,
+                prune_mode="off",
+            ),
+            analyzer=shared["analyzer"],
+        )
+        base.train(train_queries)
+        runners = {
+            "unpruned": base,
+            "exact": Metasearcher.from_trained(
+                base,
+                MetasearcherConfig(
+                    samples_per_type=config.samples_per_type,
+                    prune_mode="exact",
+                ),
+            ),
+            "topm": Metasearcher.from_trained(
+                base,
+                MetasearcherConfig(
+                    samples_per_type=config.samples_per_type,
+                    prune_mode="topm",
+                    prefilter_top_m=config.top_m,
+                ),
+            ),
+        }
+        # Natural (threshold-driven) runs: the product path, used for
+        # the identity and quality evidence.
+        natural = {
+            name: [
+                searcher.select(
+                    query, k=config.k, certainty=config.certainty
+                )
+                for query in eval_queries
+            ]
+            for name, searcher in runners.items()
+        }
+        same_sel, same_ord, max_delta = _identity(
+            natural["unpruned"], natural["exact"]
+        )
+        recall = _relevancy_recall(
+            mediator,
+            base.config.definition,
+            eval_queries,
+            natural["unpruned"],
+            natural["topm"],
+        )
+        # Fixed-budget runs: per-query wall-clock with the probe count
+        # pinned (interleaved rounds, like bench-core), so the numbers
+        # measure the selection machinery rather than the workload's
+        # own hardness growth.
+        samples: dict[str, list[float]] = {name: [] for name in runners}
+        for _round in range(config.repeats):
+            for name, searcher in runners.items():
+                for query in eval_queries:
+                    started = time.perf_counter()
+                    searcher.select(
+                        query,
+                        k=config.k,
+                        certainty=config.certainty,
+                        max_probes=config.probe_budget,
+                        force_probes=config.probe_budget,
+                    )
+                    samples[name].append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+        exact_ratios = [
+            u / e if e > 0 else float("inf")
+            for u, e in zip(samples["unpruned"], samples["exact"])
+        ]
+        sizes_out.append(
+            {
+                "databases": n_databases,
+                "timing_ms": {
+                    name: _summarize(values)
+                    for name, values in samples.items()
+                },
+                "speedup_exact": round(
+                    statistics.median(exact_ratios), 3
+                ),
+                "identical_selections": same_sel,
+                "identical_probe_orders": same_ord,
+                "max_certainty_delta": max_delta,
+                "probe_budget": config.probe_budget,
+                "natural_probes_per_query": round(
+                    sum(s.num_probes for s in natural["unpruned"])
+                    / len(eval_queries),
+                    2,
+                ),
+                "pruned_mean": {
+                    "exact": round(
+                        sum(
+                            s.pruned_databases
+                            for s in natural["exact"]
+                        )
+                        / len(eval_queries),
+                        1,
+                    ),
+                    "topm": round(
+                        sum(
+                            s.pruned_databases for s in natural["topm"]
+                        )
+                        / len(eval_queries),
+                        1,
+                    ),
+                },
+                "topm_recall": round(recall, 4),
+            }
+        )
+
+    span = config.sizes[-1] / config.sizes[0]
+    growth = {
+        name: round(
+            sizes_out[-1]["timing_ms"][name]["median_ms"]
+            / sizes_out[0]["timing_ms"][name]["median_ms"],
+            3,
+        )
+        for name in ("unpruned", "exact", "topm")
+    }
+    identity_ok = all(
+        entry["identical_selections"]
+        and entry["identical_probe_orders"]
+        and entry["max_certainty_delta"] <= CERTAINTY_TOLERANCE
+        for entry in sizes_out
+    )
+    recall_ok = all(
+        entry["topm_recall"] >= config.min_topm_recall
+        for entry in sizes_out
+    )
+    speedup_at_max = sizes_out[-1]["speedup_exact"]
+    sublinear = growth["topm"] < span
+    applicable = (os.cpu_count() or 1) >= 4
+    report = {
+        "schema": BENCH_SCALE_SCHEMA,
+        "config": {
+            "sizes": list(config.sizes),
+            "seed": config.seed,
+            "n_train": config.n_train,
+            "samples_per_type": config.samples_per_type,
+            "queries": config.queries,
+            "repeats": config.repeats,
+            "k": config.k,
+            "certainty": config.certainty,
+            "top_m": config.top_m,
+            "probe_budget": config.probe_budget,
+            "min_speedup": config.min_speedup,
+            "min_topm_recall": config.min_topm_recall,
+        },
+        "environment": _collect_environment(),
+        "sizes": sizes_out,
+        "growth": {
+            "span": span,
+            "median_ms_ratio_last_over_first": growth,
+        },
+        "gates": {
+            "identity": identity_ok,
+            "topm_recall": recall_ok,
+            "sublinear_growth": {
+                "measured": growth["topm"],
+                "limit": span,
+                "ok": sublinear,
+            },
+            "speedup_at_max": {
+                "measured": speedup_at_max,
+                "target": config.min_speedup,
+                "ok": bool(speedup_at_max >= config.min_speedup),
+            },
+            "perf_applicable": applicable,
+            # Wall-clock verdict only on >= 4 cores (BENCH_serve
+            # convention); identity/recall are judged everywhere.
+            "meets_target": (
+                bool(
+                    sublinear and speedup_at_max >= config.min_speedup
+                )
+                if applicable
+                else None
+            ),
+        },
+    }
+    return report
+
+
+def validate_bench_scale(report: dict[str, object]) -> None:
+    """Raise :class:`ConfigurationError` on a malformed report."""
+    if report.get("schema") != BENCH_SCALE_SCHEMA:
+        raise ConfigurationError(
+            f"unexpected schema {report.get('schema')!r}, "
+            f"wanted {BENCH_SCALE_SCHEMA!r}"
+        )
+    for key in ("config", "environment", "sizes", "growth", "gates"):
+        if key not in report:
+            raise ConfigurationError(f"report missing key {key!r}")
+    sizes = report["sizes"]
+    if not isinstance(sizes, list) or not sizes:
+        raise ConfigurationError("report sizes must be a non-empty list")
+    for entry in sizes:
+        for key in (
+            "databases",
+            "timing_ms",
+            "speedup_exact",
+            "identical_selections",
+            "identical_probe_orders",
+            "max_certainty_delta",
+            "probe_budget",
+            "natural_probes_per_query",
+            "pruned_mean",
+            "topm_recall",
+        ):
+            if key not in entry:
+                raise ConfigurationError(
+                    f"size entry missing key {key!r}"
+                )
+    gates = report["gates"]
+    for key in (
+        "identity",
+        "topm_recall",
+        "sublinear_growth",
+        "speedup_at_max",
+        "perf_applicable",
+        "meets_target",
+    ):
+        if key not in gates:
+            raise ConfigurationError(f"gates missing key {key!r}")
+
+
+def check_bench_scale(report: dict[str, object]) -> list[str]:
+    """Gate failures of *report* (empty = all judged gates pass).
+
+    Identity and topm-recall are deterministic — judged whatever the
+    host. The wall-clock gates are judged only when the report's own
+    environment shows >= 4 cores; on smaller hosts they are recorded
+    but not failures (``meets_target`` stays ``null``).
+    """
+    validate_bench_scale(report)
+    failures: list[str] = []
+    for entry in report["sizes"]:
+        n = entry["databases"]
+        if not entry["identical_selections"]:
+            failures.append(
+                f"{n} databases: exact-mode selections differ from "
+                f"unpruned"
+            )
+        if not entry["identical_probe_orders"]:
+            failures.append(
+                f"{n} databases: exact-mode probe order differs from "
+                f"unpruned"
+            )
+        if entry["max_certainty_delta"] > CERTAINTY_TOLERANCE:
+            failures.append(
+                f"{n} databases: certainty delta "
+                f"{entry['max_certainty_delta']:.2e} exceeds "
+                f"{CERTAINTY_TOLERANCE:.0e}"
+            )
+    floor = report["config"]["min_topm_recall"]
+    for entry in report["sizes"]:
+        if entry["topm_recall"] < floor:
+            failures.append(
+                f"{entry['databases']} databases: topm recall "
+                f"{entry['topm_recall']} below floor {floor}"
+            )
+    gates = report["gates"]
+    if report["environment"].get("cpu_count", 0) >= 4:
+        if not gates["sublinear_growth"]["ok"]:
+            failures.append(
+                f"prefilter-tier growth "
+                f"{gates['sublinear_growth']['measured']}x is not "
+                f"sublinear over a "
+                f"{gates['sublinear_growth']['limit']}x size span"
+            )
+        if not gates["speedup_at_max"]["ok"]:
+            failures.append(
+                f"exact-mode speedup at the largest size is "
+                f"{gates['speedup_at_max']['measured']}x, target "
+                f"{gates['speedup_at_max']['target']}x"
+            )
+    return failures
+
+
+def format_bench_scale(report: dict[str, object]) -> str:
+    """Human-readable rendering of a bench-scale report."""
+    env = report["environment"]
+    lines = [
+        "bench-scale: selection cost vs federated database count",
+        f"  schema      : {report['schema']}",
+        f"  environment : python {env['python']}, numpy {env['numpy']}, "
+        f"cpu_count {env['cpu_count']}",
+        f"  probe budget: {report['config']['probe_budget']} "
+        f"probes/query (timing workload pinned across sizes)",
+        "",
+        "  size   unpruned     exact        topm        speedup  "
+        "pruned(exact)  recall",
+    ]
+    for entry in report["sizes"]:
+        timing = entry["timing_ms"]
+        lines.append(
+            f"  {entry['databases']:>5}"
+            f"  {timing['unpruned']['median_ms']:>9.1f}ms"
+            f"  {timing['exact']['median_ms']:>9.1f}ms"
+            f"  {timing['topm']['median_ms']:>9.1f}ms"
+            f"  {entry['speedup_exact']:>6.2f}x"
+            f"  {entry['pruned_mean']['exact']:>9.1f}"
+            f"  {entry['topm_recall']:>9.3f}"
+        )
+    gates = report["gates"]
+    growth = gates["sublinear_growth"]
+    ratios = report["growth"]["median_ms_ratio_last_over_first"]
+    lines += [
+        "",
+        f"  identity (all sizes)   : "
+        f"{'ok' if gates['identity'] else 'FAILED'}",
+        f"  topm recall            : "
+        f"{'ok' if gates['topm_recall'] else 'FAILED'}",
+        f"  growth over {growth['limit']}x span : "
+        f"unpruned {ratios['unpruned']}x, exact {ratios['exact']}x, "
+        f"topm {growth['measured']}x "
+        f"({'sublinear' if growth['ok'] else 'NOT sublinear'})",
+        f"  speedup at max size    : "
+        f"{gates['speedup_at_max']['measured']}x "
+        f"(target {gates['speedup_at_max']['target']}x)",
+        f"  meets_target           : {gates['meets_target']}",
+    ]
+    if not gates["perf_applicable"]:
+        lines.append(
+            "  (wall-clock gates not judged: fewer than 4 cores)"
+        )
+    return "\n".join(lines)

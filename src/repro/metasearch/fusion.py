@@ -1,11 +1,18 @@
 """Result fusion (the paper's task 2, Fig. 1 arrow 2).
 
 Merges the ranked first pages returned by the selected databases into a
-single list. Cosine scores from different databases are not directly
-comparable (idf statistics differ), so each source's scores are min-max
-normalized before interleaving — a standard CombMNZ-style treatment
-simplified for single-occurrence documents (a document lives in exactly
-one database here).
+single list. Two fusion rules:
+
+* :func:`merge_results` — cosine scores from different databases are
+  not directly comparable (idf statistics differ), so each source's
+  scores are min-max normalized before interleaving — a standard
+  CombMNZ-style treatment simplified for single-occurrence documents
+  (a document lives in exactly one database here).
+* :func:`reciprocal_rank_fusion` — score-free RRF (Cormack et al.,
+  SIGIR'09): a hit at rank ``r`` contributes ``1 / (k0 + r)``. Using
+  only ranks makes it immune to per-database score scaling entirely,
+  which matters at federated scale where sources are too heterogeneous
+  to normalize reliably.
 """
 
 from __future__ import annotations
@@ -15,7 +22,7 @@ from collections.abc import Mapping
 
 from repro.types import SearchResult
 
-__all__ = ["FusedHit", "merge_results"]
+__all__ = ["FusedHit", "merge_results", "reciprocal_rank_fusion"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,5 +69,37 @@ def merge_results(
     for database, result in results.items():
         for doc_id, score in _normalized_scores(result):
             fused.append(FusedHit(database=database, doc_id=doc_id, score=score))
+    fused.sort(key=lambda hit: (-hit.score, hit.database, hit.doc_id))
+    return fused[:limit]
+
+
+def reciprocal_rank_fusion(
+    results: Mapping[str, SearchResult],
+    limit: int = 10,
+    k0: float = 60.0,
+) -> list[FusedHit]:
+    """Fuse per-database pages by reciprocal rank, ignoring scores.
+
+    Each hit scores ``1 / (k0 + rank)`` with ranks starting at 1 in its
+    source's order; *k0* (60 in the original paper) damps the advantage
+    of rank 1 over rank 2. Since a document lives in exactly one
+    database here, no cross-source accumulation occurs and the fused
+    order is simply rank-then-tiebreak. Ties (hits at the same rank in
+    different sources) break by database name then document id, so the
+    merged ranking is deterministic for any dict iteration order.
+    """
+    if limit < 0:
+        raise ValueError(f"limit must be non-negative, got {limit}")
+    if k0 <= 0:
+        raise ValueError(f"k0 must be positive, got {k0}")
+    fused = [
+        FusedHit(
+            database=database,
+            doc_id=hit.doc_id,
+            score=1.0 / (k0 + rank),
+        )
+        for database, result in results.items()
+        for rank, hit in enumerate(result.top_documents, start=1)
+    ]
     fused.sort(key=lambda hit: (-hit.score, hit.database, hit.doc_id))
     return fused[:limit]

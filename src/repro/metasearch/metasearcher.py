@@ -12,6 +12,7 @@ One object owning the whole pipeline of Fig. 1:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -34,7 +35,28 @@ from repro.summaries.summary import ContentSummary
 from repro.text.analyzer import Analyzer
 from repro.types import Query
 
-__all__ = ["MetasearcherConfig", "Metasearcher", "MetasearchAnswer"]
+__all__ = [
+    "MetasearcherConfig",
+    "Metasearcher",
+    "MetasearchAnswer",
+    "PREFILTER_ENV",
+]
+
+#: Environment knob selecting the candidate-pruning mode when
+#: ``MetasearcherConfig.prune_mode`` is left unset. Empty/``"0"``/
+#: ``"off"`` disable pruning, ``"1"``/``"exact"`` enable the
+#: answer-identical bound pruning, ``"topm"`` additionally enables the
+#: probe-trained prefilter tier (answer-affecting, opt-in).
+PREFILTER_ENV = "REPRO_PREFILTER"
+
+_PRUNE_MODE_ALIASES = {
+    "": "off",
+    "0": "off",
+    "off": "off",
+    "1": "exact",
+    "exact": "exact",
+    "topm": "topm",
+}
 
 
 @dataclass(frozen=True)
@@ -79,6 +101,20 @@ class MetasearcherConfig:
     train_checkpoint_every:
         Queries between training checkpoints when :meth:`train` is
         given a ``checkpoint_path``.
+    prune_mode:
+        Candidate-pruning mode in front of RD/APro — ``"off"``,
+        ``"exact"`` (bound-based pruning, selections and probe orders
+        identical to the unpruned path; see
+        :mod:`repro.core.pruning`), or ``"topm"`` (exact pruning plus
+        the probe-trained :class:`~repro.metasearch.prefilter.
+        PrefilterTier`, keeping only the top-M affine databases per
+        query — answers may change, the delta is measured by
+        ``bench-scale``). ``None`` (the default) reads the
+        ``REPRO_PREFILTER`` environment variable, defaulting to
+        ``"off"``.
+    prefilter_top_m:
+        Databases the prefilter tier keeps per query in ``"topm"``
+        mode (clamped up to ``k`` at query time).
     """
 
     DEFAULT_SEED_TERMS: tuple[str, ...] = (
@@ -98,8 +134,28 @@ class MetasearcherConfig:
     probe_batch_size: int = 1
     train_workers: int = 1
     train_checkpoint_every: int = 25
+    prune_mode: str | None = None
+    prefilter_top_m: int = 16
 
     def __post_init__(self) -> None:
+        if self.prune_mode is None:
+            raw = os.environ.get(PREFILTER_ENV, "").strip().lower()
+            resolved = _PRUNE_MODE_ALIASES.get(raw)
+            if resolved is None:
+                raise ConfigurationError(
+                    f"{PREFILTER_ENV}={raw!r} is not a valid prune mode; "
+                    f"use one of {sorted(set(_PRUNE_MODE_ALIASES.values()))}"
+                )
+            object.__setattr__(self, "prune_mode", resolved)
+        elif self.prune_mode not in ("off", "exact", "topm"):
+            raise ConfigurationError(
+                f"prune_mode must be 'off', 'exact' or 'topm', "
+                f"got {self.prune_mode!r}"
+            )
+        if self.prefilter_top_m < 1:
+            raise ConfigurationError(
+                f"prefilter_top_m must be >= 1, got {self.prefilter_top_m}"
+            )
         if self.probe_batch_size < 1:
             raise ConfigurationError(
                 f"probe_batch_size must be >= 1, got {self.probe_batch_size}"
@@ -169,6 +225,7 @@ class Metasearcher:
         self._error_model: ErrorModel | None = None
         self._selector: RDBasedSelector | None = None
         self._apro: APro | None = None
+        self._prefilter = None  # PrefilterTier in "topm" mode
 
     # -- training ---------------------------------------------------------------
 
@@ -201,7 +258,29 @@ class Metasearcher:
             classifier=self._classifier,
             definition=self._config.definition,
         )
-        self._apro = APro(self._selector, policy=self._policy)
+        self._finish_setup()
+
+    def _finish_setup(self) -> None:
+        """Build the APro runner (and prefilter tier) over the selector.
+
+        Shared by :meth:`train` and :meth:`load`: exact bound pruning is
+        an APro flag; the ``"topm"`` prefilter tier additionally probes
+        one anchor query per topic to learn database-topic affinities.
+        """
+        mode = self._config.prune_mode
+        if mode == "topm" and self._prefilter is None:
+            from repro.metasearch.prefilter import PrefilterTier
+
+            self._prefilter = PrefilterTier.train(
+                self._mediator,
+                self._config.definition,
+                analyzer=self._analyzer,
+            )
+        self._apro = APro(
+            self._selector,
+            policy=self._policy,
+            prune=mode in ("exact", "topm"),
+        )
 
     def _train_error_model(
         self, training_queries: Sequence[Query], checkpoint_path, resume: bool
@@ -307,6 +386,36 @@ class Metasearcher:
         if self._apro is None:
             raise ReproError("call train() before querying the metasearcher")
 
+    @classmethod
+    def from_trained(
+        cls,
+        trained: "Metasearcher",
+        config: MetasearcherConfig | None = None,
+    ) -> "Metasearcher":
+        """A new query-ready metasearcher sharing *trained*'s state.
+
+        The trained artifacts (summaries, error model, selector) are
+        referenced, not copied — training is deterministic and
+        read-only at query time, so clones are answer-identical to the
+        original under the same config. This is how the benches compare
+        prune modes over one training run instead of retraining per
+        mode.
+        """
+        trained._require_trained()
+        clone = cls(
+            trained._mediator,
+            config or trained._config,
+            estimator=trained._estimator,
+            policy=trained._policy,
+            analyzer=trained._analyzer,
+        )
+        clone._classifier = trained._classifier
+        clone._summaries = trained._summaries
+        clone._error_model = trained._error_model
+        clone._selector = trained._selector
+        clone._finish_setup()
+        return clone
+
     # -- persistence ------------------------------------------------------------
 
     def save(self, path) -> None:
@@ -340,7 +449,7 @@ class Metasearcher:
         self._error_model = state.error_model
         self._classifier = state.classifier()
         self._selector = state.selector(self._mediator, self._estimator)
-        self._apro = APro(self._selector, policy=self._policy)
+        self._finish_setup()
 
     # -- querying -------------------------------------------------------------
 
@@ -357,32 +466,66 @@ class Metasearcher:
     # Backwards-compatible private alias.
     _as_query = analyze
 
+    @property
+    def prefilter(self):
+        """The trained prefilter tier (``None`` outside ``"topm"`` mode)."""
+        return self._prefilter
+
+    def prefilter_keep(
+        self, query: Query | str, k: int
+    ) -> tuple[int, ...] | None:
+        """Mediation indices the prefilter tier keeps for *query*.
+
+        ``None`` when the tier is inactive (prune mode ``"off"`` or
+        ``"exact"``) — i.e. when selection considers every database.
+        The keep set is at least ``max(prefilter_top_m, k)`` wide so a
+        top-k request is always satisfiable.
+        """
+        if self._prefilter is None:
+            return None
+        return self._prefilter.keep(
+            self._as_query(query),
+            top_m=max(self._config.prefilter_top_m, k),
+        )
+
     def select(
         self,
         query: Query | str,
         k: int,
         certainty: float = 0.0,
         batch_size: int | None = None,
+        max_probes: int | None = None,
+        force_probes: int | None = None,
     ) -> ProbeSession:
         """Select k databases, probing until *certainty* is reached.
 
         ``certainty=0`` yields pure RD-based selection (zero probes).
-        *batch_size* overrides the configured ``probe_batch_size`` for
-        this call.
+        *batch_size* and *max_probes* override the configured values
+        for this call; *force_probes* floors the probe count (setting
+        both to the same value pins the probe budget exactly, which is
+        how ``bench-scale`` holds the workload constant across
+        federation sizes).
         """
         self._require_trained()
         assert self._apro is not None
+        analyzed = self._as_query(query)
         return self._apro.run(
-            self._as_query(query),
+            analyzed,
             k=k,
             threshold=certainty,
             metric=self._config.metric,
-            max_probes=self._config.max_probes,
+            max_probes=(
+                self._config.max_probes
+                if max_probes is None
+                else max_probes
+            ),
+            force_probes=force_probes,
             batch_size=(
                 self._config.probe_batch_size
                 if batch_size is None
                 else batch_size
             ),
+            keep=self.prefilter_keep(analyzed, k),
         )
 
     def select_without_probing(

@@ -1,0 +1,211 @@
+"""Probe-trained topic prefilter: the opt-in top-M candidate tier.
+
+Bound pruning (:mod:`repro.core.pruning`) is free but conservative — it
+only drops databases the *trained model* can prove out. At federated
+scale a deployment may want a harder cut: score every database's topic
+affinity once, offline, by **query probing** (one anchor query per
+catalogue topic, the classification-by-probing idea of Ipeirotis et
+al.), then per user query keep only the ``M`` databases whose affinity
+profile best matches the query's topic vocabulary and run RD/APro on
+those. This trades a bounded, *measured* quality delta (reported by
+``bench-scale``, never silent) for speedups that no provable bound can
+reach.
+
+The tier is deliberately self-contained state: training captures the
+per-topic anchor **terms** (already analyzed) and the probed affinity
+matrix, so a serialized tier (:meth:`PrefilterTier.state` /
+:meth:`PrefilterTier.from_state`) can score queries in a pool worker
+without an analyzer, a registry, or the mediator. Because keeping
+top-M changes answers, the tier's state participates in the worker
+blob fingerprint — unlike exact pruning, which is answer-invariant and
+deliberately excluded (see :mod:`repro.service.worker`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.corpus.topics import TopicRegistry, default_topic_registry
+from repro.exceptions import ConfigurationError
+from repro.hiddenweb.database import RelevancyDefinition
+from repro.hiddenweb.mediator import Mediator
+from repro.text.analyzer import Analyzer
+from repro.types import Query
+
+__all__ = ["PrefilterTier"]
+
+#: Anchor words probed per topic when training the tier (more anchors
+#: sharpen the affinity signal at one extra probe each).
+DEFAULT_ANCHOR_TERMS = 6
+
+
+class PrefilterTier:
+    """Per-database topic affinities learned by probing anchor queries.
+
+    ``affinity`` is an ``(n_databases × n_topics)`` row-normalized
+    matrix: row i estimates database i's topic mixture from the probed
+    relevancy of each topic's anchor query. Scoring a user query sums
+    affinity columns weighted by how many of the query's terms fall in
+    each topic's anchor-term set; ties break on the earlier mediation
+    index, so ``keep`` is deterministic.
+    """
+
+    def __init__(
+        self,
+        database_names: Sequence[str],
+        topic_names: Sequence[str],
+        topic_terms: Sequence[Sequence[str]],
+        affinity: np.ndarray,
+    ) -> None:
+        if affinity.shape != (len(database_names), len(topic_names)):
+            raise ConfigurationError(
+                f"affinity shape {affinity.shape} does not match "
+                f"{len(database_names)} databases x "
+                f"{len(topic_names)} topics"
+            )
+        if len(topic_terms) != len(topic_names):
+            raise ConfigurationError(
+                "topic_terms must align with topic_names"
+            )
+        self._database_names = tuple(database_names)
+        self._topic_names = tuple(topic_names)
+        self._topic_terms = tuple(
+            tuple(terms) for terms in topic_terms
+        )
+        self._term_topics: dict[str, list[int]] = {}
+        for t, terms in enumerate(self._topic_terms):
+            for term in terms:
+                self._term_topics.setdefault(term, []).append(t)
+        self._affinity = np.asarray(affinity, dtype=np.float64)
+
+    # -- training -----------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        mediator: Mediator,
+        definition: RelevancyDefinition,
+        analyzer: Analyzer | None = None,
+        registry: TopicRegistry | None = None,
+        anchor_terms_per_topic: int = DEFAULT_ANCHOR_TERMS,
+    ) -> "PrefilterTier":
+        """Probe every database with each topic's anchor terms.
+
+        Each anchor term is probed as its *own* single-term query —
+        result pages use conjunctive AND semantics, so a multi-term
+        anchor query would match almost nothing — and a topic's column
+        sums its anchor terms' relevancies (document frequencies under
+        the paper's default definition). O(n_databases × total anchor
+        terms) offline probes, a constant per-database cost amortized
+        over every served query — the whole point of making per-query
+        selection sublinear.
+        """
+        if anchor_terms_per_topic < 1:
+            raise ConfigurationError(
+                "anchor_terms_per_topic must be >= 1, "
+                f"got {anchor_terms_per_topic}"
+            )
+        analyzer = analyzer or Analyzer()
+        registry = registry or default_topic_registry()
+        topic_names: list[str] = []
+        topic_terms: list[tuple[str, ...]] = []
+        for topic in registry:
+            terms: list[str] = []
+            for word in topic.anchors[:anchor_terms_per_topic]:
+                for term in analyzer.analyze(word):
+                    if term not in terms:
+                        terms.append(term)
+            if not terms:
+                continue  # anchors analyzed away entirely (stop words)
+            topic_names.append(topic.name)
+            topic_terms.append(tuple(terms))
+        if not topic_names:
+            raise ConfigurationError(
+                "no topic produced any analyzable anchor terms"
+            )
+        affinity = np.zeros(
+            (len(mediator), len(topic_names)), dtype=np.float64
+        )
+        for i, database in enumerate(mediator):
+            for t, terms in enumerate(topic_terms):
+                affinity[i, t] = sum(
+                    float(
+                        database.probe_relevancy(
+                            Query(terms=(term,)), definition
+                        )
+                    )
+                    for term in terms
+                )
+        totals = affinity.sum(axis=1, keepdims=True)
+        np.divide(affinity, totals, out=affinity, where=totals > 0)
+        return cls(
+            database_names=mediator.names,
+            topic_names=topic_names,
+            topic_terms=topic_terms,
+            affinity=affinity,
+        )
+
+    # -- scoring ------------------------------------------------------------
+
+    @property
+    def num_databases(self) -> int:
+        return len(self._database_names)
+
+    @property
+    def topic_names(self) -> tuple[str, ...]:
+        return self._topic_names
+
+    def scores(self, query: Query) -> np.ndarray:
+        """Per-database affinity of *query*, mediation order.
+
+        The query's topic weight vector counts how many of its terms
+        are anchor terms of each topic; databases score the dot product
+        of their affinity row with that vector. A query whose terms hit
+        no anchor set scores all-zero — ``keep`` then degrades to the
+        first ``M`` databases, deterministically.
+        """
+        weights = np.zeros(len(self._topic_names), dtype=np.float64)
+        for term in query.terms:
+            for t in self._term_topics.get(term, ()):
+                weights[t] += 1.0
+        return self._affinity @ weights
+
+    def keep(self, query: Query, top_m: int) -> tuple[int, ...]:
+        """Ascending mediation indices of the top-M databases for *query*."""
+        if top_m < 1:
+            raise ConfigurationError(f"top_m must be >= 1, got {top_m}")
+        scores = self.scores(query)
+        ranked = sorted(
+            range(len(scores)), key=lambda i: (-scores[i], i)
+        )
+        return tuple(sorted(ranked[: min(top_m, len(ranked))]))
+
+    # -- persistence --------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-able round-trip state (crosses the pool blob boundary)."""
+        return {
+            "databases": list(self._database_names),
+            "topics": list(self._topic_names),
+            "topic_terms": [list(t) for t in self._topic_terms],
+            "affinity": [
+                [float(x) for x in row] for row in self._affinity
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "PrefilterTier":
+        return cls(
+            database_names=state["databases"],
+            topic_names=state["topics"],
+            topic_terms=state["topic_terms"],
+            affinity=np.array(state["affinity"], dtype=np.float64),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PrefilterTier(databases={len(self._database_names)}, "
+            f"topics={len(self._topic_names)})"
+        )

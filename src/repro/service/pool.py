@@ -168,6 +168,10 @@ class PoolResult:
     probe_order: tuple[str, ...]
     deadline_expired: bool
     spans: tuple = ()
+    # Databases the worker's run excluded from the belief machinery
+    # (bound pruning and/or the prefilter keep set); 0 when pruning is
+    # off or nothing was prunable.
+    pruned: int = 0
 
 
 class _WorkerHandle:
@@ -630,6 +634,7 @@ class SelectionPool:
                     probe_order=tuple(payload["probe_order"]),
                     deadline_expired=bool(payload["deadline_expired"]),
                     spans=tuple(payload.get("spans", ())),
+                    pruned=int(payload.get("pruned", 0)),
                 )
             elif kind == "stale":
                 self._metrics.counter("pool_stale_refusals").inc()

@@ -417,6 +417,7 @@ class MetasearchService:
             policy=metasearcher.policy,
             prober=self._executor,
             backend=self._config.backend,
+            prune=metasearcher.config.prune_mode in ("exact", "topm"),
         )
         # The fingerprinted state blob is built whether or not the pool
         # is enabled: it names the model version in cache keys and is
@@ -481,9 +482,18 @@ class MetasearchService:
             # Tracing instruments, likewise always registered.
             "trace_spans_total",
             "trace_spans_dropped",
+            # Candidate-pruning instruments, registered for every prune
+            # mode so flipping REPRO_PREFILTER never changes the
+            # snapshot key-set.
+            "prefilter_requests_total",
+            "prefilter_dropped_total",
         ):
             self._metrics.counter(counter)
         self._metrics.gauge("pool_queue_depth")
+        # Per-request count of databases excluded from the belief
+        # machinery (bound pruning + prefilter keep); all zeros with
+        # pruning off.
+        self._metrics.histogram("pruned_databases")
         self._metrics.histogram("adapt_swap_ms", deterministic=False)
         self._metrics.histogram("query_probes")
         self._metrics.histogram("query_probes_uncached")
@@ -643,6 +653,8 @@ class MetasearchService:
             policy=self._metasearcher.policy,
             prober=prober,
             backend=self._config.backend,
+            prune=self._metasearcher.config.prune_mode
+            in ("exact", "topm"),
         )
         if self._observations is not None and hasattr(prober, "retarget"):
             prober.retarget(new_selector)
@@ -879,7 +891,14 @@ class MetasearchService:
                 self._metrics.histogram(
                     "stage_pool_ms", deterministic=False
                 ).observe((time.perf_counter() - pool_started) * 1000.0)
-                return result
+                return self._observe_pruning(result, k)
+        keep = None
+        if self._metasearcher.prefilter is not None:
+            # topm mode: the tier picks the candidate universe before
+            # any belief math runs. Workers compute the identical keep
+            # set from their fingerprinted blob state.
+            with span("prefilter.keep", backend=self._config.backend):
+                keep = self._metasearcher.prefilter_keep(analyzed, k)
         session = self._apro.run(
             analyzed,
             k=k,
@@ -888,16 +907,40 @@ class MetasearchService:
             max_probes=searcher_config.max_probes,
             batch_size=self._batch_size(),
             deadline=deadline,
+            keep=keep,
         )
-        return PoolResult(
-            selected=session.final.names,
-            certainty=session.final.expected_correctness,
-            probes=session.num_probes,
-            probe_order=tuple(
-                record.database for record in session.records
+        return self._observe_pruning(
+            PoolResult(
+                selected=session.final.names,
+                certainty=session.final.expected_correctness,
+                probes=session.num_probes,
+                probe_order=tuple(
+                    record.database for record in session.records
+                ),
+                deadline_expired=session.deadline_expired,
+                pruned=session.pruned_databases,
             ),
-            deadline_expired=session.deadline_expired,
+            k,
         )
+
+    def _observe_pruning(self, result: PoolResult, k: int) -> PoolResult:
+        """Record the pruning instruments for one selection (both paths).
+
+        The prefilter counters are derived from configuration (the keep
+        width is a pure function of ``(top_m, k, n)``), so the pool and
+        in-process paths account identically.
+        """
+        self._metrics.histogram("pruned_databases").observe(
+            float(result.pruned)
+        )
+        if self._metasearcher.config.prune_mode == "topm":
+            n = len(self._blob.database_names)
+            kept = min(
+                max(self._metasearcher.config.prefilter_top_m, k), n
+            )
+            self._metrics.counter("prefilter_requests_total").inc()
+            self._metrics.counter("prefilter_dropped_total").inc(n - kept)
+        return result
 
     def serve_stream(
         self,
@@ -991,6 +1034,13 @@ class MetasearchService:
         # Always present so switching numeric backends never changes
         # the snapshot's top-level key-set.
         out["backend"] = self._config.backend
+        # Always present (even with pruning off) so flipping
+        # REPRO_PREFILTER never changes the snapshot's top-level
+        # key-set.
+        out["prefilter"] = {
+            "mode": self._metasearcher.config.prune_mode,
+            "top_m": self._metasearcher.config.prefilter_top_m,
+        }
         # Always present (even with tracing off) so enabling tracing
         # never changes the snapshot's top-level key-set.
         out["trace"] = {

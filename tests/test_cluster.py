@@ -34,6 +34,7 @@ from repro.gateway.client import (
 )
 from repro.gateway.gateway import GatewayConfig, MetasearchGateway
 from repro.gateway.protocol import ErrorCode, GatewayError
+from repro.metasearch.metasearcher import MetasearcherConfig
 from repro.service.server import MetasearchService, ServiceConfig
 from repro.types import Query
 
@@ -293,11 +294,18 @@ class TestServiceCacheTierIntegration:
         for name in (
             "cache_tier_hits", "cache_tier_misses",
             "cache_tier_puts", "cache_tier_errors",
+            "prefilter_requests_total", "prefilter_dropped_total",
         ):
             assert snapshot["counters"][name] == 0
         assert {"hits", "misses", "evictions", "expirations", "size"} <= set(
             snapshot["cache"]
         )
+        # The mode mirrors whatever REPRO_PREFILTER resolved to when the
+        # session fixture was built, so the key set (not the value) is
+        # what this test pins.
+        expected_mode = MetasearcherConfig().prune_mode
+        assert snapshot["prefilter"] == {"mode": expected_mode, "top_m": 16}
+        assert "pruned_databases" in snapshot["histograms"]
 
 
 # -- router / cluster-of-1 transparency ----------------------------------------
